@@ -1,0 +1,92 @@
+// P2 / E1 — tree-vs-cyclic classification and join-tree construction: GYO
+// ear decomposition vs Maier's maximum-weight spanning tree, on tree and
+// cyclic schema families (Fig. 1 at scale).
+
+#include <benchmark/benchmark.h>
+
+#include "gyo/acyclic.h"
+#include "gyo/chordal.h"
+#include "gyo/qual_graph.h"
+#include "schema/generators.h"
+#include "util/rng.h"
+
+namespace gyo {
+namespace {
+
+void BM_IsTree_RandomTree(benchmark::State& state) {
+  Rng rng(static_cast<uint64_t>(state.range(0)));
+  DatabaseSchema d =
+      RandomTreeSchema(static_cast<int>(state.range(0)), 5, rng).schema;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsTreeSchema(d));
+  }
+}
+BENCHMARK(BM_IsTree_RandomTree)->RangeMultiplier(4)->Range(8, 512);
+
+void BM_IsTree_Ring(benchmark::State& state) {
+  DatabaseSchema d = Aring(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsTreeSchema(d));
+  }
+}
+BENCHMARK(BM_IsTree_Ring)->RangeMultiplier(4)->Range(8, 512);
+
+void BM_IsTree_Chordality_RandomTree(benchmark::State& state) {
+  Rng rng(static_cast<uint64_t>(state.range(0)));
+  DatabaseSchema d =
+      RandomTreeSchema(static_cast<int>(state.range(0)), 5, rng).schema;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsTreeSchemaViaChordality(d));
+  }
+}
+BENCHMARK(BM_IsTree_Chordality_RandomTree)->RangeMultiplier(4)->Range(8, 512);
+
+void BM_JoinTree_Ear(benchmark::State& state) {
+  Rng rng(static_cast<uint64_t>(state.range(0)));
+  DatabaseSchema d =
+      RandomTreeSchema(static_cast<int>(state.range(0)), 5, rng).schema;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildJoinTree(d));
+  }
+}
+BENCHMARK(BM_JoinTree_Ear)->RangeMultiplier(4)->Range(8, 512);
+
+void BM_JoinTree_Maier(benchmark::State& state) {
+  Rng rng(static_cast<uint64_t>(state.range(0)));
+  DatabaseSchema d =
+      RandomTreeSchema(static_cast<int>(state.range(0)), 5, rng).schema;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildJoinTreeMaier(d));
+  }
+}
+BENCHMARK(BM_JoinTree_Maier)->RangeMultiplier(4)->Range(8, 512);
+
+// Lemma 3.1 witness search (E2): exponential in |U|, so tiny sizes only.
+void BM_CyclicCore_Ring(benchmark::State& state) {
+  DatabaseSchema d = Aring(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindCyclicCore(d));
+  }
+}
+BENCHMARK(BM_CyclicCore_Ring)->DenseRange(4, 8, 2);
+
+void BM_CyclicCore_FattenedRing(benchmark::State& state) {
+  DatabaseSchema d = FattenedRing(4, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindCyclicCore(d));
+  }
+}
+BENCHMARK(BM_CyclicCore_FattenedRing)->DenseRange(1, 3, 1);
+
+// Corollary 3.2: least treefying relation.
+void BM_TreefyingRelation_Grid(benchmark::State& state) {
+  int side = static_cast<int>(state.range(0));
+  DatabaseSchema d = GridSchema(side, side);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TreefyingRelation(d));
+  }
+}
+BENCHMARK(BM_TreefyingRelation_Grid)->DenseRange(2, 10, 2);
+
+}  // namespace
+}  // namespace gyo

@@ -1,0 +1,73 @@
+// P4 / E12 — γ-acyclicity testing: the polynomial Theorem 5.3(ii) pairwise
+// test across schema families, against the exponential direct γ-cycle search
+// and the doubly-exponential subtree characterization (small sizes only).
+
+#include <benchmark/benchmark.h>
+
+#include "gyo/gamma.h"
+#include "schema/generators.h"
+#include "util/rng.h"
+
+namespace gyo {
+namespace {
+
+void BM_GammaPairs_Path(benchmark::State& state) {
+  DatabaseSchema d = PathSchema(static_cast<int>(state.range(0)) + 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsGammaAcyclic(d));
+  }
+}
+BENCHMARK(BM_GammaPairs_Path)->RangeMultiplier(4)->Range(8, 512);
+
+void BM_GammaPairs_Star(benchmark::State& state) {
+  DatabaseSchema d = StarSchema(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsGammaAcyclic(d));
+  }
+}
+BENCHMARK(BM_GammaPairs_Star)->RangeMultiplier(4)->Range(8, 512);
+
+void BM_GammaPairs_RandomTree(benchmark::State& state) {
+  Rng rng(static_cast<uint64_t>(state.range(0)) + 3);
+  DatabaseSchema d =
+      RandomTreeSchema(static_cast<int>(state.range(0)), 4, rng).schema;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsGammaAcyclic(d));
+  }
+}
+BENCHMARK(BM_GammaPairs_RandomTree)->RangeMultiplier(4)->Range(8, 256);
+
+void BM_GammaPairs_Ring(benchmark::State& state) {
+  DatabaseSchema d = Aring(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsGammaAcyclic(d));
+  }
+}
+BENCHMARK(BM_GammaPairs_Ring)->RangeMultiplier(4)->Range(8, 512);
+
+void BM_GammaCycleSearch_Path(benchmark::State& state) {
+  DatabaseSchema d = PathSchema(static_cast<int>(state.range(0)) + 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindWeakGammaCycle(d));
+  }
+}
+BENCHMARK(BM_GammaCycleSearch_Path)->RangeMultiplier(2)->Range(4, 64);
+
+void BM_GammaCycleSearch_Ring(benchmark::State& state) {
+  DatabaseSchema d = Aring(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindWeakGammaCycle(d));
+  }
+}
+BENCHMARK(BM_GammaCycleSearch_Ring)->RangeMultiplier(2)->Range(4, 64);
+
+void BM_GammaSubtrees_Path(benchmark::State& state) {
+  DatabaseSchema d = PathSchema(static_cast<int>(state.range(0)) + 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsGammaAcyclicBySubtrees(d));
+  }
+}
+BENCHMARK(BM_GammaSubtrees_Path)->DenseRange(4, 12, 2);
+
+}  // namespace
+}  // namespace gyo

@@ -1,0 +1,78 @@
+// P1 — GYO reduction scaling: naive fixpoint vs incremental worklist
+// implementation, across the paper's schema families (paths, stars, random
+// tree schemas, Arings, grids). Regenerates the ablation called out in
+// DESIGN.md §5 ("Incremental vs naive GYO").
+
+#include <benchmark/benchmark.h>
+
+#include "gyo/gyo.h"
+#include "schema/generators.h"
+#include "util/rng.h"
+
+namespace gyo {
+namespace {
+
+DatabaseSchema MakeFamily(const std::string& family, int n) {
+  if (family == "path") return PathSchema(n + 1);
+  if (family == "star") return StarSchema(n);
+  if (family == "ring") return Aring(n);
+  if (family == "grid") {
+    int side = 1;
+    while ((side + 1) * (side + 1) <= n) ++side;
+    return GridSchema(side + 1, side + 1);
+  }
+  Rng rng(static_cast<uint64_t>(n) * 7919);
+  return RandomTreeSchema(n, 5, rng).schema;
+}
+
+void BM_GyoNaive(benchmark::State& state, const std::string& family) {
+  DatabaseSchema d = MakeFamily(family, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GyoReduce(d));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_GyoFast(benchmark::State& state, const std::string& family) {
+  DatabaseSchema d = MakeFamily(family, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GyoReduceFast(d));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_GyoNaive_Path(benchmark::State& s) { BM_GyoNaive(s, "path"); }
+void BM_GyoFast_Path(benchmark::State& s) { BM_GyoFast(s, "path"); }
+void BM_GyoNaive_Star(benchmark::State& s) { BM_GyoNaive(s, "star"); }
+void BM_GyoFast_Star(benchmark::State& s) { BM_GyoFast(s, "star"); }
+void BM_GyoNaive_RandomTree(benchmark::State& s) { BM_GyoNaive(s, "tree"); }
+void BM_GyoFast_RandomTree(benchmark::State& s) { BM_GyoFast(s, "tree"); }
+void BM_GyoNaive_Ring(benchmark::State& s) { BM_GyoNaive(s, "ring"); }
+void BM_GyoFast_Ring(benchmark::State& s) { BM_GyoFast(s, "ring"); }
+void BM_GyoNaive_Grid(benchmark::State& s) { BM_GyoNaive(s, "grid"); }
+void BM_GyoFast_Grid(benchmark::State& s) { BM_GyoFast(s, "grid"); }
+
+BENCHMARK(BM_GyoNaive_Path)->RangeMultiplier(4)->Range(8, 512)->Complexity();
+BENCHMARK(BM_GyoFast_Path)->RangeMultiplier(4)->Range(8, 512)->Complexity();
+BENCHMARK(BM_GyoNaive_Star)->RangeMultiplier(4)->Range(8, 512)->Complexity();
+BENCHMARK(BM_GyoFast_Star)->RangeMultiplier(4)->Range(8, 512)->Complexity();
+BENCHMARK(BM_GyoNaive_RandomTree)->RangeMultiplier(4)->Range(8, 512)->Complexity();
+BENCHMARK(BM_GyoFast_RandomTree)->RangeMultiplier(4)->Range(8, 512)->Complexity();
+BENCHMARK(BM_GyoNaive_Ring)->RangeMultiplier(4)->Range(8, 512);
+BENCHMARK(BM_GyoFast_Ring)->RangeMultiplier(4)->Range(8, 512);
+BENCHMARK(BM_GyoNaive_Grid)->RangeMultiplier(4)->Range(16, 256);
+BENCHMARK(BM_GyoFast_Grid)->RangeMultiplier(4)->Range(16, 256);
+
+// GR with sacred attributes (the CC fast-path workload, Thm 3.3).
+void BM_GyoFast_PathWithTarget(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  DatabaseSchema d = PathSchema(n + 1);
+  AttrSet x{0, n};  // endpoints sacred: nothing collapses between them
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GyoReduceFast(d, x));
+  }
+}
+BENCHMARK(BM_GyoFast_PathWithTarget)->RangeMultiplier(4)->Range(8, 512);
+
+}  // namespace
+}  // namespace gyo

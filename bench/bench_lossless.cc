@@ -1,0 +1,85 @@
+// P5 / E9–E11 — lossless-join decisions: the Theorem 5.1 CC-based test and
+// the Corollary 5.2 subtree fast path, against the cost of empirical
+// validation on data (which the theorems make unnecessary).
+
+#include <benchmark/benchmark.h>
+
+#include "gyo/qual_graph.h"
+#include "query/lossless.h"
+#include "rel/universal.h"
+#include "schema/generators.h"
+#include "util/rng.h"
+
+namespace gyo {
+namespace {
+
+// D' = a contiguous half of a path schema.
+std::vector<int> HalfIndices(int n) {
+  std::vector<int> idx;
+  for (int i = 0; i < n / 2; ++i) idx.push_back(i);
+  return idx;
+}
+
+void BM_Lossless_CCDecision_Path(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  DatabaseSchema d = PathSchema(n + 1);
+  DatabaseSchema dprime = d.Select(HalfIndices(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JoinDependencyImplies(d, dprime));
+  }
+}
+BENCHMARK(BM_Lossless_CCDecision_Path)->RangeMultiplier(4)->Range(8, 512);
+
+void BM_Lossless_SubtreeFastPath_Path(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  DatabaseSchema d = PathSchema(n + 1);
+  std::vector<int> idx = HalfIndices(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LosslessInTreeSchema(d, idx));
+  }
+}
+BENCHMARK(BM_Lossless_SubtreeFastPath_Path)->RangeMultiplier(4)->Range(8, 512);
+
+void BM_Lossless_CCDecision_RandomTree(benchmark::State& state) {
+  Rng rng(static_cast<uint64_t>(state.range(0)) + 29);
+  int n = static_cast<int>(state.range(0));
+  DatabaseSchema d = RandomTreeSchema(n, 4, rng).schema;
+  std::vector<int> idx;
+  for (int i = 0; i < n; i += 2) idx.push_back(i);
+  DatabaseSchema dprime = d.Select(idx);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JoinDependencyImplies(d, dprime));
+  }
+}
+BENCHMARK(BM_Lossless_CCDecision_RandomTree)->RangeMultiplier(4)->Range(8, 256);
+
+// What the theorems buy: checking losslessness on a single random model is
+// already far costlier than the syntactic decision, and proves nothing.
+void BM_Lossless_EmpiricalOneModel_Path(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  DatabaseSchema d = PathSchema(n + 1);
+  DatabaseSchema dprime = d.Select(HalfIndices(n));
+  Rng rng(31);
+  // Key-like data (large domain) keeps the jd closure from exploding; the
+  // point is the per-model cost, which already dwarfs the syntactic test.
+  Relation model = RandomModelOfJd(d, 256, 16384, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JdHolds(model, dprime));
+  }
+}
+BENCHMARK(BM_Lossless_EmpiricalOneModel_Path)->RangeMultiplier(2)->Range(8, 64);
+
+void BM_Lossless_CCDecision_RingSubset(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  DatabaseSchema d = Aring(n);
+  std::vector<int> idx;
+  for (int i = 0; i + 1 < n; ++i) idx.push_back(i);  // ring minus one edge
+  DatabaseSchema dprime = d.Select(idx);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JoinDependencyImplies(d, dprime));
+  }
+}
+BENCHMARK(BM_Lossless_CCDecision_RingSubset)->DenseRange(4, 10, 2);
+
+}  // namespace
+}  // namespace gyo

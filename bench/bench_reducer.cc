@@ -1,0 +1,84 @@
+// E15b / P6 companion — semijoin reduction on non-UR databases: the tree
+// full reducer (2(n−1) semijoins) vs the generic pairwise semijoin fixpoint,
+// plus the global-consistency check they are measured against.
+
+#include <benchmark/benchmark.h>
+
+#include "rel/reducer.h"
+#include "schema/generators.h"
+#include "util/rng.h"
+
+namespace gyo {
+namespace {
+
+// Independent random edge states over a path (dangle-heavy, non-UR).
+std::vector<Relation> RandomPathStates(int n, int rows, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Relation> states;
+  for (int i = 0; i < n; ++i) {
+    Relation rel(AttrSet{i, i + 1});
+    for (int k = 0; k < rows; ++k) {
+      rel.AddRow({static_cast<Value>(rng.Below(64)),
+                  static_cast<Value>(rng.Below(64))});
+    }
+    rel.Canonicalize();
+    states.push_back(std::move(rel));
+  }
+  return states;
+}
+
+void BM_FullReducer_Path(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  DatabaseSchema d = PathSchema(n + 1);
+  std::vector<Relation> states = RandomPathStates(n, 256, 37);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ApplyFullReducer(d, states));
+  }
+}
+BENCHMARK(BM_FullReducer_Path)->RangeMultiplier(2)->Range(4, 64);
+
+void BM_SemijoinFixpoint_Path(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  DatabaseSchema d = PathSchema(n + 1);
+  std::vector<Relation> states = RandomPathStates(n, 256, 37);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SemijoinFixpoint(d, states));
+  }
+}
+BENCHMARK(BM_SemijoinFixpoint_Path)->RangeMultiplier(2)->Range(4, 64);
+
+void BM_ConsistencyCheck_Path(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  DatabaseSchema d = PathSchema(n + 1);
+  std::vector<Relation> states = RandomPathStates(n, 64, 41);
+  auto reduced = ApplyFullReducer(d, states);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsGloballyConsistent(d, *reduced));
+  }
+}
+BENCHMARK(BM_ConsistencyCheck_Path)->RangeMultiplier(2)->Range(4, 16);
+
+void BM_SemijoinFixpoint_Ring(benchmark::State& state) {
+  // Cyclic schemas: the fixpoint may loop several sweeps without ever
+  // reaching consistency.
+  int n = static_cast<int>(state.range(0));
+  DatabaseSchema d = Aring(n);
+  Rng rng(43);
+  std::vector<Relation> states;
+  for (int i = 0; i < n; ++i) {
+    Relation rel(d[i]);
+    for (int k = 0; k < 256; ++k) {
+      rel.AddRow({static_cast<Value>(rng.Below(64)),
+                  static_cast<Value>(rng.Below(64))});
+    }
+    rel.Canonicalize();
+    states.push_back(std::move(rel));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SemijoinFixpoint(d, states));
+  }
+}
+BENCHMARK(BM_SemijoinFixpoint_Ring)->RangeMultiplier(2)->Range(4, 32);
+
+}  // namespace
+}  // namespace gyo

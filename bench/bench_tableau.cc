@@ -1,0 +1,105 @@
+// P3 (tableau layer) — containment-mapping search and tableau minimization
+// cost as functions of row count and schema shape (Lemmas 3.2–3.5 machinery).
+
+#include <benchmark/benchmark.h>
+
+#include "schema/generators.h"
+#include "tableau/containment.h"
+#include "tableau/minimize.h"
+#include "tableau/tableau.h"
+#include "util/rng.h"
+
+namespace gyo {
+namespace {
+
+void BM_TableauConstruction(benchmark::State& state) {
+  Rng rng(static_cast<uint64_t>(state.range(0)));
+  DatabaseSchema d =
+      RandomTreeSchema(static_cast<int>(state.range(0)), 4, rng).schema;
+  AttrSet x;
+  int k = 0;
+  d.Universe().ForEach([&](AttrId a) {
+    if (k++ % 3 == 0) x.Insert(a);
+  });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Tableau::Standard(d, x));
+  }
+}
+BENCHMARK(BM_TableauConstruction)->RangeMultiplier(4)->Range(8, 512);
+
+void BM_SelfContainmentMapping_Path(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  DatabaseSchema d = PathSchema(n + 1);
+  Tableau t = Tableau::Standard(d, AttrSet{0, n});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindContainmentMapping(t, t));
+  }
+}
+BENCHMARK(BM_SelfContainmentMapping_Path)->RangeMultiplier(2)->Range(4, 64);
+
+void BM_SelfContainmentMapping_Ring(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  DatabaseSchema d = Aring(n);
+  Tableau t = Tableau::Standard(d, d.Universe());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindContainmentMapping(t, t));
+  }
+}
+BENCHMARK(BM_SelfContainmentMapping_Ring)->RangeMultiplier(2)->Range(4, 64);
+
+void BM_Minimize_Path(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  DatabaseSchema d = PathSchema(n + 1);
+  Tableau t = Tableau::Standard(d, AttrSet{0, n});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Minimize(t));
+  }
+}
+BENCHMARK(BM_Minimize_Path)->RangeMultiplier(2)->Range(4, 32);
+
+void BM_Minimize_FoldablePath(benchmark::State& state) {
+  // X = one endpoint: the whole path folds row by row — the worst case for
+  // the greedy rescan.
+  int n = static_cast<int>(state.range(0));
+  DatabaseSchema d = PathSchema(n + 1);
+  Tableau t = Tableau::Standard(d, AttrSet{0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Minimize(t));
+  }
+}
+BENCHMARK(BM_Minimize_FoldablePath)->RangeMultiplier(2)->Range(4, 32);
+
+void BM_Minimize_Sec6Style(benchmark::State& state) {
+  // The §6 example scaled: a 3-relation core plus `n` irrelevant chain
+  // relations that all fold away.
+  int n = static_cast<int>(state.range(0));
+  DatabaseSchema d;
+  d.Add(AttrSet{0, 1, 6});  // abg
+  d.Add(AttrSet{1, 2, 6});  // bcg
+  d.Add(AttrSet{0, 2, 7});  // acf
+  for (int i = 0; i < n; ++i) {
+    d.Add(AttrSet{0, 8 + i});  // chains hanging off a
+  }
+  AttrSet x{0, 1, 2};
+  Tableau t = Tableau::Standard(d, x);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Minimize(t));
+  }
+}
+BENCHMARK(BM_Minimize_Sec6Style)->RangeMultiplier(2)->Range(2, 16);
+
+void BM_Isomorphism_MinimalRings(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  DatabaseSchema d = Aring(n);
+  Tableau t = Tableau::Standard(d, d.Universe());
+  std::vector<int> rev;
+  for (int r = n - 1; r >= 0; --r) rev.push_back(r);
+  Tableau p = t.SelectRows(rev);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AreIsomorphic(t, p));
+  }
+}
+BENCHMARK(BM_Isomorphism_MinimalRings)->RangeMultiplier(2)->Range(4, 32);
+
+}  // namespace
+}  // namespace gyo

@@ -1,0 +1,82 @@
+// P8 / E3 — tree-projection search: cost of finding D'' ∈ TP(D', D) on
+// n-rings with arc hosts (the §3.2 example generalized), and verification
+// cost.
+
+#include <benchmark/benchmark.h>
+
+#include "query/tree_projection.h"
+#include "schema/generators.h"
+
+namespace gyo {
+namespace {
+
+// An n-ring with two overlapping arc hosts (always admits a projection).
+struct RingInstance {
+  DatabaseSchema d;
+  DatabaseSchema dp;
+};
+
+RingInstance TwoArcRing(int n) {
+  RingInstance out;
+  out.d = Aring(n);
+  AttrSet arc1;
+  AttrSet arc2;
+  for (int i = 0; i <= n / 2; ++i) arc1.Insert(i);
+  for (int i = n / 2; i <= n; ++i) arc2.Insert(i % n);
+  out.dp.Add(arc1);
+  out.dp.Add(arc2);
+  return out;
+}
+
+// An n-ring hosted only by itself (no projection exists).
+void BM_TP_Search_TwoArcRing(benchmark::State& state) {
+  RingInstance inst = TwoArcRing(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindTreeProjection(inst.dp, inst.d));
+  }
+}
+BENCHMARK(BM_TP_Search_TwoArcRing)->DenseRange(4, 12, 2);
+
+void BM_TP_Search_RingNoProjection(benchmark::State& state) {
+  DatabaseSchema d = Aring(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindTreeProjection(d, d));
+  }
+}
+BENCHMARK(BM_TP_Search_RingNoProjection)->DenseRange(4, 12, 2);
+
+// Four arc hosts: a larger pool and deeper cover search.
+void BM_TP_Search_FourArcRing(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  DatabaseSchema d = Aring(n);
+  DatabaseSchema dp;
+  int quarter = n / 4;
+  for (int q = 0; q < 4; ++q) {
+    AttrSet arc;
+    for (int i = q * quarter; i <= (q + 1) * quarter; ++i) {
+      arc.Insert(i % n);
+    }
+    // Close the last arc back to 0.
+    if (q == 3) {
+      for (int i = 3 * quarter; i <= n; ++i) arc.Insert(i % n);
+    }
+    dp.Add(arc);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindTreeProjection(dp, d));
+  }
+}
+BENCHMARK(BM_TP_Search_FourArcRing)->DenseRange(8, 12, 4);
+
+void BM_TP_Verify(benchmark::State& state) {
+  RingInstance inst = TwoArcRing(static_cast<int>(state.range(0)));
+  TreeProjectionResult r = FindTreeProjection(inst.dp, inst.d);
+  DatabaseSchema dpp = *r.projection;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsTreeProjection(dpp, inst.dp, inst.d));
+  }
+}
+BENCHMARK(BM_TP_Verify)->DenseRange(4, 12, 4);
+
+}  // namespace
+}  // namespace gyo

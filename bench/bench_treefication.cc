@@ -1,0 +1,74 @@
+// P7 / E8 — fixed treefication (NP-complete, Theorem 4.2): the exact solver
+// vs the first-fit-decreasing heuristic on Bin-Packing-derived Aclique
+// schemas, plus the bin-packing oracle itself.
+
+#include <benchmark/benchmark.h>
+
+#include "query/treefication.h"
+#include "schema/generators.h"
+
+namespace gyo {
+namespace {
+
+// items × size-3 Acliques, capacity fits two items per bin.
+BinPackingInstance TwoPerBin(int items) {
+  BinPackingInstance inst;
+  for (int i = 0; i < items; ++i) inst.sizes.push_back(3);
+  inst.capacity = 6;
+  inst.bins = (items + 1) / 2;
+  return inst;
+}
+
+void BM_Treefication_FFD(benchmark::State& state) {
+  BinPackingInstance inst = TwoPerBin(static_cast<int>(state.range(0)));
+  DatabaseSchema d = BinPackingToSchema(inst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        FixedTreeficationFFD(d, inst.bins, inst.capacity));
+  }
+}
+BENCHMARK(BM_Treefication_FFD)->DenseRange(2, 10, 2);
+
+void BM_Treefication_ExactFeasible(benchmark::State& state) {
+  // Feasible instances: FFD short-circuits, so this measures the fast path
+  // of the exact API.
+  BinPackingInstance inst = TwoPerBin(static_cast<int>(state.range(0)));
+  DatabaseSchema d = BinPackingToSchema(inst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FixedTreefication(d, inst.bins, inst.capacity));
+  }
+}
+BENCHMARK(BM_Treefication_ExactFeasible)->DenseRange(2, 6, 2);
+
+void BM_Treefication_ExactInfeasible(benchmark::State& state) {
+  // Infeasible: one bin too few — forces the full exponential search.
+  int items = static_cast<int>(state.range(0));
+  BinPackingInstance inst = TwoPerBin(items);
+  inst.bins -= 1;
+  DatabaseSchema d = BinPackingToSchema(inst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FixedTreefication(d, inst.bins, inst.capacity));
+  }
+}
+BENCHMARK(BM_Treefication_ExactInfeasible)->DenseRange(2, 3, 1);
+
+void BM_Treefication_ExactRing(benchmark::State& state) {
+  // The 6-ring split across two size-4 relations: FFD cannot find it (the
+  // ring is one component of size 6 > 4), so the exact search runs.
+  DatabaseSchema d = Aring(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FixedTreefication(d, 2, 4));
+  }
+}
+BENCHMARK(BM_Treefication_ExactRing)->DenseRange(4, 7, 1);
+
+void BM_BinPackingOracle(benchmark::State& state) {
+  BinPackingInstance inst = TwoPerBin(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveBinPackingExact(inst));
+  }
+}
+BENCHMARK(BM_BinPackingOracle)->DenseRange(2, 12, 2);
+
+}  // namespace
+}  // namespace gyo

@@ -1,0 +1,142 @@
+// P6 ablation — Yannakakis options: full reducer on/off × early projection
+// on/off.
+//
+// Three workloads isolate the effects:
+//  * Star/payload: early projection is decisive (it drops payload columns
+//    before they multiply); the reducer alone cannot help.
+//  * Dead-end path with X = U(D): projection is a no-op, and the reducer is
+//    decisive — it propagates an empty relation across the tree before any
+//    join is attempted.
+//  * UR path: on UR (globally consistent) data semijoins never prune, so the
+//    reducer is pure overhead — the §4 point that full reduction is a
+//    *non-UR* tool.
+
+#include <benchmark/benchmark.h>
+
+#include "rel/ops.h"
+#include "rel/solver.h"
+#include "rel/universal.h"
+#include "schema/generators.h"
+#include "util/rng.h"
+
+namespace gyo {
+namespace {
+
+// --- Workload 1: star with payload columns (projection matters). ---
+
+std::vector<Relation> PayloadStarData(int leaves, int rows, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Relation> states;
+  for (int leaf = 1; leaf <= leaves; ++leaf) {
+    Relation rel(AttrSet{0, leaf});
+    for (int k = 0; k < rows; ++k) {
+      rel.AddRow({static_cast<Value>(rng.Below(64)),
+                  static_cast<Value>(rng.Below(1 << 20))});
+    }
+    rel.Canonicalize();
+    states.push_back(std::move(rel));
+  }
+  return states;
+}
+
+void RunStar(benchmark::State& state, bool reduce, bool project) {
+  int leaves = static_cast<int>(state.range(0));
+  DatabaseSchema d = StarSchema(leaves);
+  AttrSet x{0};
+  Program p = *YannakakisProgram(d, x, YannakakisOptions{reduce, project});
+  std::vector<Relation> states = PayloadStarData(leaves, 512, 23);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.Run(states));
+  }
+}
+
+void BM_Star_NoReduce_NoProject(benchmark::State& s) { RunStar(s, false, false); }
+void BM_Star_Reduce_NoProject(benchmark::State& s) { RunStar(s, true, false); }
+void BM_Star_NoReduce_Project(benchmark::State& s) { RunStar(s, false, true); }
+void BM_Star_Reduce_Project(benchmark::State& s) { RunStar(s, true, true); }
+
+// Without projection the payload fanout multiplies per leaf (reduced or
+// not): keep those ranges small.
+BENCHMARK(BM_Star_NoReduce_NoProject)->DenseRange(2, 4, 1);
+BENCHMARK(BM_Star_Reduce_NoProject)->DenseRange(2, 4, 1);
+BENCHMARK(BM_Star_NoReduce_Project)->RangeMultiplier(2)->Range(2, 16);
+BENCHMARK(BM_Star_Reduce_Project)->RangeMultiplier(2)->Range(2, 16);
+
+// --- Workload 2: dead-end path, X = U(D) (reduction matters). ---
+
+// Dense edge relations except the first, which is empty (the join order
+// starts from the far end of the path): the join result is empty, but an
+// unreduced join walks into a growing intermediate before discovering that.
+std::vector<Relation> DeadEndPathData(int n, int rows, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Relation> states;
+  for (int i = 0; i < n; ++i) {
+    Relation rel(AttrSet{i, i + 1});
+    if (i > 0) {
+      for (int k = 0; k < rows; ++k) {
+        rel.AddRow({static_cast<Value>(rng.Below(16)),
+                    static_cast<Value>(rng.Below(16))});
+      }
+    }
+    rel.Canonicalize();
+    states.push_back(std::move(rel));
+  }
+  return states;
+}
+
+void RunDeadEnd(benchmark::State& state, bool reduce) {
+  int n = static_cast<int>(state.range(0));
+  DatabaseSchema d = PathSchema(n + 1);
+  AttrSet x = d.Universe();  // projection cannot drop anything
+  Program p = *YannakakisProgram(d, x, YannakakisOptions{reduce, true});
+  std::vector<Relation> states = DeadEndPathData(n, 128, 31);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.Run(states));
+  }
+}
+
+void BM_DeadEndPath_NoReduce(benchmark::State& s) { RunDeadEnd(s, false); }
+void BM_DeadEndPath_Reduce(benchmark::State& s) { RunDeadEnd(s, true); }
+
+BENCHMARK(BM_DeadEndPath_NoReduce)->DenseRange(2, 5, 1);
+BENCHMARK(BM_DeadEndPath_Reduce)->RangeMultiplier(2)->Range(2, 16);
+
+// --- Workload 3: UR path (reduction is pure overhead on consistent data). ---
+
+void RunURPath(benchmark::State& state, bool reduce, bool project) {
+  int n = static_cast<int>(state.range(0));
+  DatabaseSchema d = PathSchema(n + 1);
+  AttrSet x{0, n};
+  Program p = *YannakakisProgram(d, x, YannakakisOptions{reduce, project});
+  Rng rng(29);
+  Relation universal = RandomUniversal(d.Universe(), 256, 4096, rng);
+  std::vector<Relation> states = ProjectDatabase(universal, d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.Run(states));
+  }
+}
+
+void BM_URPath_NoReduce_Project(benchmark::State& s) { RunURPath(s, false, true); }
+void BM_URPath_Reduce_Project(benchmark::State& s) { RunURPath(s, true, true); }
+
+BENCHMARK(BM_URPath_NoReduce_Project)->RangeMultiplier(2)->Range(2, 16);
+BENCHMARK(BM_URPath_Reduce_Project)->RangeMultiplier(2)->Range(2, 16);
+
+// Plan construction cost itself (schema-level work only).
+void BM_PlanConstruction_Yannakakis(benchmark::State& state) {
+  Rng rng(static_cast<uint64_t>(state.range(0)) + 41);
+  DatabaseSchema d =
+      RandomTreeSchema(static_cast<int>(state.range(0)), 4, rng).schema;
+  AttrSet x;
+  int k = 0;
+  d.Universe().ForEach([&](AttrId a) {
+    if (k++ % 4 == 0) x.Insert(a);
+  });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(YannakakisProgram(d, x));
+  }
+}
+BENCHMARK(BM_PlanConstruction_Yannakakis)->RangeMultiplier(4)->Range(8, 512);
+
+}  // namespace
+}  // namespace gyo

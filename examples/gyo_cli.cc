@@ -1,0 +1,154 @@
+// gyo_cli: a command-line front end to the library's decision procedures.
+//
+//   gyo_cli classify "ab,bc,cd"            tree/cyclic + qual tree
+//   gyo_cli reduce   "abc,ab,bc" [sacred]  the GYO reduction GR(D, X)
+//   gyo_cli cc       "abg,bcg,acf,ad,de,ea" abc    canonical connection
+//   gyo_cli lossless "abc,ab,bc" "ab,bc"   decide ⋈D ⊨ ⋈D'
+//   gyo_cli gamma    "abc,ab,bc"           γ-acyclicity + witness
+//   gyo_cli treefy   "ab,bc,cd,da" K B     fixed treefication
+//   gyo_cli dot      "ab,bc,cd"            qual tree in Graphviz dot
+//
+// Schemas use the paper's notation: relations separated by commas; either
+// one-letter attributes ("ab,bc") or space-separated names inside a
+// relation ("part supplier, supplier city").
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "gyo/acyclic.h"
+#include "gyo/gamma.h"
+#include "gyo/gyo.h"
+#include "gyo/qual_graph.h"
+#include "query/lossless.h"
+#include "query/treefication.h"
+#include "schema/catalog.h"
+#include "schema/parse.h"
+#include "tableau/canonical.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: gyo_cli <classify|reduce|cc|lossless|gamma|treefy|dot>"
+               " <schema> [args...]\n");
+  return 2;
+}
+
+int Classify(gyo::Catalog& catalog, const gyo::DatabaseSchema& d) {
+  if (gyo::IsTreeSchema(d)) {
+    auto tree = gyo::BuildJoinTree(d);
+    std::printf("tree schema; qual tree: %s\n",
+                tree->Format(d, catalog).c_str());
+  } else {
+    std::printf("cyclic schema; least treefying relation: %s\n",
+                catalog.Format(gyo::TreefyingRelation(d)).c_str());
+  }
+  return 0;
+}
+
+int Reduce(gyo::Catalog& catalog, const gyo::DatabaseSchema& d,
+           const char* sacred_spec) {
+  gyo::AttrSet sacred;
+  if (sacred_spec != nullptr) {
+    sacred = gyo::ParseAttrSet(catalog, sacred_spec);
+  }
+  gyo::GyoResult r = gyo::GyoReduceFast(d, sacred);
+  std::printf("GR(D%s%s) = %s\n", sacred_spec != nullptr ? ", " : "",
+              sacred_spec != nullptr ? catalog.Format(sacred).c_str() : "",
+              r.reduced.Format(catalog).c_str());
+  std::printf("%zu operations; survivors of original relations:",
+              r.trace.size());
+  for (int s : r.survivors) std::printf(" R%d", s);
+  std::printf("\n");
+  return 0;
+}
+
+int CanonicalCmd(gyo::Catalog& catalog, const gyo::DatabaseSchema& d,
+                 const char* target) {
+  gyo::AttrSet x = gyo::ParseAttrSet(catalog, target);
+  gyo::CanonicalResult cc = gyo::CanonicalConnection(d, x);
+  std::printf("CC(D, %s) = %s  [%s]\n", catalog.Format(x).c_str(),
+              cc.schema.Format(catalog).c_str(),
+              cc.used_fast_path ? "GYO fast path" : "tableau minimization");
+  for (int i = 0; i < cc.schema.NumRelations(); ++i) {
+    std::printf("  %s  from R%d\n", catalog.Format(cc.schema[i]).c_str(),
+                cc.sources[static_cast<size_t>(i)]);
+  }
+  return 0;
+}
+
+int Lossless(gyo::Catalog& catalog, const gyo::DatabaseSchema& d,
+             const char* dprime_spec) {
+  gyo::DatabaseSchema dprime = gyo::ParseSchema(catalog, dprime_spec);
+  if (!dprime.CoveredBy(d)) {
+    std::fprintf(stderr, "error: D' must satisfy D' <= D\n");
+    return 1;
+  }
+  bool implied = gyo::JoinDependencyImplies(d, dprime);
+  std::printf("join D |= join D': %s\n", implied ? "yes" : "NO (lossy)");
+  return implied ? 0 : 1;
+}
+
+int Gamma(gyo::Catalog& catalog, const gyo::DatabaseSchema& d) {
+  bool acyclic = gyo::IsGammaAcyclic(d);
+  std::printf("gamma-acyclic: %s\n", acyclic ? "yes" : "no");
+  if (!acyclic) {
+    if (auto cycle = gyo::FindWeakGammaCycle(d)) {
+      std::printf("gamma-cycle:");
+      gyo::DatabaseSchema dd = gyo::Deduplicate(d);
+      for (size_t i = 0; i < cycle->relations.size(); ++i) {
+        std::printf(" %s -[%s]-",
+                    catalog.Format(dd[cycle->relations[i]]).c_str(),
+                    catalog.Name(cycle->attributes[i]).c_str());
+      }
+      std::printf(" (back to start)\n");
+    }
+  }
+  return 0;
+}
+
+int Treefy(gyo::Catalog& catalog, const gyo::DatabaseSchema& d, int k, int b) {
+  gyo::TreeficationResult r = gyo::FixedTreefication(d, k, b);
+  if (r.feasible) {
+    std::printf("feasible; add:");
+    for (const gyo::AttrSet& s : r.added) {
+      std::printf(" %s", catalog.Format(s).c_str());
+    }
+    std::printf("\n");
+    return 0;
+  }
+  std::printf("infeasible%s\n",
+              r.exhausted ? " (search budget exhausted: inconclusive)" : "");
+  return 1;
+}
+
+int Dot(gyo::Catalog& catalog, const gyo::DatabaseSchema& d) {
+  auto tree = gyo::BuildJoinTree(d);
+  if (!tree.has_value()) {
+    std::fprintf(stderr, "error: cyclic schema has no qual tree\n");
+    return 1;
+  }
+  std::printf("%s", tree->ToDot(d, catalog).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  gyo::Catalog catalog;
+  gyo::DatabaseSchema d = gyo::ParseSchema(catalog, argv[2]);
+  const std::string cmd = argv[1];
+  if (cmd == "classify") return Classify(catalog, d);
+  if (cmd == "reduce") return Reduce(catalog, d, argc > 3 ? argv[3] : nullptr);
+  if (cmd == "cc" && argc > 3) return CanonicalCmd(catalog, d, argv[3]);
+  if (cmd == "lossless" && argc > 3) return Lossless(catalog, d, argv[3]);
+  if (cmd == "gamma") return Gamma(catalog, d);
+  if (cmd == "treefy" && argc > 4) {
+    return Treefy(catalog, d, std::atoi(argv[3]), std::atoi(argv[4]));
+  }
+  if (cmd == "dot") return Dot(catalog, d);
+  return Usage();
+}

@@ -1,0 +1,161 @@
+#include "gyo/acyclic.h"
+
+#include <vector>
+
+#include "gyo/gyo.h"
+#include "util/check.h"
+
+namespace gyo {
+
+bool IsTreeSchema(const DatabaseSchema& d) {
+  return GyoReduceFast(d).FullyReduced();
+}
+
+AttrSet TreefyingRelation(const DatabaseSchema& d) {
+  return GyoReduceFast(d).reduced.Universe();
+}
+
+bool IsAring(const DatabaseSchema& d) {
+  const int n = d.NumRelations();
+  if (n < 3) return false;
+  AttrSet universe = d.Universe();
+  if (universe.Size() != n) return false;
+  // Every relation must be binary; every attribute must occur exactly twice;
+  // and the resulting 2-regular graph must be a single cycle.
+  std::vector<AttrId> attrs = universe.ToVector();
+  for (int i = 0; i < n; ++i) {
+    if (d[i].Size() != 2) return false;
+  }
+  // Build attribute adjacency: attributes are vertices, relations are edges.
+  // A single simple cycle through all n vertices means: connected and every
+  // vertex has degree exactly 2, with no repeated edges.
+  std::vector<std::vector<int>> incident(attrs.size());
+  for (int i = 0; i < n; ++i) {
+    std::vector<AttrId> pair = d[i].ToVector();
+    for (AttrId a : pair) {
+      for (size_t k = 0; k < attrs.size(); ++k) {
+        if (attrs[k] == a) incident[k].push_back(i);
+      }
+    }
+  }
+  for (const auto& inc : incident) {
+    if (inc.size() != 2) return false;
+  }
+  // No duplicate relations (would be a multi-edge).
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (d[i] == d[j]) return false;
+    }
+  }
+  // Walk the cycle from relation 0 and count distinct relations visited.
+  int visited = 0;
+  int prev_attr = -1;
+  int cur_rel = 0;
+  AttrId cur_attr = d[0].Min();
+  (void)prev_attr;
+  std::vector<bool> seen(static_cast<size_t>(n), false);
+  while (!seen[static_cast<size_t>(cur_rel)]) {
+    seen[static_cast<size_t>(cur_rel)] = true;
+    ++visited;
+    // Move across cur_rel to its other attribute, then to the other relation
+    // incident to that attribute.
+    AttrSet rest = d[cur_rel];
+    rest.Erase(cur_attr);
+    if (rest.Size() != 1) return false;
+    AttrId next_attr = rest.Min();
+    int next_rel = -1;
+    for (size_t k = 0; k < attrs.size(); ++k) {
+      if (attrs[k] == next_attr) {
+        for (int r : incident[k]) {
+          if (r != cur_rel) next_rel = r;
+        }
+      }
+    }
+    if (next_rel < 0) return false;
+    cur_attr = next_attr;
+    cur_rel = next_rel;
+  }
+  return visited == n;
+}
+
+bool IsAclique(const DatabaseSchema& d) {
+  const int n = d.NumRelations();
+  if (n < 3) return false;
+  AttrSet universe = d.Universe();
+  if (universe.Size() != n) return false;
+  std::vector<AttrId> attrs = universe.ToVector();
+  // Each attribute must be missing from exactly one relation, and every
+  // relation must miss exactly one attribute, bijectively.
+  std::vector<bool> attr_used(attrs.size(), false);
+  std::vector<bool> rel_used(static_cast<size_t>(n), false);
+  for (size_t k = 0; k < attrs.size(); ++k) {
+    AttrSet expected = universe;
+    expected.Erase(attrs[k]);
+    bool matched = false;
+    for (int i = 0; i < n; ++i) {
+      if (!rel_used[static_cast<size_t>(i)] && d[i] == expected) {
+        rel_used[static_cast<size_t>(i)] = true;
+        attr_used[k] = true;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return false;
+  }
+  return true;
+}
+
+std::optional<CyclicCore> FindCyclicCore(const DatabaseSchema& d,
+                                         int max_universe) {
+  if (IsTreeSchema(d)) return std::nullopt;
+  std::vector<AttrId> attrs = d.Universe().ToVector();
+  const int m = static_cast<int>(attrs.size());
+  GYO_CHECK_MSG(m <= max_universe,
+                "FindCyclicCore: universe too large (%d attributes)", m);
+
+  auto try_x = [&](const AttrSet& x) -> std::optional<CyclicCore> {
+    DatabaseSchema core = d.DeleteAttributes(x).Reduction();
+    // Drop a possible lone empty relation left by the reduction.
+    DatabaseSchema cleaned;
+    for (const RelationSchema& r : core.Relations()) {
+      if (!r.Empty()) cleaned.Add(r);
+    }
+    bool ring = IsAring(cleaned);
+    bool clique = IsAclique(cleaned);
+    if (!ring && !clique) return std::nullopt;
+    return CyclicCore{x, cleaned, ring, clique};
+  };
+
+  // Enumerate X by increasing cardinality so the first witness is minimal.
+  for (int size = 0; size <= m; ++size) {
+    // Enumerate all size-`size` subsets of attrs with an index vector.
+    std::vector<int> idx(static_cast<size_t>(size));
+    for (int i = 0; i < size; ++i) idx[static_cast<size_t>(i)] = i;
+    while (true) {
+      AttrSet x;
+      for (int i : idx) x.Insert(attrs[static_cast<size_t>(i)]);
+      if (auto core = try_x(x)) return core;
+      // Next combination.
+      int pos = size - 1;
+      while (pos >= 0 &&
+             idx[static_cast<size_t>(pos)] == m - size + pos) {
+        --pos;
+      }
+      if (pos < 0) break;
+      ++idx[static_cast<size_t>(pos)];
+      for (int i = pos + 1; i < size; ++i) {
+        idx[static_cast<size_t>(i)] = idx[static_cast<size_t>(i - 1)] + 1;
+      }
+      if (size == 0) break;
+    }
+    if (size == 0) {
+      // The empty-set combination loop above runs exactly once.
+      continue;
+    }
+  }
+  // Lemma 3.1 guarantees a witness exists for cyclic schemas.
+  GYO_CHECK_MSG(false, "Lemma 3.1 witness not found for a cyclic schema");
+  return std::nullopt;
+}
+
+}  // namespace gyo

@@ -1,0 +1,52 @@
+#ifndef GYO_GYO_ACYCLIC_H_
+#define GYO_GYO_ACYCLIC_H_
+
+#include <optional>
+
+#include "schema/schema.h"
+#include "util/attr_set.h"
+
+namespace gyo {
+
+/// True iff `d` is a tree schema (some qual graph is a tree). Implemented via
+/// Corollary 3.1: D is a tree schema iff GR(D) = ∅ (the GYO reduction with no
+/// sacred attributes eliminates everything). The empty schema is a tree.
+bool IsTreeSchema(const DatabaseSchema& d);
+
+/// True iff `d` is a cyclic schema.
+inline bool IsCyclicSchema(const DatabaseSchema& d) { return !IsTreeSchema(d); }
+
+/// The relation schema of least cardinality whose addition to `d` makes it a
+/// tree schema: U(GR(D)) (Corollary 3.2). Returns ∅ when `d` is already a
+/// tree schema.
+AttrSet TreefyingRelation(const DatabaseSchema& d);
+
+/// True iff `d` is (isomorphic by attribute reordering to) an Aring of size
+/// n >= 3: n binary relations forming a single simple cycle covering n
+/// attributes (§3.1).
+bool IsAring(const DatabaseSchema& d);
+
+/// True iff `d` is an Aclique of size n >= 3: with |U| = n, the n relations
+/// are exactly {U − {A} | A ∈ U} (§3.1).
+bool IsAclique(const DatabaseSchema& d);
+
+/// A Lemma 3.1 witness: deleting `deleted` from every relation of D and
+/// reducing yields `core`, an Aring or Aclique.
+struct CyclicCore {
+  AttrSet deleted;
+  DatabaseSchema core;
+  bool is_aring = false;
+  bool is_aclique = false;
+};
+
+/// Searches for a Lemma 3.1 witness: X ⊆ U(D) such that the reduction of
+/// (R − X | R ∈ D) is an Aring or Aclique. By Lemma 3.1 a witness exists iff
+/// `d` is cyclic. The search enumerates candidate X by increasing size and is
+/// exponential in |U(D)|; it dies if |U(D)| > max_universe. Returns nullopt
+/// for tree schemas.
+std::optional<CyclicCore> FindCyclicCore(const DatabaseSchema& d,
+                                         int max_universe = 22);
+
+}  // namespace gyo
+
+#endif  // GYO_GYO_ACYCLIC_H_

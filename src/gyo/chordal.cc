@@ -1,0 +1,156 @@
+#include "gyo/chordal.h"
+
+#include <vector>
+
+#include "util/attr_set.h"
+#include "util/check.h"
+
+namespace gyo {
+
+namespace {
+
+// Dense primal graph over compacted attribute indices.
+struct PrimalGraph {
+  std::vector<AttrId> attrs;               // index -> attribute id
+  std::vector<int> index_of;               // attribute id -> index
+  std::vector<std::vector<bool>> adjacent; // symmetric, no self loops
+
+  explicit PrimalGraph(const DatabaseSchema& d) {
+    AttrSet universe = d.Universe();
+    attrs = universe.ToVector();
+    int max_id = attrs.empty() ? 0 : attrs.back() + 1;
+    index_of.assign(static_cast<size_t>(max_id), -1);
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      index_of[static_cast<size_t>(attrs[i])] = static_cast<int>(i);
+    }
+    adjacent.assign(attrs.size(), std::vector<bool>(attrs.size(), false));
+    for (const RelationSchema& r : d.Relations()) {
+      std::vector<AttrId> members = r.ToVector();
+      for (size_t a = 0; a < members.size(); ++a) {
+        for (size_t b = a + 1; b < members.size(); ++b) {
+          int ia = index_of[static_cast<size_t>(members[a])];
+          int ib = index_of[static_cast<size_t>(members[b])];
+          adjacent[static_cast<size_t>(ia)][static_cast<size_t>(ib)] = true;
+          adjacent[static_cast<size_t>(ib)][static_cast<size_t>(ia)] = true;
+        }
+      }
+    }
+  }
+
+  int size() const { return static_cast<int>(attrs.size()); }
+};
+
+// Maximum cardinality search: returns vertices in selection order.
+std::vector<int> McsOrder(const PrimalGraph& g) {
+  const int m = g.size();
+  std::vector<int> weight(static_cast<size_t>(m), 0);
+  std::vector<bool> numbered(static_cast<size_t>(m), false);
+  std::vector<int> order;
+  order.reserve(static_cast<size_t>(m));
+  for (int step = 0; step < m; ++step) {
+    int best = -1;
+    for (int v = 0; v < m; ++v) {
+      if (numbered[static_cast<size_t>(v)]) continue;
+      if (best == -1 ||
+          weight[static_cast<size_t>(v)] > weight[static_cast<size_t>(best)]) {
+        best = v;
+      }
+    }
+    numbered[static_cast<size_t>(best)] = true;
+    order.push_back(best);
+    for (int v = 0; v < m; ++v) {
+      if (!numbered[static_cast<size_t>(v)] &&
+          g.adjacent[static_cast<size_t>(best)][static_cast<size_t>(v)]) {
+        ++weight[static_cast<size_t>(v)];
+      }
+    }
+  }
+  return order;
+}
+
+// Chordality test plus clique-candidate extraction. For each vertex v_i the
+// candidate clique is {v_i} ∪ (earlier-selected neighbours of v_i); the
+// graph is chordal iff every candidate is in fact a clique — checked by the
+// standard parent test.
+bool McsChordalAndCliques(const PrimalGraph& g,
+                          std::vector<AttrSet>* cliques) {
+  const int m = g.size();
+  std::vector<int> order = McsOrder(g);
+  std::vector<int> position(static_cast<size_t>(m), -1);
+  for (int i = 0; i < m; ++i) {
+    position[static_cast<size_t>(order[static_cast<size_t>(i)])] = i;
+  }
+  bool chordal = true;
+  if (cliques != nullptr) cliques->clear();
+  for (int i = 0; i < m; ++i) {
+    int v = order[static_cast<size_t>(i)];
+    // Earlier-selected neighbours of v.
+    std::vector<int> prev;
+    for (int u = 0; u < m; ++u) {
+      if (g.adjacent[static_cast<size_t>(v)][static_cast<size_t>(u)] &&
+          position[static_cast<size_t>(u)] < i) {
+        prev.push_back(u);
+      }
+    }
+    if (cliques != nullptr) {
+      AttrSet k;
+      k.Insert(g.attrs[static_cast<size_t>(v)]);
+      for (int u : prev) k.Insert(g.attrs[static_cast<size_t>(u)]);
+      cliques->push_back(k);
+    }
+    if (prev.empty()) continue;
+    // Parent: the most recently selected earlier neighbour.
+    int parent = prev[0];
+    for (int u : prev) {
+      if (position[static_cast<size_t>(u)] >
+          position[static_cast<size_t>(parent)]) {
+        parent = u;
+      }
+    }
+    for (int u : prev) {
+      if (u == parent) continue;
+      if (!g.adjacent[static_cast<size_t>(parent)][static_cast<size_t>(u)]) {
+        chordal = false;
+      }
+    }
+  }
+  return chordal;
+}
+
+bool CliquesCovered(const DatabaseSchema& d,
+                    const std::vector<AttrSet>& cliques) {
+  for (const AttrSet& k : cliques) {
+    bool covered = false;
+    for (const RelationSchema& r : d.Relations()) {
+      if (k.IsSubsetOf(r)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool PrimalGraphIsChordal(const DatabaseSchema& d) {
+  PrimalGraph g(d);
+  return McsChordalAndCliques(g, nullptr);
+}
+
+bool IsConformal(const DatabaseSchema& d) {
+  PrimalGraph g(d);
+  std::vector<AttrSet> cliques;
+  McsChordalAndCliques(g, &cliques);
+  return CliquesCovered(d, cliques);
+}
+
+bool IsTreeSchemaViaChordality(const DatabaseSchema& d) {
+  PrimalGraph g(d);
+  std::vector<AttrSet> cliques;
+  bool chordal = McsChordalAndCliques(g, &cliques);
+  return chordal && CliquesCovered(d, cliques);
+}
+
+}  // namespace gyo

@@ -1,0 +1,31 @@
+#ifndef GYO_GYO_CHORDAL_H_
+#define GYO_GYO_CHORDAL_H_
+
+#include "schema/schema.h"
+
+namespace gyo {
+
+/// A third, independent decision procedure for tree schemas, via the classic
+/// graph-theoretic characterization (Beeri–Fagin–Maier–Yannakakis, cited as
+/// [3,4] in the paper): D is a tree (acyclic) schema iff its *primal graph*
+/// (attributes as vertices, an edge when two attributes co-occur in a
+/// relation) is chordal AND every maximal clique of the primal graph is
+/// contained in some relation schema (conformality).
+///
+/// Used to cross-validate the GYO (Cor 3.1) and Maier spanning-tree tests,
+/// and benchmarked against them in bench_acyclicity (P2). Runs maximum
+/// cardinality search for the chordality test.
+bool IsTreeSchemaViaChordality(const DatabaseSchema& d);
+
+/// True iff the primal graph of `d` is chordal (every cycle of length >= 4
+/// has a chord).
+bool PrimalGraphIsChordal(const DatabaseSchema& d);
+
+/// True iff `d` is conformal: every clique of the primal graph lies inside
+/// some relation schema. Only meaningful combined with chordality; for
+/// non-chordal primal graphs this checks the MCS clique candidates.
+bool IsConformal(const DatabaseSchema& d);
+
+}  // namespace gyo
+
+#endif  // GYO_GYO_CHORDAL_H_

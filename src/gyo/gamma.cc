@@ -1,0 +1,179 @@
+#include "gyo/gamma.h"
+
+#include <vector>
+
+#include "gyo/acyclic.h"
+#include "gyo/qual_graph.h"
+#include "util/check.h"
+
+namespace gyo {
+
+DatabaseSchema Deduplicate(const DatabaseSchema& d) {
+  DatabaseSchema out;
+  for (const RelationSchema& r : d.Relations()) {
+    if (!out.ContainsRelation(r)) out.Add(r);
+  }
+  return out;
+}
+
+namespace {
+
+// True iff relations i and j of `rels` are connected through schemas with
+// the attribute set `deleted` removed (BFS over shared attributes).
+bool ConnectedAfterDeletion(const std::vector<RelationSchema>& rels, int i,
+                            int j, const AttrSet& deleted) {
+  const int n = static_cast<int>(rels.size());
+  std::vector<AttrSet> cut(rels.size());
+  for (int k = 0; k < n; ++k) {
+    cut[static_cast<size_t>(k)] = rels[static_cast<size_t>(k)].Minus(deleted);
+  }
+  if (cut[static_cast<size_t>(i)].Empty()) return false;
+  std::vector<bool> seen(rels.size(), false);
+  std::vector<int> queue = {i};
+  seen[static_cast<size_t>(i)] = true;
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    int u = queue[qi];
+    if (u == j) return true;
+    for (int v = 0; v < n; ++v) {
+      if (seen[static_cast<size_t>(v)]) continue;
+      if (cut[static_cast<size_t>(u)].Intersects(cut[static_cast<size_t>(v)])) {
+        seen[static_cast<size_t>(v)] = true;
+        queue.push_back(v);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsGammaAcyclic(const DatabaseSchema& d) {
+  DatabaseSchema dd = Deduplicate(d);
+  const std::vector<RelationSchema>& rels = dd.Relations();
+  const int n = dd.NumRelations();
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      AttrSet x = rels[static_cast<size_t>(i)].Intersect(
+          rels[static_cast<size_t>(j)]);
+      if (x.Empty()) continue;
+      if (ConnectedAfterDeletion(rels, i, j, x)) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// DFS for a γ-cycle: grows a path of distinct relations joined by distinct
+// attributes and tries to close it back to the first relation. On closing,
+// the locality condition is checked: every path attribute (all Ai with
+// i < m) must avoid every cycle relation other than its own two endpoints.
+struct GammaSearch {
+  const std::vector<RelationSchema>* rels;
+  int n = 0;
+  std::vector<int> path;
+  std::vector<AttrId> attrs;
+  std::vector<bool> used_rels;
+  AttrSet used_attrs;
+
+  bool LocalityHolds() const {
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+      for (size_t j = 0; j < path.size(); ++j) {
+        if (j == i || j == i + 1) continue;
+        if ((*rels)[static_cast<size_t>(path[j])].Contains(attrs[i])) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  bool Dfs(int cur) {
+    if (path.size() >= 3) {
+      AttrSet closing = (*rels)[static_cast<size_t>(cur)]
+                            .Intersect((*rels)[static_cast<size_t>(path[0])])
+                            .Minus(used_attrs);
+      bool closed = false;
+      closing.ForEach([&](AttrId am) {
+        if (closed) return;
+        attrs.push_back(am);
+        if (LocalityHolds()) {
+          closed = true;
+        } else {
+          attrs.pop_back();
+        }
+      });
+      if (closed) return true;
+    }
+    bool found = false;
+    AttrSet candidates = (*rels)[static_cast<size_t>(cur)].Minus(used_attrs);
+    candidates.ForEach([&](AttrId a) {
+      if (found) return;
+      for (int next = 0; next < n && !found; ++next) {
+        if (used_rels[static_cast<size_t>(next)] ||
+            !(*rels)[static_cast<size_t>(next)].Contains(a)) {
+          continue;
+        }
+        used_rels[static_cast<size_t>(next)] = true;
+        used_attrs.Insert(a);
+        path.push_back(next);
+        attrs.push_back(a);
+        if (Dfs(next)) {
+          found = true;
+        } else {
+          path.pop_back();
+          attrs.pop_back();
+          used_attrs.Erase(a);
+          used_rels[static_cast<size_t>(next)] = false;
+        }
+      }
+    });
+    return found;
+  }
+};
+
+}  // namespace
+
+std::optional<WeakGammaCycle> FindWeakGammaCycle(const DatabaseSchema& d) {
+  DatabaseSchema dd = Deduplicate(d);
+  const std::vector<RelationSchema>& rels = dd.Relations();
+  const int n = dd.NumRelations();
+  GammaSearch search;
+  search.rels = &rels;
+  search.n = n;
+  for (int start = 0; start < n; ++start) {
+    search.path = {start};
+    search.attrs.clear();
+    search.used_rels.assign(static_cast<size_t>(n), false);
+    search.used_rels[static_cast<size_t>(start)] = true;
+    search.used_attrs.Clear();
+    if (search.Dfs(start)) {
+      WeakGammaCycle cycle;
+      cycle.relations = search.path;
+      cycle.attributes = search.attrs;
+      return cycle;
+    }
+  }
+  return std::nullopt;
+}
+
+bool IsGammaAcyclicBySubtrees(const DatabaseSchema& d, int max_relations) {
+  DatabaseSchema dd = Deduplicate(d);
+  const int n = dd.NumRelations();
+  GYO_CHECK_MSG(n <= max_relations,
+                "IsGammaAcyclicBySubtrees: schema too large (%d)", n);
+  if (!IsTreeSchema(dd)) return false;
+  // Every connected sub-schema must be a subtree (Theorem 5.3(iii)).
+  for (uint32_t mask = 1; mask < (uint32_t{1} << n); ++mask) {
+    std::vector<int> indices;
+    for (int i = 0; i < n; ++i) {
+      if ((mask >> i) & 1) indices.push_back(i);
+    }
+    DatabaseSchema sub = dd.Select(indices);
+    if (!sub.IsConnected()) continue;
+    if (!IsSubtree(dd, indices)) return false;
+  }
+  return true;
+}
+
+}  // namespace gyo

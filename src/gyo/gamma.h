@@ -1,0 +1,55 @@
+#ifndef GYO_GYO_GAMMA_H_
+#define GYO_GYO_GAMMA_H_
+
+#include <optional>
+#include <vector>
+
+#include "schema/schema.h"
+#include "util/attr_set.h"
+
+namespace gyo {
+
+/// γ-acyclicity (paper §5.2, after Fagin). A *γ-cycle* is a sequence
+/// (R1, A1, R2, ..., Rm, Am, R1) with m >= 3, distinct relations, distinct
+/// attributes, Ai ∈ Ri ∩ Ri+1 (cyclically), where every Ai except the last
+/// belongs to no relation of the cycle other than Ri and Ri+1 (the standard
+/// definition; see Fagin 1983). D is γ-acyclic iff it has none.
+///
+/// Note on the source text: the paper's scan renders the definition as "A1
+/// is only in R1 and R2, and A2 is only in R2 and R3" with occupancy over the
+/// whole schema. That reading is provably NOT equivalent to the paper's own
+/// characterizations in Theorem 5.3 (counterexample: (bcd, b, cd, acd, abcd)
+/// satisfies it while ⋈D ⊭ ⋈(bcd, acd)), so this module implements the
+/// standard definition, which we cross-validate against characterizations
+/// (ii), (iii) and the semantic property (iv) in the test suite.
+
+/// A γ-cycle witness: attributes[i] ∈ relations[i] ∩ relations[(i+1) % m].
+struct WeakGammaCycle {
+  std::vector<int> relations;     // indices into the (deduplicated) schema
+  std::vector<AttrId> attributes;
+};
+
+/// Decides γ-acyclicity in polynomial time via Theorem 5.3(ii): for every
+/// pair of distinct relation schemas R1, R2 with R1 ∩ R2 ≠ ∅, deleting
+/// R1 ∩ R2 from every relation must disconnect R1 − (R1∩R2) from
+/// R2 − (R1∩R2). Duplicate relation schemas are collapsed first (γ-cycles
+/// are defined over distinct schemas).
+bool IsGammaAcyclic(const DatabaseSchema& d);
+
+/// Searches for a γ-cycle directly from the definition (backtracking;
+/// exponential worst case — intended for cross-validation on small schemas).
+/// Indices refer to the schema with exact-duplicate relations removed,
+/// preserving first-occurrence order.
+std::optional<WeakGammaCycle> FindWeakGammaCycle(const DatabaseSchema& d);
+
+/// Decides γ-acyclicity via Theorem 5.3(iii): D is a tree schema and every
+/// connected D' ⊆ D is a subtree of D. Enumerates all 2^n sub-schemas; dies
+/// if the deduplicated schema has more than max_relations relations.
+bool IsGammaAcyclicBySubtrees(const DatabaseSchema& d, int max_relations = 14);
+
+/// Removes exact-duplicate relation schemas (keeps first occurrences).
+DatabaseSchema Deduplicate(const DatabaseSchema& d);
+
+}  // namespace gyo
+
+#endif  // GYO_GYO_GAMMA_H_

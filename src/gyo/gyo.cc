@@ -1,0 +1,264 @@
+#include "gyo/gyo.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.h"
+
+namespace gyo {
+
+namespace {
+
+// Shared mutable state for a reduction in progress.
+struct ReductionState {
+  std::vector<RelationSchema> rels;
+  std::vector<bool> alive;
+  std::vector<GyoStep> trace;
+
+  explicit ReductionState(const DatabaseSchema& d)
+      : rels(d.Relations()), alive(rels.size(), true) {}
+
+  int NumAttrs() const {
+    AttrSet u;
+    for (const RelationSchema& r : rels) u.UnionWith(r);
+    return u.Empty() ? 0 : u.ToVector().back() + 1;
+  }
+
+  void DeleteAttribute(int rel, AttrId a) {
+    rels[static_cast<size_t>(rel)].Erase(a);
+    trace.push_back(GyoStep{GyoStep::Kind::kAttributeDeletion, rel, a, -1});
+  }
+
+  void EliminateSubset(int rel, int absorber) {
+    alive[static_cast<size_t>(rel)] = false;
+    trace.push_back(
+        GyoStep{GyoStep::Kind::kSubsetElimination, rel, -1, absorber});
+  }
+
+  GyoResult Finish() && {
+    GyoResult out;
+    out.trace = std::move(trace);
+    for (size_t i = 0; i < rels.size(); ++i) {
+      if (alive[i]) {
+        out.reduced.Add(rels[i]);
+        out.survivors.push_back(static_cast<int>(i));
+      }
+    }
+    return out;
+  }
+};
+
+std::vector<int> CountOccurrences(const ReductionState& s, int num_attrs) {
+  std::vector<int> count(static_cast<size_t>(num_attrs), 0);
+  for (size_t i = 0; i < s.rels.size(); ++i) {
+    if (!s.alive[i]) continue;
+    s.rels[i].ForEach([&](AttrId a) { ++count[static_cast<size_t>(a)]; });
+  }
+  return count;
+}
+
+}  // namespace
+
+GyoResult GyoReduce(const DatabaseSchema& d, const AttrSet& sacred) {
+  ReductionState s(d);
+  const int num_attrs = s.NumAttrs();
+  int n = static_cast<int>(s.rels.size());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Phase 1: delete isolated non-sacred attributes. Deleting one cannot
+    // make another attribute isolated, so a single pass with fixed counts is
+    // sound.
+    std::vector<int> count = CountOccurrences(s, num_attrs);
+    for (int i = 0; i < n; ++i) {
+      if (!s.alive[static_cast<size_t>(i)]) continue;
+      for (AttrId a : s.rels[static_cast<size_t>(i)].ToVector()) {
+        if (!sacred.Contains(a) && count[static_cast<size_t>(a)] == 1) {
+          s.DeleteAttribute(i, a);
+          changed = true;
+        }
+      }
+    }
+    // Phase 2: eliminate subsets. For equal relations the higher index is
+    // eliminated, keeping the result deterministic.
+    for (int i = 0; i < n; ++i) {
+      if (!s.alive[static_cast<size_t>(i)]) continue;
+      for (int j = 0; j < n; ++j) {
+        if (i == j || !s.alive[static_cast<size_t>(j)]) continue;
+        const RelationSchema& ri = s.rels[static_cast<size_t>(i)];
+        const RelationSchema& rj = s.rels[static_cast<size_t>(j)];
+        if (ri.IsSubsetOf(rj) && (ri != rj || i > j)) {
+          s.EliminateSubset(i, j);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return std::move(s).Finish();
+}
+
+GyoResult GyoReduceFast(const DatabaseSchema& d, const AttrSet& sacred) {
+  ReductionState s(d);
+  const int num_attrs = s.NumAttrs();
+  const int n = static_cast<int>(s.rels.size());
+
+  // Occurrence lists with lazy deletion, plus live counts.
+  std::vector<std::vector<int>> occ(static_cast<size_t>(num_attrs));
+  std::vector<int> count(static_cast<size_t>(num_attrs), 0);
+  for (int i = 0; i < n; ++i) {
+    s.rels[static_cast<size_t>(i)].ForEach([&](AttrId a) {
+      occ[static_cast<size_t>(a)].push_back(i);
+      ++count[static_cast<size_t>(a)];
+    });
+  }
+
+  std::vector<AttrId> attr_stack;  // attributes that may be isolated
+  for (AttrId a = 0; a < num_attrs; ++a) {
+    if (count[static_cast<size_t>(a)] == 1 && !sacred.Contains(a)) {
+      attr_stack.push_back(a);
+    }
+  }
+  std::deque<int> dirty;  // relations needing a subset check
+  std::vector<bool> in_dirty(static_cast<size_t>(n), false);
+  for (int i = 0; i < n; ++i) {
+    dirty.push_back(i);
+    in_dirty[static_cast<size_t>(i)] = true;
+  }
+
+  auto mark_dirty = [&](int i) {
+    if (!in_dirty[static_cast<size_t>(i)] && s.alive[static_cast<size_t>(i)]) {
+      dirty.push_back(i);
+      in_dirty[static_cast<size_t>(i)] = true;
+    }
+  };
+
+  auto on_kill = [&](int i) {
+    s.rels[static_cast<size_t>(i)].ForEach([&](AttrId a) {
+      if (--count[static_cast<size_t>(a)] == 1 && !sacred.Contains(a)) {
+        attr_stack.push_back(a);
+      }
+    });
+  };
+
+  auto any_other_alive = [&](int i) -> int {
+    for (int j = 0; j < n; ++j) {
+      if (j != i && s.alive[static_cast<size_t>(j)]) return j;
+    }
+    return -1;
+  };
+
+  while (!attr_stack.empty() || !dirty.empty()) {
+    if (!attr_stack.empty()) {
+      AttrId a = attr_stack.back();
+      attr_stack.pop_back();
+      if (count[static_cast<size_t>(a)] != 1) continue;
+      // Lazily clean the occurrence list down to the lone live holder.
+      auto& list = occ[static_cast<size_t>(a)];
+      int holder = -1;
+      for (int i : list) {
+        if (s.alive[static_cast<size_t>(i)] &&
+            s.rels[static_cast<size_t>(i)].Contains(a)) {
+          holder = i;
+          break;
+        }
+      }
+      GYO_CHECK(holder >= 0);
+      s.DeleteAttribute(holder, a);
+      --count[static_cast<size_t>(a)];
+      mark_dirty(holder);
+      continue;
+    }
+
+    int i = dirty.front();
+    dirty.pop_front();
+    in_dirty[static_cast<size_t>(i)] = false;
+    if (!s.alive[static_cast<size_t>(i)]) continue;
+    const RelationSchema& ri = s.rels[static_cast<size_t>(i)];
+
+    if (ri.Empty()) {
+      int j = any_other_alive(i);
+      if (j >= 0) {
+        // An empty relation is a subset of anything; equal-empty pairs keep
+        // the lower index (matching GyoReduce's tie-break).
+        if (s.rels[static_cast<size_t>(j)].Empty() && i < j) {
+          s.EliminateSubset(j, i);
+          on_kill(j);
+          // i itself is still an empty relation; re-check it against the
+          // remaining live relations.
+          mark_dirty(i);
+        } else {
+          s.EliminateSubset(i, j);
+          on_kill(i);
+        }
+      }
+      continue;
+    }
+
+    // Candidate absorbers must share ri's first attribute.
+    AttrId a = ri.Min();
+    bool killed = false;
+    for (int j : occ[static_cast<size_t>(a)]) {
+      if (j == i || !s.alive[static_cast<size_t>(j)]) continue;
+      const RelationSchema& rj = s.rels[static_cast<size_t>(j)];
+      if (!ri.IsSubsetOf(rj)) continue;
+      if (ri == rj && i < j) {
+        // Duplicate: eliminate the higher index, absorbed by us.
+        s.EliminateSubset(j, i);
+        on_kill(j);
+        // i itself is unchanged; re-check it in case of further duplicates.
+        mark_dirty(i);
+      } else {
+        s.EliminateSubset(i, j);
+        on_kill(i);
+      }
+      killed = true;
+      break;
+    }
+    (void)killed;
+  }
+  return std::move(s).Finish();
+}
+
+GyoResult GyoReduceRandomOrder(const DatabaseSchema& d, const AttrSet& sacred,
+                               Rng& rng) {
+  ReductionState s(d);
+  const int num_attrs = s.NumAttrs();
+  const int n = static_cast<int>(s.rels.size());
+  while (true) {
+    // Enumerate every currently applicable operation.
+    struct Op {
+      bool is_attr;
+      int rel;
+      AttrId attr;
+      int absorber;
+    };
+    std::vector<Op> ops;
+    std::vector<int> count = CountOccurrences(s, num_attrs);
+    for (int i = 0; i < n; ++i) {
+      if (!s.alive[static_cast<size_t>(i)]) continue;
+      s.rels[static_cast<size_t>(i)].ForEach([&](AttrId a) {
+        if (!sacred.Contains(a) && count[static_cast<size_t>(a)] == 1) {
+          ops.push_back(Op{true, i, a, -1});
+        }
+      });
+      for (int j = 0; j < n; ++j) {
+        if (i == j || !s.alive[static_cast<size_t>(j)]) continue;
+        if (s.rels[static_cast<size_t>(i)].IsSubsetOf(
+                s.rels[static_cast<size_t>(j)])) {
+          ops.push_back(Op{false, i, -1, j});
+        }
+      }
+    }
+    if (ops.empty()) break;
+    const Op& op = ops[rng.Below(ops.size())];
+    if (op.is_attr) {
+      s.DeleteAttribute(op.rel, op.attr);
+    } else {
+      s.EliminateSubset(op.rel, op.absorber);
+    }
+  }
+  return std::move(s).Finish();
+}
+
+}  // namespace gyo

@@ -1,0 +1,71 @@
+#ifndef GYO_GYO_GYO_H_
+#define GYO_GYO_GYO_H_
+
+#include <vector>
+
+#include "schema/schema.h"
+#include "util/rng.h"
+
+namespace gyo {
+
+/// One GYO reduction operation (paper §3.3).
+struct GyoStep {
+  enum class Kind {
+    /// Deleted a non-sacred attribute that occurred in exactly one relation.
+    kAttributeDeletion,
+    /// Eliminated a relation contained in another relation.
+    kSubsetElimination,
+  };
+
+  Kind kind;
+  /// Index (into the *original* schema) of the relation operated on.
+  int relation = -1;
+  /// The attribute deleted (kAttributeDeletion only).
+  AttrId attribute = -1;
+  /// Index of the containing relation (kSubsetElimination only).
+  int absorber = -1;
+};
+
+/// The result of a (full) GYO reduction GR(D, X).
+struct GyoResult {
+  /// The surviving relation schemas with isolated attributes removed, in
+  /// original index order. Maier & Ullman proved GR(D, X) is unique, so this
+  /// does not depend on the order operations were applied in.
+  DatabaseSchema reduced;
+
+  /// Original indices of the relations in `reduced` (parallel vector).
+  std::vector<int> survivors;
+
+  /// The sequence of operations applied (one valid order).
+  std::vector<GyoStep> trace;
+
+  /// True iff every surviving relation is empty. With X = ∅ this is the
+  /// tree-schema condition of Corollary 3.1 (GR(D) = ∅).
+  bool FullyReduced() const {
+    for (const RelationSchema& r : reduced.Relations()) {
+      if (!r.Empty()) return false;
+    }
+    return true;
+  }
+};
+
+/// Computes GR(D, X): applies isolated-attribute deletion (never touching
+/// attributes of `sacred`) and subset elimination until neither applies.
+/// Straightforward fixpoint implementation, O(passes · n² · |U|/64).
+GyoResult GyoReduce(const DatabaseSchema& d, const AttrSet& sacred = AttrSet());
+
+/// Same result as GyoReduce but uses occurrence-count worklists so each
+/// relation is only re-examined when something it depends on changed.
+/// This is the variant benchmarked against GyoReduce in bench_gyo (P1).
+GyoResult GyoReduceFast(const DatabaseSchema& d,
+                        const AttrSet& sacred = AttrSet());
+
+/// Applies applicable GYO operations in a random order. Used to validate the
+/// Maier–Ullman uniqueness of GR(D, X) (the `reduced`/`survivors` fields must
+/// match GyoReduce's for every seed).
+GyoResult GyoReduceRandomOrder(const DatabaseSchema& d, const AttrSet& sacred,
+                               Rng& rng);
+
+}  // namespace gyo
+
+#endif  // GYO_GYO_GYO_H_

@@ -1,0 +1,347 @@
+#include "gyo/qual_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "gyo/gyo.h"
+#include "util/check.h"
+
+namespace gyo {
+
+namespace {
+
+// Small union-find used by connectivity checks and Kruskal.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(static_cast<size_t>(n)) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  int Find(int x) {
+    while (parent_[static_cast<size_t>(x)] != x) {
+      parent_[static_cast<size_t>(x)] =
+          parent_[static_cast<size_t>(parent_[static_cast<size_t>(x)])];
+      x = parent_[static_cast<size_t>(x)];
+    }
+    return x;
+  }
+
+  // Returns true if the two were in different components.
+  bool Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    parent_[static_cast<size_t>(a)] = b;
+    return true;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+std::vector<std::vector<int>> QualGraph::Adjacency() const {
+  std::vector<std::vector<int>> adj(static_cast<size_t>(num_nodes));
+  for (auto [a, b] : edges) {
+    adj[static_cast<size_t>(a)].push_back(b);
+    adj[static_cast<size_t>(b)].push_back(a);
+  }
+  return adj;
+}
+
+bool QualGraph::IsTree() const {
+  if (num_nodes == 0) return true;
+  if (static_cast<int>(edges.size()) != num_nodes - 1) return false;
+  UnionFind uf(num_nodes);
+  int merges = 0;
+  for (auto [a, b] : edges) {
+    if (!uf.Union(a, b)) return false;  // cycle
+    ++merges;
+  }
+  return merges == num_nodes - 1;
+}
+
+std::string QualGraph::Format(const DatabaseSchema& d,
+                              const Catalog& catalog) const {
+  std::string out;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += catalog.Format(d[edges[i].first]);
+    out += " - ";
+    out += catalog.Format(d[edges[i].second]);
+  }
+  return out;
+}
+
+std::string QualGraph::ToDot(const DatabaseSchema& d,
+                             const Catalog& catalog) const {
+  std::string out = "graph qual {\n";
+  for (int i = 0; i < num_nodes; ++i) {
+    out += "  n" + std::to_string(i) + " [label=\"" + catalog.Format(d[i]) +
+           "\"];\n";
+  }
+  for (auto [a, b] : edges) {
+    out += "  n" + std::to_string(a) + " -- n" + std::to_string(b) + ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+bool IsQualGraph(const DatabaseSchema& d, const QualGraph& g) {
+  if (g.num_nodes != d.NumRelations()) return false;
+  for (auto [a, b] : g.edges) {
+    if (a < 0 || b < 0 || a >= g.num_nodes || b >= g.num_nodes || a == b) {
+      return false;
+    }
+  }
+  AttrSet universe = d.Universe();
+  bool ok = true;
+  universe.ForEach([&](AttrId attr) {
+    if (!ok) return;
+    UnionFind uf(g.num_nodes);
+    for (auto [a, b] : g.edges) {
+      if (d[a].Contains(attr) && d[b].Contains(attr)) uf.Union(a, b);
+    }
+    int root = -1;
+    for (int i = 0; i < g.num_nodes; ++i) {
+      if (!d[i].Contains(attr)) continue;
+      if (root == -1) {
+        root = uf.Find(i);
+      } else if (uf.Find(i) != root) {
+        ok = false;
+        return;
+      }
+    }
+  });
+  return ok;
+}
+
+bool IsQualTree(const DatabaseSchema& d, const QualGraph& g) {
+  return g.IsTree() && IsQualGraph(d, g);
+}
+
+std::optional<QualGraph> BuildJoinTree(const DatabaseSchema& d) {
+  const int n = d.NumRelations();
+  QualGraph g;
+  g.num_nodes = n;
+  if (n <= 1) return g;
+
+  std::vector<RelationSchema> rels = d.Relations();
+  std::vector<bool> alive(static_cast<size_t>(n), true);
+  int num_alive = n;
+
+  AttrSet universe = d.Universe();
+  int num_attrs = universe.Empty() ? 0 : universe.ToVector().back() + 1;
+  std::vector<int> count(static_cast<size_t>(num_attrs), 0);
+  std::vector<std::vector<int>> occ(static_cast<size_t>(num_attrs));
+  for (int i = 0; i < n; ++i) {
+    rels[static_cast<size_t>(i)].ForEach([&](AttrId a) {
+      ++count[static_cast<size_t>(a)];
+      occ[static_cast<size_t>(a)].push_back(i);
+    });
+  }
+
+  // Shared attributes of relation i: those occurring in >= 2 live relations.
+  auto shared_of = [&](int i) {
+    AttrSet s;
+    rels[static_cast<size_t>(i)].ForEach([&](AttrId a) {
+      if (count[static_cast<size_t>(a)] >= 2) s.Insert(a);
+    });
+    return s;
+  };
+
+  // Finds a witness j for ear i: a live j != i with shared_of(i) ⊆ Rj.
+  auto find_witness = [&](int i, const AttrSet& shared) -> int {
+    if (shared.Empty()) {
+      for (int j = 0; j < n; ++j) {
+        if (j != i && alive[static_cast<size_t>(j)]) return j;
+      }
+      return -1;
+    }
+    AttrId a = shared.Min();
+    for (int j : occ[static_cast<size_t>(a)]) {
+      if (j == i || !alive[static_cast<size_t>(j)]) continue;
+      if (shared.IsSubsetOf(rels[static_cast<size_t>(j)])) return j;
+    }
+    return -1;
+  };
+
+  std::deque<int> queue;
+  std::vector<bool> queued(static_cast<size_t>(n), false);
+  for (int i = 0; i < n; ++i) {
+    queue.push_back(i);
+    queued[static_cast<size_t>(i)] = true;
+  }
+
+  while (!queue.empty() && num_alive > 1) {
+    int i = queue.front();
+    queue.pop_front();
+    queued[static_cast<size_t>(i)] = false;
+    if (!alive[static_cast<size_t>(i)]) continue;
+    AttrSet shared = shared_of(i);
+    int j = find_witness(i, shared);
+    if (j < 0) continue;
+    // Remove ear i, attached to witness j.
+    alive[static_cast<size_t>(i)] = false;
+    --num_alive;
+    g.edges.emplace_back(i, j);
+    rels[static_cast<size_t>(i)].ForEach([&](AttrId a) {
+      --count[static_cast<size_t>(a)];
+      // Relations sharing `a` may have become ears; re-examine them.
+      for (int k : occ[static_cast<size_t>(a)]) {
+        if (alive[static_cast<size_t>(k)] && !queued[static_cast<size_t>(k)]) {
+          queue.push_back(k);
+          queued[static_cast<size_t>(k)] = true;
+        }
+      }
+    });
+  }
+
+  if (num_alive > 1) return std::nullopt;  // cyclic schema
+  GYO_DCHECK(g.IsTree());
+  GYO_DCHECK(IsQualGraph(d, g));
+  return g;
+}
+
+std::optional<QualGraph> BuildJoinTreeMaier(const DatabaseSchema& d) {
+  const int n = d.NumRelations();
+  QualGraph g;
+  g.num_nodes = n;
+  if (n <= 1) return g;
+
+  struct WeightedEdge {
+    int w;
+    int a;
+    int b;
+  };
+  std::vector<WeightedEdge> all;
+  all.reserve(static_cast<size_t>(n) * static_cast<size_t>(n - 1) / 2);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      all.push_back(WeightedEdge{d[i].Intersect(d[j]).Size(), i, j});
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const WeightedEdge& x, const WeightedEdge& y) {
+                     return x.w > y.w;
+                   });
+  UnionFind uf(n);
+  for (const WeightedEdge& e : all) {
+    if (uf.Union(e.a, e.b)) g.edges.emplace_back(e.a, e.b);
+  }
+  // Maier: d is a tree schema iff a maximum-weight spanning tree is a qual
+  // tree.
+  if (!IsQualGraph(d, g)) return std::nullopt;
+  return g;
+}
+
+std::vector<QualGraph> EnumerateQualTrees(const DatabaseSchema& d,
+                                          int max_nodes) {
+  const int n = d.NumRelations();
+  GYO_CHECK_MSG(n <= max_nodes, "EnumerateQualTrees: schema too large (%d)", n);
+  std::vector<QualGraph> out;
+  if (n <= 1) {
+    QualGraph g;
+    g.num_nodes = n;
+    out.push_back(g);
+    return out;
+  }
+  if (n == 2) {
+    QualGraph g;
+    g.num_nodes = 2;
+    g.edges.emplace_back(0, 1);
+    if (IsQualGraph(d, g)) out.push_back(g);
+    return out;
+  }
+  // Enumerate labelled trees by decoding all Prüfer sequences of length n-2.
+  std::vector<int> seq(static_cast<size_t>(n - 2), 0);
+  while (true) {
+    // Decode the current sequence.
+    std::vector<int> degree(static_cast<size_t>(n), 1);
+    for (int v : seq) ++degree[static_cast<size_t>(v)];
+    QualGraph g;
+    g.num_nodes = n;
+    std::vector<int> deg = degree;
+    std::vector<bool> used(static_cast<size_t>(n), false);
+    for (int v : seq) {
+      for (int leaf = 0; leaf < n; ++leaf) {
+        if (deg[static_cast<size_t>(leaf)] == 1 &&
+            !used[static_cast<size_t>(leaf)]) {
+          g.edges.emplace_back(leaf, v);
+          used[static_cast<size_t>(leaf)] = true;
+          --deg[static_cast<size_t>(v)];
+          break;
+        }
+      }
+    }
+    int last1 = -1;
+    for (int v = 0; v < n; ++v) {
+      if (!used[static_cast<size_t>(v)] && deg[static_cast<size_t>(v)] == 1) {
+        if (last1 == -1) {
+          last1 = v;
+        } else {
+          g.edges.emplace_back(last1, v);
+        }
+      }
+    }
+    if (IsQualGraph(d, g)) out.push_back(g);
+    // Advance the sequence.
+    int pos = n - 3;
+    while (pos >= 0 && seq[static_cast<size_t>(pos)] == n - 1) {
+      seq[static_cast<size_t>(pos)] = 0;
+      --pos;
+    }
+    if (pos < 0) break;
+    ++seq[static_cast<size_t>(pos)];
+  }
+  return out;
+}
+
+std::vector<QualGraph> EnumerateMinimumQualGraphs(const DatabaseSchema& d,
+                                                  int max_nodes) {
+  const int n = d.NumRelations();
+  GYO_CHECK_MSG(n <= max_nodes,
+                "EnumerateMinimumQualGraphs: schema too large (%d)", n);
+  // All candidate edges of the complete graph.
+  std::vector<std::pair<int, int>> all_edges;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) all_edges.emplace_back(i, j);
+  }
+  const int m = static_cast<int>(all_edges.size());
+  for (int k = 0; k <= m; ++k) {
+    std::vector<QualGraph> found;
+    // Enumerate all k-subsets of edges.
+    std::vector<int> idx(static_cast<size_t>(k));
+    for (int i = 0; i < k; ++i) idx[static_cast<size_t>(i)] = i;
+    while (true) {
+      QualGraph g;
+      g.num_nodes = n;
+      for (int i : idx) g.edges.push_back(all_edges[static_cast<size_t>(i)]);
+      if (IsQualGraph(d, g)) found.push_back(g);
+      if (k == 0) break;
+      int pos = k - 1;
+      while (pos >= 0 && idx[static_cast<size_t>(pos)] == m - k + pos) --pos;
+      if (pos < 0) break;
+      ++idx[static_cast<size_t>(pos)];
+      for (int i = pos + 1; i < k; ++i) {
+        idx[static_cast<size_t>(i)] = idx[static_cast<size_t>(i - 1)] + 1;
+      }
+    }
+    if (!found.empty()) return found;
+  }
+  return {};
+}
+
+bool IsSubtree(const DatabaseSchema& d, const std::vector<int>& indices) {
+  GYO_CHECK(!indices.empty());
+  DatabaseSchema dprime = d.Select(indices);
+  GyoResult gr = GyoReduceFast(d, dprime.Universe());
+  for (const RelationSchema& r : gr.reduced.Relations()) {
+    if (!dprime.ContainsRelation(r)) return false;
+  }
+  return true;
+}
+
+}  // namespace gyo

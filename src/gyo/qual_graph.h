@@ -1,0 +1,75 @@
+#ifndef GYO_GYO_QUAL_GRAPH_H_
+#define GYO_GYO_QUAL_GRAPH_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "schema/catalog.h"
+#include "schema/schema.h"
+
+namespace gyo {
+
+/// An undirected graph whose nodes are the relation indices of a schema
+/// (paper §3.1). A *qual graph* additionally satisfies attribute
+/// connectivity; a *qual tree* is a qual graph that is a tree.
+struct QualGraph {
+  int num_nodes = 0;
+  std::vector<std::pair<int, int>> edges;
+
+  /// Adjacency lists (built on demand).
+  std::vector<std::vector<int>> Adjacency() const;
+
+  /// True iff the graph is connected and has exactly num_nodes−1 edges.
+  bool IsTree() const;
+
+  /// Renders e.g. "ab - bc - cd" style edge lists.
+  std::string Format(const DatabaseSchema& d, const Catalog& catalog) const;
+
+  /// Renders the graph in Graphviz dot format (nodes labelled by their
+  /// relation schemas) for external visualization.
+  std::string ToDot(const DatabaseSchema& d, const Catalog& catalog) const;
+};
+
+/// True iff `g` is a qual graph for `d`: for every attribute A, the subgraph
+/// induced by the nodes whose relation schemas contain A is connected.
+bool IsQualGraph(const DatabaseSchema& d, const QualGraph& g);
+
+/// True iff `g` is a qual tree for `d`.
+bool IsQualTree(const DatabaseSchema& d, const QualGraph& g);
+
+/// Builds a qual tree for `d` by GYO ear decomposition, or nullopt if `d` is
+/// a cyclic schema. For disconnected schemas the components are joined by
+/// arbitrary edges (harmless: the joined relations share no attributes).
+std::optional<QualGraph> BuildJoinTree(const DatabaseSchema& d);
+
+/// Builds a qual tree as a maximum-weight spanning tree of the complete
+/// graph with weights |Ri ∩ Rj| (Maier's construction), then validates it.
+/// Returns nullopt iff `d` is cyclic. Benchmarked against BuildJoinTree (P2).
+std::optional<QualGraph> BuildJoinTreeMaier(const DatabaseSchema& d);
+
+/// Enumerates all qual trees of `d` via Prüfer sequences. Intended for
+/// exhaustive cross-validation on small schemas; dies if
+/// d.NumRelations() > max_nodes (cost grows as n^(n-2)).
+std::vector<QualGraph> EnumerateQualTrees(const DatabaseSchema& d,
+                                          int max_nodes = 8);
+
+/// Enumerates all *minimum-size* qual graphs of `d` (fewest edges) — the
+/// graphs quantified over in the §5.1 UJR discussion. For tree schemas these
+/// are exactly the qual trees (n−1 edges); cyclic schemas need more. Only
+/// connected-spanning subgraph candidates are considered per component; dies
+/// if d.NumRelations() > max_nodes (the search is exponential in n²).
+std::vector<QualGraph> EnumerateMinimumQualGraphs(const DatabaseSchema& d,
+                                                  int max_nodes = 6);
+
+/// True iff D' (given by relation indices into `d`) is a *subtree* of the
+/// tree schema `d`: some qual tree of `d` has the D'-nodes inducing a
+/// connected subgraph. Implemented via Theorem 3.1(ii):
+/// D' is a subtree iff every relation of GR(D, U(D')) is an element of D'.
+/// Requires `d` to be a tree schema and `indices` non-empty.
+bool IsSubtree(const DatabaseSchema& d, const std::vector<int>& indices);
+
+}  // namespace gyo
+
+#endif  // GYO_GYO_QUAL_GRAPH_H_

@@ -1,0 +1,22 @@
+#include "query/lossless.h"
+
+#include "gyo/qual_graph.h"
+#include "tableau/canonical.h"
+#include "util/check.h"
+
+namespace gyo {
+
+bool JoinDependencyImplies(const DatabaseSchema& d,
+                           const DatabaseSchema& dprime) {
+  GYO_CHECK_MSG(!dprime.Empty(), "D' must be non-empty");
+  GYO_CHECK_MSG(dprime.CoveredBy(d), "Theorem 5.1 requires D' ≤ D");
+  CanonicalResult cc = CanonicalConnection(d, dprime.Universe());
+  return cc.schema.CoveredBy(dprime);
+}
+
+bool LosslessInTreeSchema(const DatabaseSchema& d,
+                          const std::vector<int>& indices) {
+  return IsSubtree(d, indices);
+}
+
+}  // namespace gyo

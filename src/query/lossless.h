@@ -1,0 +1,27 @@
+#ifndef GYO_QUERY_LOSSLESS_H_
+#define GYO_QUERY_LOSSLESS_H_
+
+#include "schema/schema.h"
+#include "util/attr_set.h"
+
+namespace gyo {
+
+/// Lossless joins (paper §5): ⋈D ⊨ ⋈D' means every universal relation
+/// satisfying the join dependency ⋈D also satisfies ⋈D' — equivalently, in
+/// every UR database for D the sub-database D' has a lossless join.
+
+/// Theorem 5.1: for D' ≤ D, ⋈D ⊨ ⋈D' iff CC(D, U(D')) ≤ D'
+/// (equivalently ⊆ D'; equality holds iff D' is reduced).
+/// Requires D' ≤ D and D' non-empty.
+bool JoinDependencyImplies(const DatabaseSchema& d,
+                           const DatabaseSchema& dprime);
+
+/// Corollary 5.2 (tree schemas): ⋈D ⊨ ⋈D' iff D' is a subtree of D.
+/// `indices` selects D' ⊆ D by relation index; requires `d` to be a tree
+/// schema. Fast path equivalent to JoinDependencyImplies by Thms 3.1/3.3.
+bool LosslessInTreeSchema(const DatabaseSchema& d,
+                          const std::vector<int>& indices);
+
+}  // namespace gyo
+
+#endif  // GYO_QUERY_LOSSLESS_H_

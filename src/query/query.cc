@@ -1,0 +1,25 @@
+#include "query/query.h"
+
+#include "tableau/canonical.h"
+#include "util/check.h"
+
+namespace gyo {
+
+bool SolvableByJoinProject(const DatabaseSchema& d, const AttrSet& x,
+                           const DatabaseSchema& dprime) {
+  CanonicalResult cc = CanonicalConnection(d, x);
+  return cc.schema.CoveredBy(dprime);
+}
+
+bool WeaklyEquivalent(const DatabaseSchema& d, const DatabaseSchema& dprime,
+                      const AttrSet& x) {
+  CanonicalResult a = CanonicalConnection(d, x);
+  CanonicalResult b = CanonicalConnection(dprime, x);
+  return a.schema.EqualsAsMultiset(b.schema);
+}
+
+CanonicalResult RelevantSubdatabase(const DatabaseSchema& d, const AttrSet& x) {
+  return CanonicalConnection(d, x);
+}
+
+}  // namespace gyo

@@ -1,0 +1,38 @@
+#ifndef GYO_QUERY_QUERY_H_
+#define GYO_QUERY_QUERY_H_
+
+#include "schema/schema.h"
+#include "tableau/canonical.h"
+#include "util/attr_set.h"
+
+namespace gyo {
+
+/// A natural-join query Q = (D, X) = π_X(⋈ D) (paper §2). Applied to a state
+/// D for D, Q(D) = π_X(⋈_{R∈D} R). All equivalence notions below are *weak*:
+/// quantified over universal databases only.
+struct Query {
+  DatabaseSchema db;
+  AttrSet target;
+};
+
+/// Theorem 4.1 / Corollary 4.1: to solve (D, X) by joining the relations of
+/// a sub-database D' ≤ D and projecting onto X, it is necessary and
+/// sufficient that CC(D, X) ≤ D'. Requires X ⊆ U(D).
+bool SolvableByJoinProject(const DatabaseSchema& d, const AttrSet& x,
+                           const DatabaseSchema& dprime);
+
+/// Lemma 3.5 / Theorem 4.1: (D, X) ≡ (D', X) iff CC(D, X) = CC(D', X).
+/// Works for arbitrary D, D' with X ⊆ U(D) ∩ U(D').
+bool WeaklyEquivalent(const DatabaseSchema& d, const DatabaseSchema& dprime,
+                      const AttrSet& x);
+
+/// The §6 "relevant sub-database": CC(D, X) with, for each canonical
+/// relation, the index of the original relation it projects (irrelevant
+/// relations of D appear in no entry; useless columns are already dropped
+/// from the canonical schemas). This is CanonicalConnection re-exported under
+/// the paper's query-processing reading.
+CanonicalResult RelevantSubdatabase(const DatabaseSchema& d, const AttrSet& x);
+
+}  // namespace gyo
+
+#endif  // GYO_QUERY_QUERY_H_

@@ -1,0 +1,161 @@
+#include "query/tree_projection.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "gyo/acyclic.h"
+#include "util/check.h"
+
+namespace gyo {
+
+bool IsTreeProjection(const DatabaseSchema& dpp, const DatabaseSchema& dprime,
+                      const DatabaseSchema& d) {
+  return d.CoveredBy(dpp) && dpp.CoveredBy(dprime) && IsTreeSchema(dpp);
+}
+
+namespace {
+
+// Backtracking cover search over a candidate pool.
+class TpSearch {
+ public:
+  TpSearch(const DatabaseSchema& d, std::vector<AttrSet> pool, long budget)
+      : d_(d), pool_(std::move(pool)), budget_(budget) {
+    covered_.assign(static_cast<size_t>(d.NumRelations()), false);
+    in_use_.assign(pool_.size(), false);
+    covers_.resize(static_cast<size_t>(d.NumRelations()));
+    for (int r = 0; r < d.NumRelations(); ++r) {
+      for (size_t p = 0; p < pool_.size(); ++p) {
+        if (d[r].IsSubsetOf(pool_[p])) {
+          covers_[static_cast<size_t>(r)].push_back(static_cast<int>(p));
+        }
+      }
+    }
+  }
+
+  TreeProjectionResult Run() {
+    TreeProjectionResult out;
+    if (Dfs()) {
+      DatabaseSchema proj;
+      for (size_t p = 0; p < pool_.size(); ++p) {
+        if (in_use_[p]) proj.Add(pool_[p]);
+      }
+      out.projection = std::move(proj);
+    }
+    out.exhausted = exhausted_;
+    return out;
+  }
+
+ private:
+  bool Dfs() {
+    if (++nodes_ > budget_) {
+      exhausted_ = true;
+      return false;
+    }
+    int next = -1;
+    for (int r = 0; r < d_.NumRelations(); ++r) {
+      if (!covered_[static_cast<size_t>(r)]) {
+        next = r;
+        break;
+      }
+    }
+    if (next == -1) {
+      DatabaseSchema proj;
+      for (size_t p = 0; p < pool_.size(); ++p) {
+        if (in_use_[p]) proj.Add(pool_[p]);
+      }
+      return IsTreeSchema(proj);
+    }
+    for (int p : covers_[static_cast<size_t>(next)]) {
+      if (in_use_[static_cast<size_t>(p)]) continue;
+      in_use_[static_cast<size_t>(p)] = true;
+      std::vector<int> newly;
+      for (int r = 0; r < d_.NumRelations(); ++r) {
+        if (!covered_[static_cast<size_t>(r)] &&
+            d_[r].IsSubsetOf(pool_[static_cast<size_t>(p)])) {
+          covered_[static_cast<size_t>(r)] = true;
+          newly.push_back(r);
+        }
+      }
+      if (Dfs()) return true;
+      for (int r : newly) covered_[static_cast<size_t>(r)] = false;
+      in_use_[static_cast<size_t>(p)] = false;
+      if (exhausted_) return false;
+    }
+    return false;
+  }
+
+  const DatabaseSchema& d_;
+  std::vector<AttrSet> pool_;
+  long budget_;
+  long nodes_ = 0;
+  bool exhausted_ = false;
+  std::vector<bool> covered_;
+  std::vector<bool> in_use_;
+  std::vector<std::vector<int>> covers_;
+};
+
+}  // namespace
+
+TreeProjectionResult FindTreeProjection(const DatabaseSchema& dprime,
+                                        const DatabaseSchema& d,
+                                        const TreeProjectionOptions& options) {
+  TreeProjectionResult out;
+  // If D ≤ D' fails there is nothing sandwiched between them.
+  if (!d.CoveredBy(dprime)) return out;
+  // Quick win: D' itself qualifies when it is a tree schema.
+  if (IsTreeSchema(dprime)) {
+    out.projection = dprime;
+    return out;
+  }
+
+  // Candidate pool: for each host of D', all unions of D-elements contained
+  // in the host (capped), plus the host itself.
+  std::map<AttrSet, bool> pool_set;
+  DatabaseSchema hosts;
+  for (const RelationSchema& h : dprime.Relations()) {
+    if (!hosts.ContainsRelation(h)) hosts.Add(h);
+  }
+  for (const RelationSchema& h : hosts.Relations()) {
+    std::vector<AttrSet> contained;
+    for (const RelationSchema& r : d.Relations()) {
+      if (r.IsSubsetOf(h) &&
+          std::find(contained.begin(), contained.end(), r) ==
+              contained.end()) {
+        contained.push_back(r);
+      }
+    }
+    std::vector<AttrSet> unions;
+    unions.push_back(AttrSet());
+    for (const AttrSet& c : contained) {
+      size_t existing = unions.size();
+      for (size_t i = 0; i < existing; ++i) {
+        if (static_cast<int>(unions.size()) >= options.max_pool_per_host) {
+          break;
+        }
+        AttrSet u = unions[i].Union(c);
+        if (std::find(unions.begin(), unions.end(), u) == unions.end()) {
+          unions.push_back(u);
+        }
+      }
+    }
+    for (const AttrSet& u : unions) {
+      if (!u.Empty()) pool_set[u] = true;
+    }
+    pool_set[h] = true;
+  }
+  std::vector<AttrSet> pool;
+  pool.reserve(pool_set.size());
+  for (const auto& [s, unused] : pool_set) pool.push_back(s);
+  (void)pool_set;
+  // Smaller candidates first: favours tight (paper-style) projections.
+  std::stable_sort(pool.begin(), pool.end(),
+                   [](const AttrSet& a, const AttrSet& b) {
+                     return a.Size() < b.Size();
+                   });
+
+  TpSearch search(d, std::move(pool), options.max_nodes);
+  return search.Run();
+}
+
+}  // namespace gyo

@@ -1,0 +1,53 @@
+#ifndef GYO_QUERY_TREE_PROJECTION_H_
+#define GYO_QUERY_TREE_PROJECTION_H_
+
+#include <optional>
+
+#include "schema/schema.h"
+#include "util/attr_set.h"
+
+namespace gyo {
+
+/// Tree projections (paper §3.2): for D ≤ D'' ≤ D', D'' ∈ TP(D', D) iff D''
+/// is a tree schema. By Theorems 6.1–6.4, the existence of a tree projection
+/// of P(D) w.r.t. CC(D,X) ∪ (X) characterizes the join/semijoin/project
+/// programs P that solve (D, X).
+
+/// Verifies D ≤ dpp ≤ dprime and that dpp is a tree schema.
+bool IsTreeProjection(const DatabaseSchema& dpp, const DatabaseSchema& dprime,
+                      const DatabaseSchema& d);
+
+struct TreeProjectionOptions {
+  /// Cap on the number of candidate node schemas generated per host relation
+  /// of D' (candidates are unions of D-elements contained in the host, plus
+  /// the host itself).
+  int max_pool_per_host = 4096;
+  /// Search-node budget for the backtracking cover search.
+  long max_nodes = 2000000;
+};
+
+struct TreeProjectionResult {
+  /// A tree projection, if one was found.
+  std::optional<DatabaseSchema> projection;
+  /// True iff the node budget was exhausted before the search completed; in
+  /// that case a missing `projection` is inconclusive.
+  bool exhausted = false;
+};
+
+/// Searches for some D'' ∈ TP(D', D). When D ≤ D' fails, no projection
+/// exists and an empty result is returned.
+///
+/// The search branches over "covers": node schemas are drawn from a pool of
+/// unions of D-elements inside each host of D' (plus the hosts themselves),
+/// and every cover of D by pool elements is tested for acyclicity. This is
+/// complete over tree projections whose every node contains at least one
+/// element of D (deciding general TP existence is NP-hard). For a query
+/// (D, X) pass D ∪ {X} as `d` (the definition of TP(D', Q)).
+TreeProjectionResult FindTreeProjection(const DatabaseSchema& dprime,
+                                        const DatabaseSchema& d,
+                                        const TreeProjectionOptions& options =
+                                            TreeProjectionOptions());
+
+}  // namespace gyo
+
+#endif  // GYO_QUERY_TREE_PROJECTION_H_

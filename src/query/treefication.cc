@@ -1,0 +1,213 @@
+#include "query/treefication.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "gyo/acyclic.h"
+#include "gyo/gyo.h"
+#include "schema/generators.h"
+#include "util/check.h"
+
+namespace gyo {
+
+namespace {
+
+// Enumerates all subsets of `attrs` of size in [2, max_size] that are not
+// contained in any relation of `d`, largest first.
+std::vector<AttrSet> Candidates(const DatabaseSchema& d,
+                                const std::vector<AttrId>& attrs,
+                                int max_size) {
+  const int m = static_cast<int>(attrs.size());
+  std::vector<AttrSet> out;
+  for (int size = std::min(max_size, m); size >= 2; --size) {
+    std::vector<int> idx(static_cast<size_t>(size));
+    for (int i = 0; i < size; ++i) idx[static_cast<size_t>(i)] = i;
+    while (true) {
+      AttrSet s;
+      for (int i : idx) s.Insert(attrs[static_cast<size_t>(i)]);
+      bool redundant = false;
+      for (const RelationSchema& r : d.Relations()) {
+        if (s.IsSubsetOf(r)) {
+          redundant = true;
+          break;
+        }
+      }
+      if (!redundant) out.push_back(s);
+      int pos = size - 1;
+      while (pos >= 0 && idx[static_cast<size_t>(pos)] == m - size + pos) {
+        --pos;
+      }
+      if (pos < 0) break;
+      ++idx[static_cast<size_t>(pos)];
+      for (int i = pos + 1; i < size; ++i) {
+        idx[static_cast<size_t>(i)] = idx[static_cast<size_t>(i - 1)] + 1;
+      }
+    }
+  }
+  return out;
+}
+
+class TreeficationSearch {
+ public:
+  TreeficationSearch(const DatabaseSchema& d, std::vector<AttrSet> candidates,
+                     int max_relations, long budget)
+      : base_(d),
+        candidates_(std::move(candidates)),
+        max_relations_(max_relations),
+        budget_(budget) {}
+
+  TreeficationResult Run() {
+    TreeficationResult out;
+    current_ = base_;
+    if (Dfs(0, 0)) {
+      out.feasible = true;
+      out.added = chosen_;
+    }
+    out.exhausted = exhausted_;
+    return out;
+  }
+
+ private:
+  bool Dfs(int depth, size_t start) {
+    if (++nodes_ > budget_) {
+      exhausted_ = true;
+      return false;
+    }
+    if (IsTreeSchema(current_)) return true;
+    if (depth == max_relations_) return false;
+    for (size_t i = start; i < candidates_.size(); ++i) {
+      chosen_.push_back(candidates_[i]);
+      DatabaseSchema next = current_;
+      next.Add(candidates_[i]);
+      DatabaseSchema saved = std::move(current_);
+      current_ = std::move(next);
+      if (Dfs(depth + 1, i + 1)) return true;
+      current_ = std::move(saved);
+      chosen_.pop_back();
+      if (exhausted_) return false;
+    }
+    return false;
+  }
+
+  const DatabaseSchema& base_;
+  std::vector<AttrSet> candidates_;
+  int max_relations_;
+  long budget_;
+  long nodes_ = 0;
+  bool exhausted_ = false;
+  DatabaseSchema current_;
+  std::vector<AttrSet> chosen_;
+};
+
+}  // namespace
+
+TreeficationResult FixedTreeficationFFD(const DatabaseSchema& d,
+                                        int max_relations, int max_size) {
+  TreeficationResult out;
+  GyoResult gr = GyoReduce(d);
+  if (gr.FullyReduced()) {
+    out.feasible = true;
+    return out;
+  }
+  // Drop empty survivors; group the rest into connected components.
+  DatabaseSchema core;
+  for (const RelationSchema& r : gr.reduced.Relations()) {
+    if (!r.Empty()) core.Add(r);
+  }
+  std::vector<AttrSet> items;
+  for (const std::vector<int>& comp : core.ConnectedComponents()) {
+    AttrSet u;
+    for (int i : comp) u.UnionWith(core[i]);
+    items.push_back(u);
+  }
+  std::sort(items.begin(), items.end(), [](const AttrSet& a, const AttrSet& b) {
+    return a.Size() > b.Size();
+  });
+  std::vector<AttrSet> bins;
+  for (const AttrSet& item : items) {
+    if (item.Size() > max_size) return out;  // heuristic gives up
+    bool placed = false;
+    for (AttrSet& bin : bins) {
+      if (bin.Size() + item.Size() <= max_size) {
+        bin.UnionWith(item);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      if (static_cast<int>(bins.size()) == max_relations) return out;
+      bins.push_back(item);
+    }
+  }
+  out.feasible = true;
+  out.added = std::move(bins);
+  return out;
+}
+
+TreeficationResult FixedTreefication(const DatabaseSchema& d,
+                                     int max_relations, int max_size,
+                                     const TreeficationOptions& options) {
+  GYO_CHECK(max_relations >= 0);
+  GYO_CHECK(max_size >= 0);
+  TreeficationResult out;
+  if (IsTreeSchema(d)) {
+    out.feasible = true;
+    return out;
+  }
+  if (max_relations == 0 || max_size < 2) return out;
+  // The FFD heuristic is sound; accept its solutions immediately.
+  TreeficationResult ffd = FixedTreeficationFFD(d, max_relations, max_size);
+  if (ffd.feasible) return ffd;
+
+  std::vector<AttrId> attrs = d.Universe().ToVector();
+  GYO_CHECK_MSG(static_cast<int>(attrs.size()) <= options.max_universe,
+                "FixedTreefication: universe too large (%zu attributes)",
+                attrs.size());
+  std::vector<AttrSet> candidates = Candidates(d, attrs, max_size);
+  TreeficationSearch search(d, std::move(candidates), max_relations,
+                            options.max_nodes);
+  return search.Run();
+}
+
+DatabaseSchema BinPackingToSchema(const BinPackingInstance& instance) {
+  DatabaseSchema d;
+  AttrId base = 0;
+  for (int s : instance.sizes) {
+    GYO_CHECK_MSG(s >= 3, "Theorem 4.2 reduction requires item sizes >= 3");
+    DatabaseSchema clique = Aclique(s, base);
+    for (const RelationSchema& r : clique.Relations()) d.Add(r);
+    base += s;
+  }
+  return d;
+}
+
+bool SolveBinPackingExact(const BinPackingInstance& instance) {
+  std::vector<int> sizes = instance.sizes;
+  std::sort(sizes.rbegin(), sizes.rend());
+  if (instance.bins <= 0) return sizes.empty();
+  for (int s : sizes) {
+    if (s > instance.capacity) return false;
+  }
+  std::vector<int> remaining(static_cast<size_t>(instance.bins),
+                             instance.capacity);
+  // Branch and bound: place items in decreasing order; skip bins with the
+  // same remaining capacity as an already-tried bin.
+  std::function<bool(size_t)> place = [&](size_t item) -> bool {
+    if (item == sizes.size()) return true;
+    int s = sizes[item];
+    int last_remaining = -1;
+    for (size_t b = 0; b < remaining.size(); ++b) {
+      if (remaining[b] < s || remaining[b] == last_remaining) continue;
+      last_remaining = remaining[b];
+      remaining[b] -= s;
+      if (place(item + 1)) return true;
+      remaining[b] += s;
+      // An item that does not fit in a fresh bin can never be placed.
+      if (remaining[b] == instance.capacity) break;
+    }
+    return false;
+  };
+  return place(0);
+}
+
+}  // namespace gyo

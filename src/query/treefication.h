@@ -1,0 +1,70 @@
+#ifndef GYO_QUERY_TREEFICATION_H_
+#define GYO_QUERY_TREEFICATION_H_
+
+#include <vector>
+
+#include "schema/schema.h"
+#include "util/attr_set.h"
+
+namespace gyo {
+
+/// Fixed Treefication (paper §4, Theorem 4.2): given a schema D and integers
+/// K, B, do there exist relation schemas R'1..R'k, k ≤ K, |R'i| ≤ B, such
+/// that D ∪ (R'1..R'k) is a tree schema? NP-complete by reduction from Bin
+/// Packing. This module provides an exact (exponential) solver, a sound but
+/// incomplete first-fit-decreasing heuristic, and the Theorem 4.2 reduction
+/// itself with an exact bin-packing solver for cross-validation.
+
+struct TreeficationResult {
+  /// True iff a treefying set of relations was found.
+  bool feasible = false;
+  /// The added relations when feasible.
+  std::vector<AttrSet> added;
+  /// True iff the exact solver ran out of its node budget (a negative answer
+  /// is then inconclusive).
+  bool exhausted = false;
+};
+
+struct TreeficationOptions {
+  long max_nodes = 5000000;
+  /// Exact search dies if |U(D)| exceeds this (the candidate space is
+  /// exponential in the universe).
+  int max_universe = 18;
+};
+
+/// Exact decision procedure. Candidates are restricted, without loss of
+/// generality, to subsets of U(D) of size in [2, B] that are not contained in
+/// an existing relation (any other added relation is redundant under GYO).
+TreeficationResult FixedTreefication(const DatabaseSchema& d, int max_relations,
+                                     int max_size,
+                                     const TreeficationOptions& options =
+                                         TreeficationOptions());
+
+/// First-fit-decreasing heuristic: treats the connected components of GR(D)
+/// as items of size |U(component)| and packs them into ≤ max_relations bins
+/// of capacity max_size; each bin becomes the union of its components'
+/// universes. Sound (a reported solution always treefies) but incomplete: it
+/// may miss solutions that split a component across added relations.
+TreeficationResult FixedTreeficationFFD(const DatabaseSchema& d,
+                                        int max_relations, int max_size);
+
+/// A Bin Packing instance (Garey & Johnson [SR1]).
+struct BinPackingInstance {
+  std::vector<int> sizes;  // item sizes, each >= 3 for the Thm 4.2 reduction
+  int capacity = 0;        // bin capacity B
+  int bins = 0;            // number of bins K
+};
+
+/// The Theorem 4.2 reduction: each item of size s becomes an Aclique of size
+/// s over fresh attributes; the instance is bin-packable into K bins of
+/// capacity B iff the resulting schema is fixed-treefiable with K relations
+/// of size ≤ B. Requires every size >= 3 (w.l.o.g. in the paper: sizes
+/// divisible by 3).
+DatabaseSchema BinPackingToSchema(const BinPackingInstance& instance);
+
+/// Exact bin-packing decision (branch and bound with symmetry breaking).
+bool SolveBinPackingExact(const BinPackingInstance& instance);
+
+}  // namespace gyo
+
+#endif  // GYO_QUERY_TREEFICATION_H_

@@ -1,0 +1,134 @@
+#include "rel/ops.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+
+namespace gyo {
+
+namespace {
+
+// FNV-1a hash for value vectors (join keys).
+struct ValueVecHash {
+  size_t operator()(const std::vector<Value>& v) const {
+    uint64_t h = 1469598103934665603ull;
+    for (Value x : v) {
+      h ^= static_cast<uint64_t>(x);
+      h *= 1099511628211ull;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+// Extracts the values of `cols` (column indices) from `row`.
+std::vector<Value> KeyOf(const std::vector<Value>& row,
+                         const std::vector<int>& cols) {
+  std::vector<Value> key;
+  key.reserve(cols.size());
+  for (int c : cols) key.push_back(row[static_cast<size_t>(c)]);
+  return key;
+}
+
+}  // namespace
+
+Relation Project(const Relation& r, const AttrSet& x) {
+  GYO_CHECK_MSG(x.IsSubsetOf(r.Schema()), "projection target not in schema");
+  Relation out(x);
+  std::vector<int> cols;
+  for (AttrId a : out.Attrs()) cols.push_back(r.ColIndex(a));
+  for (const auto& row : r.Rows()) {
+    out.AddRow(KeyOf(row, cols));
+  }
+  out.Canonicalize();
+  return out;
+}
+
+Relation NaturalJoin(const Relation& r, const Relation& s) {
+  AttrSet common = r.Schema().Intersect(s.Schema());
+  AttrSet result_schema = r.Schema().Union(s.Schema());
+  Relation out(result_schema);
+
+  std::vector<int> r_key_cols;
+  std::vector<int> s_key_cols;
+  common.ForEach([&](AttrId a) {
+    r_key_cols.push_back(r.ColIndex(a));
+    s_key_cols.push_back(s.ColIndex(a));
+  });
+
+  // Build on the smaller input.
+  const Relation& build = s.NumRows() <= r.NumRows() ? s : r;
+  const Relation& probe = s.NumRows() <= r.NumRows() ? r : s;
+  const std::vector<int>& build_cols =
+      (&build == &s) ? s_key_cols : r_key_cols;
+  const std::vector<int>& probe_cols =
+      (&build == &s) ? r_key_cols : s_key_cols;
+
+  std::unordered_map<std::vector<Value>, std::vector<int>, ValueVecHash> index;
+  for (int i = 0; i < build.NumRows(); ++i) {
+    index[KeyOf(build.Row(i), build_cols)].push_back(i);
+  }
+
+  // Output column sources: for each result attribute, where to read it from.
+  struct Source {
+    bool from_probe;
+    int col;
+  };
+  std::vector<Source> sources;
+  for (AttrId a : out.Attrs()) {
+    if (probe.Schema().Contains(a)) {
+      sources.push_back(Source{true, probe.ColIndex(a)});
+    } else {
+      sources.push_back(Source{false, build.ColIndex(a)});
+    }
+  }
+
+  for (int i = 0; i < probe.NumRows(); ++i) {
+    auto it = index.find(KeyOf(probe.Row(i), probe_cols));
+    if (it == index.end()) continue;
+    for (int j : it->second) {
+      std::vector<Value> row;
+      row.reserve(sources.size());
+      for (const Source& src : sources) {
+        row.push_back(src.from_probe ? probe.Row(i)[static_cast<size_t>(src.col)]
+                                     : build.Row(j)[static_cast<size_t>(src.col)]);
+      }
+      out.AddRow(std::move(row));
+    }
+  }
+  out.Canonicalize();
+  return out;
+}
+
+Relation Semijoin(const Relation& r, const Relation& s) {
+  AttrSet common = r.Schema().Intersect(s.Schema());
+  Relation out(r.Schema());
+  std::vector<int> r_cols;
+  std::vector<int> s_cols;
+  common.ForEach([&](AttrId a) {
+    r_cols.push_back(r.ColIndex(a));
+    s_cols.push_back(s.ColIndex(a));
+  });
+  std::unordered_map<std::vector<Value>, bool, ValueVecHash> keys;
+  for (int i = 0; i < s.NumRows(); ++i) {
+    keys[KeyOf(s.Row(i), s_cols)] = true;
+  }
+  for (int i = 0; i < r.NumRows(); ++i) {
+    if (keys.count(KeyOf(r.Row(i), r_cols)) != 0) {
+      out.AddRow(r.Row(i));
+    }
+  }
+  out.Canonicalize();
+  return out;
+}
+
+Relation JoinAll(const std::vector<Relation>& relations) {
+  GYO_CHECK_MSG(!relations.empty(), "JoinAll requires at least one relation");
+  Relation acc = relations[0];
+  for (size_t i = 1; i < relations.size(); ++i) {
+    acc = NaturalJoin(acc, relations[i]);
+  }
+  return acc;
+}
+
+}  // namespace gyo

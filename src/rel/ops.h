@@ -1,0 +1,28 @@
+#ifndef GYO_REL_OPS_H_
+#define GYO_REL_OPS_H_
+
+#include "rel/relation.h"
+#include "util/attr_set.h"
+
+namespace gyo {
+
+/// Relational algebra operators (paper §2 notation). All results are
+/// canonicalized (sorted, duplicate-free).
+
+/// π_X(r): projection onto X. Requires X ⊆ r.Schema().
+Relation Project(const Relation& r, const AttrSet& x);
+
+/// r ⋈ s: natural join (hash join on the common attributes; a Cartesian
+/// product when the schemas are disjoint).
+Relation NaturalJoin(const Relation& r, const Relation& s);
+
+/// r ⋉ s: natural semijoin, π_R(r ⋈ s) computed without materializing the
+/// join.
+Relation Semijoin(const Relation& r, const Relation& s);
+
+/// ⋈ of a non-empty list of relations, left to right.
+Relation JoinAll(const std::vector<Relation>& relations);
+
+}  // namespace gyo
+
+#endif  // GYO_REL_OPS_H_

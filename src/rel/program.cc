@@ -1,0 +1,160 @@
+#include "rel/program.h"
+
+#include <algorithm>
+
+#include "rel/ops.h"
+#include "rel/universal.h"
+#include "util/check.h"
+
+namespace gyo {
+
+int Program::AddJoin(int lhs, int rhs) {
+  GYO_CHECK(lhs >= 0 && lhs < NumRelations());
+  GYO_CHECK(rhs >= 0 && rhs < NumRelations());
+  statements_.push_back(Statement{Statement::Kind::kJoin, lhs, rhs, AttrSet()});
+  return NumRelations() - 1;
+}
+
+int Program::AddSemijoin(int lhs, int rhs) {
+  GYO_CHECK(lhs >= 0 && lhs < NumRelations());
+  GYO_CHECK(rhs >= 0 && rhs < NumRelations());
+  statements_.push_back(
+      Statement{Statement::Kind::kSemijoin, lhs, rhs, AttrSet()});
+  return NumRelations() - 1;
+}
+
+int Program::AddProject(int src, const AttrSet& target) {
+  GYO_CHECK(src >= 0 && src < NumRelations());
+  statements_.push_back(
+      Statement{Statement::Kind::kProject, src, -1, target});
+  return NumRelations() - 1;
+}
+
+int Program::NumJoins() const {
+  int n = 0;
+  for (const Statement& s : statements_) {
+    if (s.kind == Statement::Kind::kJoin) ++n;
+  }
+  return n;
+}
+
+int Program::NumSemijoins() const {
+  int n = 0;
+  for (const Statement& s : statements_) {
+    if (s.kind == Statement::Kind::kSemijoin) ++n;
+  }
+  return n;
+}
+
+int Program::NumProjects() const {
+  int n = 0;
+  for (const Statement& s : statements_) {
+    if (s.kind == Statement::Kind::kProject) ++n;
+  }
+  return n;
+}
+
+DatabaseSchema Program::DerivedSchema(const DatabaseSchema& base) const {
+  GYO_CHECK_MSG(base.NumRelations() == num_base_,
+                "base schema has %d relations, program expects %d",
+                base.NumRelations(), num_base_);
+  DatabaseSchema out = base;
+  for (const Statement& s : statements_) {
+    switch (s.kind) {
+      case Statement::Kind::kJoin:
+        out.Add(out[s.lhs].Union(out[s.rhs]));
+        break;
+      case Statement::Kind::kSemijoin:
+        out.Add(out[s.lhs]);
+        break;
+      case Statement::Kind::kProject:
+        GYO_CHECK_MSG(s.target.IsSubsetOf(out[s.lhs]),
+                      "projection target not within source schema");
+        out.Add(s.target);
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<Relation> Program::Execute(const std::vector<Relation>& base) const {
+  GYO_CHECK(static_cast<int>(base.size()) == num_base_);
+  std::vector<Relation> states = base;
+  states.reserve(static_cast<size_t>(NumRelations()));
+  for (const Statement& s : statements_) {
+    switch (s.kind) {
+      case Statement::Kind::kJoin:
+        states.push_back(NaturalJoin(states[static_cast<size_t>(s.lhs)],
+                                     states[static_cast<size_t>(s.rhs)]));
+        break;
+      case Statement::Kind::kSemijoin:
+        states.push_back(Semijoin(states[static_cast<size_t>(s.lhs)],
+                                  states[static_cast<size_t>(s.rhs)]));
+        break;
+      case Statement::Kind::kProject:
+        states.push_back(Project(states[static_cast<size_t>(s.lhs)], s.target));
+        break;
+    }
+  }
+  return states;
+}
+
+std::vector<Relation> Program::ExecuteWithStats(
+    const std::vector<Relation>& base, Stats* stats) const {
+  std::vector<Relation> states = Execute(base);
+  if (stats != nullptr) {
+    *stats = Stats();
+    for (size_t i = static_cast<size_t>(num_base_); i < states.size(); ++i) {
+      int rows = states[i].NumRows();
+      stats->max_intermediate_rows = std::max(stats->max_intermediate_rows,
+                                              rows);
+      stats->total_rows_produced += rows;
+    }
+    if (!statements_.empty()) stats->result_rows = states.back().NumRows();
+  }
+  return states;
+}
+
+Relation Program::Run(const std::vector<Relation>& base) const {
+  GYO_CHECK_MSG(!statements_.empty(), "program has no statements");
+  return Execute(base).back();
+}
+
+std::string Program::Format(const Catalog& catalog) const {
+  std::string out;
+  int next = num_base_;
+  for (const Statement& s : statements_) {
+    out += "R" + std::to_string(next++) + " := ";
+    switch (s.kind) {
+      case Statement::Kind::kJoin:
+        out += "R" + std::to_string(s.lhs) + " join R" + std::to_string(s.rhs);
+        break;
+      case Statement::Kind::kSemijoin:
+        out += "R" + std::to_string(s.lhs) + " semijoin R" +
+               std::to_string(s.rhs);
+        break;
+      case Statement::Kind::kProject:
+        out += "project[" + catalog.Format(s.target) + "](R" +
+               std::to_string(s.lhs) + ")";
+        break;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+bool SolvesQueryEmpirically(const Program& p, const DatabaseSchema& d,
+                            const AttrSet& x, int trials, Rng& rng) {
+  for (int t = 0; t < trials; ++t) {
+    int rows = static_cast<int>(rng.Range(1, 40));
+    int domain = static_cast<int>(rng.Range(2, 6));
+    Relation universal = RandomUniversal(d.Universe(), rows, domain, rng);
+    std::vector<Relation> states = ProjectDatabase(universal, d);
+    Relation expected = EvaluateJoinQuery(d, x, states);
+    Relation actual = p.Run(states);
+    if (!actual.EqualsAsSet(expected)) return false;
+  }
+  return true;
+}
+
+}  // namespace gyo

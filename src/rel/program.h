@@ -1,0 +1,94 @@
+#ifndef GYO_REL_PROGRAM_H_
+#define GYO_REL_PROGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "rel/relation.h"
+#include "schema/schema.h"
+#include "util/attr_set.h"
+#include "util/rng.h"
+
+namespace gyo {
+
+/// Join/semijoin/project programs (paper §6). A program is a finite sequence
+/// of statements; each statement creates a new relation from existing ones.
+/// Relations are numbered 0..num_base-1 for the database relations, with each
+/// statement's result appended after them. A program *solves* (D, X) if its
+/// last statement produces π_X(⋈ D) on every UR database for D.
+class Program {
+ public:
+  struct Statement {
+    enum class Kind { kJoin, kSemijoin, kProject };
+    Kind kind;
+    int lhs = -1;          // input relation id
+    int rhs = -1;          // second input (join/semijoin)
+    AttrSet target;        // projection target (project only)
+  };
+
+  /// A program over `num_base` database relations.
+  explicit Program(int num_base) : num_base_(num_base) {}
+
+  /// Appends Rk := lhs ⋈ rhs; returns k.
+  int AddJoin(int lhs, int rhs);
+  /// Appends Rk := lhs ⋉ rhs; returns k.
+  int AddSemijoin(int lhs, int rhs);
+  /// Appends Rk := π_target(src); returns k.
+  int AddProject(int src, const AttrSet& target);
+
+  int num_base() const { return num_base_; }
+  int NumStatements() const { return static_cast<int>(statements_.size()); }
+  /// Total relations: base + created.
+  int NumRelations() const { return num_base_ + NumStatements(); }
+  const std::vector<Statement>& Statements() const { return statements_; }
+
+  int NumJoins() const;
+  int NumSemijoins() const;
+  int NumProjects() const;
+
+  /// P(D): the schemas of all NumRelations() relations (base schemas followed
+  /// by the created ones: join = union, semijoin = lhs schema,
+  /// project = target). Dies if a statement is ill-formed for `base`
+  /// (e.g. projecting attributes a source lacks).
+  DatabaseSchema DerivedSchema(const DatabaseSchema& base) const;
+
+  /// P(D): executes the program, returning all relation states (base states
+  /// followed by created ones). The result of the program is the last state.
+  std::vector<Relation> Execute(const std::vector<Relation>& base) const;
+
+  /// Machine-independent execution cost metrics (§4/§6: the point of
+  /// CC-pruning and semijoin programs is bounding intermediate results).
+  struct Stats {
+    /// Rows of the largest relation created by any statement.
+    int max_intermediate_rows = 0;
+    /// Total rows across all created relations.
+    long total_rows_produced = 0;
+    /// Rows of the final statement's result.
+    int result_rows = 0;
+  };
+
+  /// Executes and also reports size statistics of the created relations.
+  std::vector<Relation> ExecuteWithStats(const std::vector<Relation>& base,
+                                         Stats* stats) const;
+
+  /// Executes and returns just the final relation. The program must have at
+  /// least one statement.
+  Relation Run(const std::vector<Relation>& base) const;
+
+  /// Renders statements like "R6 := R0 ⋈ R1".
+  std::string Format(const Catalog& catalog) const;
+
+ private:
+  int num_base_;
+  std::vector<Statement> statements_;
+};
+
+/// Empirically checks that `p` solves (D, X): over `trials` random UR
+/// databases (varying row counts and domains), compares p's result with the
+/// reference evaluator π_X(⋈ D). Returns false on the first mismatch.
+bool SolvesQueryEmpirically(const Program& p, const DatabaseSchema& d,
+                            const AttrSet& x, int trials, Rng& rng);
+
+}  // namespace gyo
+
+#endif  // GYO_REL_PROGRAM_H_

@@ -1,0 +1,69 @@
+#include "rel/reducer.h"
+
+#include "gyo/qual_graph.h"
+#include "rel/ops.h"
+#include "util/check.h"
+
+namespace gyo {
+
+bool IsGloballyConsistent(const DatabaseSchema& d,
+                          const std::vector<Relation>& states) {
+  GYO_CHECK(static_cast<int>(states.size()) == d.NumRelations());
+  if (states.empty()) return true;
+  Relation joined = JoinAll(states);
+  for (int i = 0; i < d.NumRelations(); ++i) {
+    Relation projected = Project(joined, d[i]);
+    if (!projected.EqualsAsSet(states[static_cast<size_t>(i)])) return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<Relation>> ApplyFullReducer(
+    const DatabaseSchema& d, const std::vector<Relation>& states) {
+  GYO_CHECK(static_cast<int>(states.size()) == d.NumRelations());
+  std::optional<QualGraph> tree = BuildJoinTree(d);
+  if (!tree.has_value()) return std::nullopt;
+  std::vector<Relation> out = states;
+  // Upward pass: children (removed first) reduce their parents...
+  for (const auto& [child, parent] : tree->edges) {
+    out[static_cast<size_t>(parent)] =
+        Semijoin(out[static_cast<size_t>(parent)],
+                 out[static_cast<size_t>(child)]);
+  }
+  // ...then the downward pass propagates the root's state back out.
+  for (auto it = tree->edges.rbegin(); it != tree->edges.rend(); ++it) {
+    out[static_cast<size_t>(it->first)] = Semijoin(
+        out[static_cast<size_t>(it->first)],
+        out[static_cast<size_t>(it->second)]);
+  }
+  return out;
+}
+
+std::vector<Relation> SemijoinFixpoint(const DatabaseSchema& d,
+                                       const std::vector<Relation>& states,
+                                       int* steps) {
+  GYO_CHECK(static_cast<int>(states.size()) == d.NumRelations());
+  std::vector<Relation> out = states;
+  const int n = d.NumRelations();
+  int effective = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (i == j || !d[i].Intersects(d[j])) continue;
+        Relation reduced =
+            Semijoin(out[static_cast<size_t>(i)], out[static_cast<size_t>(j)]);
+        if (reduced.NumRows() != out[static_cast<size_t>(i)].NumRows()) {
+          out[static_cast<size_t>(i)] = std::move(reduced);
+          ++effective;
+          changed = true;
+        }
+      }
+    }
+  }
+  if (steps != nullptr) *steps = effective;
+  return out;
+}
+
+}  // namespace gyo

@@ -1,0 +1,43 @@
+#ifndef GYO_REL_REDUCER_H_
+#define GYO_REL_REDUCER_H_
+
+#include <optional>
+#include <vector>
+
+#include "rel/relation.h"
+#include "schema/schema.h"
+
+namespace gyo {
+
+/// Semijoin reduction (paper §4, after Bernstein–Chiu and Bernstein–Goodman).
+///
+/// A database state is *globally consistent* when every relation equals the
+/// projection of the full join onto its schema — i.e., no tuple is dangling.
+/// UR databases are always globally consistent; general databases are not.
+/// For tree schemas a *full reducer* — a fixed sequence of 2(n−1) semijoins —
+/// turns any state into a globally consistent one ("the non-UR transformation
+/// can be done efficiently using semijoins", §4). For cyclic schemas no full
+/// reducer exists: semijoins can reach a fixpoint on a globally inconsistent
+/// state.
+
+/// True iff every relation equals π_R(⋈ states). `states` must parallel `d`
+/// and be canonicalized.
+bool IsGloballyConsistent(const DatabaseSchema& d,
+                          const std::vector<Relation>& states);
+
+/// Applies the tree-schema full reducer (an upward and a downward semijoin
+/// pass over a qual tree) and returns the reduced states. Returns nullopt if
+/// `d` is a cyclic schema.
+std::optional<std::vector<Relation>> ApplyFullReducer(
+    const DatabaseSchema& d, const std::vector<Relation>& states);
+
+/// Applies pairwise semijoins Ri ⋉ Rj until no relation shrinks — the best
+/// any semijoin program can achieve. Returns the fixpoint states and, via
+/// `steps`, the number of effective semijoins applied (if non-null).
+std::vector<Relation> SemijoinFixpoint(const DatabaseSchema& d,
+                                       const std::vector<Relation>& states,
+                                       int* steps = nullptr);
+
+}  // namespace gyo
+
+#endif  // GYO_REL_REDUCER_H_

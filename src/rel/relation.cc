@@ -1,0 +1,50 @@
+#include "rel/relation.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace gyo {
+
+void Relation::AddRow(std::vector<Value> row) {
+  GYO_CHECK_MSG(static_cast<int>(row.size()) == Arity(),
+                "row arity mismatch: got %zu, want %d", row.size(), Arity());
+  rows_.push_back(std::move(row));
+}
+
+int Relation::ColIndex(AttrId attr) const {
+  auto it = std::lower_bound(attrs_.begin(), attrs_.end(), attr);
+  GYO_CHECK_MSG(it != attrs_.end() && *it == attr,
+                "attribute %d not in relation schema", attr);
+  return static_cast<int>(it - attrs_.begin());
+}
+
+void Relation::Canonicalize() {
+  std::sort(rows_.begin(), rows_.end());
+  rows_.erase(std::unique(rows_.begin(), rows_.end()), rows_.end());
+}
+
+bool Relation::EqualsAsSet(const Relation& other) const {
+  if (!(schema_ == other.schema_)) return false;
+  GYO_DCHECK(std::is_sorted(rows_.begin(), rows_.end()));
+  GYO_DCHECK(std::is_sorted(other.rows_.begin(), other.rows_.end()));
+  return rows_ == other.rows_;
+}
+
+std::string Relation::Format(const Catalog& catalog, int max_rows) const {
+  std::string out = catalog.Format(schema_) + " (" +
+                    std::to_string(NumRows()) + " rows)\n";
+  int shown = 0;
+  for (const auto& row : rows_) {
+    if (shown++ == max_rows) {
+      out += "  ...\n";
+      break;
+    }
+    out += " ";
+    for (Value v : row) out += " " + std::to_string(v);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace gyo

@@ -1,0 +1,74 @@
+#ifndef GYO_REL_RELATION_H_
+#define GYO_REL_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "schema/catalog.h"
+#include "util/attr_set.h"
+
+namespace gyo {
+
+/// Attribute value. A single integer domain suffices for every experiment in
+/// the paper (the theory is domain-agnostic).
+using Value = int64_t;
+
+/// A relation state: a set of tuples over a relation schema.
+///
+/// Tuples are stored as value vectors aligned with Attrs() (the schema's
+/// attributes in increasing id order). Relations compare as sets — call
+/// Canonicalize() (sort + dedupe) before comparing or after bulk inserts;
+/// the algebra operators in ops.h return canonicalized relations.
+class Relation {
+ public:
+  /// Creates an empty relation over `schema`.
+  explicit Relation(const AttrSet& schema)
+      : schema_(schema), attrs_(schema.ToVector()) {}
+
+  Relation(const Relation&) = default;
+  Relation& operator=(const Relation&) = default;
+  Relation(Relation&&) = default;
+  Relation& operator=(Relation&&) = default;
+
+  const AttrSet& Schema() const { return schema_; }
+  const std::vector<AttrId>& Attrs() const { return attrs_; }
+  int Arity() const { return static_cast<int>(attrs_.size()); }
+  int NumRows() const { return static_cast<int>(rows_.size()); }
+  bool Empty() const { return rows_.empty(); }
+
+  /// Appends a tuple; `row` must have Arity() values aligned with Attrs().
+  void AddRow(std::vector<Value> row);
+
+  const std::vector<Value>& Row(int i) const {
+    return rows_[static_cast<size_t>(i)];
+  }
+  const std::vector<std::vector<Value>>& Rows() const { return rows_; }
+
+  /// The column index of `attr` within rows; dies if absent.
+  int ColIndex(AttrId attr) const;
+
+  /// Value of `attr` in row `i`.
+  Value At(int i, AttrId attr) const {
+    return rows_[static_cast<size_t>(i)][static_cast<size_t>(ColIndex(attr))];
+  }
+
+  /// Sorts rows and removes duplicates (set semantics).
+  void Canonicalize();
+
+  /// Set equality; both sides must have the same schema and be canonicalized
+  /// (dies otherwise in debug builds).
+  bool EqualsAsSet(const Relation& other) const;
+
+  /// Renders a small relation for debugging.
+  std::string Format(const Catalog& catalog, int max_rows = 20) const;
+
+ private:
+  AttrSet schema_;
+  std::vector<AttrId> attrs_;
+  std::vector<std::vector<Value>> rows_;
+};
+
+}  // namespace gyo
+
+#endif  // GYO_REL_RELATION_H_

@@ -1,0 +1,56 @@
+#include "rel/universal.h"
+
+#include "rel/ops.h"
+#include "util/check.h"
+
+namespace gyo {
+
+Relation RandomUniversal(const AttrSet& universe, int num_rows, int domain,
+                         Rng& rng) {
+  GYO_CHECK(domain >= 1);
+  Relation out(universe);
+  for (int i = 0; i < num_rows; ++i) {
+    std::vector<Value> row(static_cast<size_t>(out.Arity()));
+    for (auto& v : row) {
+      v = static_cast<Value>(rng.Below(static_cast<uint64_t>(domain)));
+    }
+    out.AddRow(std::move(row));
+  }
+  out.Canonicalize();
+  return out;
+}
+
+std::vector<Relation> ProjectDatabase(const Relation& universal,
+                                      const DatabaseSchema& d) {
+  std::vector<Relation> out;
+  out.reserve(static_cast<size_t>(d.NumRelations()));
+  for (const RelationSchema& r : d.Relations()) {
+    out.push_back(Project(universal, r));
+  }
+  return out;
+}
+
+Relation EvaluateJoinQuery(const DatabaseSchema& d, const AttrSet& x,
+                           const std::vector<Relation>& states) {
+  GYO_CHECK(static_cast<int>(states.size()) == d.NumRelations());
+  GYO_CHECK(!states.empty());
+  Relation joined = JoinAll(states);
+  return Project(joined, x);
+}
+
+bool JdHolds(const Relation& universal, const DatabaseSchema& d) {
+  AttrSet u = d.Universe();
+  GYO_CHECK_MSG(u.IsSubsetOf(universal.Schema()),
+                "U(D) must be within the universal relation's schema");
+  Relation lhs = Project(universal, u);
+  Relation rhs = JoinAll(ProjectDatabase(universal, d));
+  return lhs.EqualsAsSet(rhs);
+}
+
+Relation RandomModelOfJd(const DatabaseSchema& d, int num_rows, int domain,
+                         Rng& rng) {
+  Relation seed = RandomUniversal(d.Universe(), num_rows, domain, rng);
+  return JoinAll(ProjectDatabase(seed, d));
+}
+
+}  // namespace gyo

@@ -1,0 +1,45 @@
+#ifndef GYO_REL_UNIVERSAL_H_
+#define GYO_REL_UNIVERSAL_H_
+
+#include <vector>
+
+#include "rel/relation.h"
+#include "schema/schema.h"
+#include "util/rng.h"
+
+namespace gyo {
+
+/// Universal-relation machinery (paper §2). A UR database for D is
+/// D = {π_R(I) | R ∈ D} for some universal relation I. Every theorem of the
+/// paper quantifies over such databases; these helpers generate random
+/// instances for empirical validation (the "simulated substrate" of
+/// EXPERIMENTS.md).
+
+/// A uniformly random relation over `universe`: `num_rows` tuples with values
+/// drawn from [0, domain). Small domains create many coincidences (joins
+/// fire often); large domains approximate key-like data.
+Relation RandomUniversal(const AttrSet& universe, int num_rows, int domain,
+                         Rng& rng);
+
+/// The UR database state {π_R(I) | R ∈ D}.
+std::vector<Relation> ProjectDatabase(const Relation& universal,
+                                      const DatabaseSchema& d);
+
+/// Reference evaluator for Q = (D, X): π_X(⋈ states). `states` must be
+/// parallel to `d`.
+Relation EvaluateJoinQuery(const DatabaseSchema& d, const AttrSet& x,
+                           const std::vector<Relation>& states);
+
+/// True iff I ⊨ ⋈D: π_U(D)(I) = ⋈_{R∈D} π_R(I) (an embedded join dependency
+/// when U(D) ⊊ schema(I); paper §5.1).
+bool JdHolds(const Relation& universal, const DatabaseSchema& d);
+
+/// Generates a universal relation that satisfies ⋈D by construction: draws a
+/// random I0 over U(D) and returns ⋈_{R∈D} π_R(I0) (the closure under the
+/// join dependency). Used to test ⋈D ⊨ ⋈D' empirically.
+Relation RandomModelOfJd(const DatabaseSchema& d, int num_rows, int domain,
+                         Rng& rng);
+
+}  // namespace gyo
+
+#endif  // GYO_REL_UNIVERSAL_H_

@@ -1,0 +1,62 @@
+#include "schema/catalog.h"
+
+#include <string>
+
+#include "util/check.h"
+
+namespace gyo {
+
+AttrId Catalog::Intern(std::string_view name) {
+  GYO_CHECK_MSG(!name.empty(), "attribute names must be non-empty");
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  AttrId id = static_cast<AttrId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<AttrId> Catalog::Find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Catalog::Name(AttrId id) const {
+  GYO_CHECK_MSG(id >= 0 && id < size(), "unknown attribute id %d", id);
+  return names_[static_cast<size_t>(id)];
+}
+
+AttrSet Catalog::InternAll(std::string_view chars) {
+  AttrSet out;
+  for (char c : chars) {
+    out.Insert(Intern(std::string_view(&c, 1)));
+  }
+  return out;
+}
+
+std::string Catalog::Format(const AttrSet& set) const {
+  bool all_single = true;
+  set.ForEach([&](AttrId id) {
+    if (id >= size() || names_[static_cast<size_t>(id)].size() != 1) {
+      all_single = false;
+    }
+  });
+  std::string out;
+  bool first = true;
+  set.ForEach([&](AttrId id) {
+    std::string name =
+        id < size() ? names_[static_cast<size_t>(id)] : "#" + std::to_string(id);
+    if (all_single) {
+      out += name;
+    } else {
+      if (!first) out += ",";
+      out += name;
+    }
+    first = false;
+  });
+  if (out.empty()) out = "{}";
+  return out;
+}
+
+}  // namespace gyo

@@ -1,0 +1,56 @@
+#ifndef GYO_SCHEMA_CATALOG_H_
+#define GYO_SCHEMA_CATALOG_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/attr_set.h"
+
+namespace gyo {
+
+/// Maps attribute names to dense AttrIds and back.
+///
+/// The algorithms in this library operate on integer attribute ids; a Catalog
+/// is only needed at the boundary (parsing schema specifications, printing
+/// results). The paper's compact notation — `ab,bc,cd` where every letter is
+/// an attribute — is supported directly via InternAll/Format.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Catalog(const Catalog&) = default;
+  Catalog& operator=(const Catalog&) = default;
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+
+  /// Returns the id for `name`, creating it if unseen.
+  AttrId Intern(std::string_view name);
+
+  /// Returns the id for `name` if it exists.
+  std::optional<AttrId> Find(std::string_view name) const;
+
+  /// Returns the name of an existing id.
+  const std::string& Name(AttrId id) const;
+
+  /// Number of attributes interned so far.
+  int size() const { return static_cast<int>(names_.size()); }
+
+  /// Interns every character of `chars` as a one-letter attribute and returns
+  /// the resulting set. E.g. InternAll("abc") == {a, b, c}.
+  AttrSet InternAll(std::string_view chars);
+
+  /// Renders a set in the paper's notation: concatenated when all names are a
+  /// single character (e.g. "abc"), comma-separated otherwise.
+  std::string Format(const AttrSet& set) const;
+
+ private:
+  std::unordered_map<std::string, AttrId> index_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace gyo
+
+#endif  // GYO_SCHEMA_CATALOG_H_

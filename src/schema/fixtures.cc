@@ -1,0 +1,73 @@
+#include "schema/fixtures.h"
+
+#include "schema/parse.h"
+
+namespace gyo::fixtures {
+
+DatabaseSchema Fig1Path(Catalog& catalog) {
+  return ParseSchema(catalog, "ab,bc,cd");
+}
+
+DatabaseSchema Fig1Triangle(Catalog& catalog) {
+  return ParseSchema(catalog, "ab,bc,ac");
+}
+
+DatabaseSchema Fig1Tree(Catalog& catalog) {
+  return ParseSchema(catalog, "abc,cde,ace,afe");
+}
+
+DatabaseSchema Fig2Aring(Catalog& catalog) {
+  return ParseSchema(catalog, "ab,bc,cd,da");
+}
+
+DatabaseSchema Fig2Aclique(Catalog& catalog) {
+  return ParseSchema(catalog, "bcd,acd,abd,abc");
+}
+
+DatabaseSchema Fig2RingBased(Catalog& catalog, AttrSet* deleted) {
+  // Deleting {a,b,g,h,i} leaves the Aring (cd, de, ef, fc) plus an empty
+  // schema from `ai` that subset-elimination removes.
+  DatabaseSchema d = ParseSchema(catalog, "acd,bde,efg,fch,ai");
+  if (deleted != nullptr) *deleted = ParseAttrSet(catalog, "abghi");
+  return d;
+}
+
+DatabaseSchema Fig2CliqueBased(Catalog& catalog, AttrSet* deleted) {
+  // Deleting {e,f,g,h} leaves the Aclique (bcd, acd, abd, abc) plus an empty
+  // schema from `gh` that subset-elimination removes.
+  DatabaseSchema d = ParseSchema(catalog, "bcde,acdf,abdg,abch,gh");
+  if (deleted != nullptr) *deleted = ParseAttrSet(catalog, "efgh");
+  return d;
+}
+
+DatabaseSchema Sec32D(Catalog& catalog) {
+  return ParseSchema(catalog, "ab,bc,cd,de,ef,fg,gh,ha");
+}
+
+DatabaseSchema Sec32Dpp(Catalog& catalog) {
+  return ParseSchema(catalog, "ab,abch,cdgh,defg,ef");
+}
+
+DatabaseSchema Sec32Dp(Catalog& catalog) {
+  return ParseSchema(catalog, "abef,abch,cdgh,defg,e");
+}
+
+DatabaseSchema Sec51D(Catalog& catalog) {
+  return ParseSchema(catalog, "abc,ab,bc");
+}
+
+DatabaseSchema Sec51Dp(Catalog& catalog) {
+  return ParseSchema(catalog, "ab,bc");
+}
+
+DatabaseSchema Sec6D(Catalog& catalog) {
+  return ParseSchema(catalog, "abg,bcg,acf,ad,de,ea");
+}
+
+AttrSet Sec6X(Catalog& catalog) { return ParseAttrSet(catalog, "abc"); }
+
+DatabaseSchema Sec6CC(Catalog& catalog) {
+  return ParseSchema(catalog, "abg,bcg,ac");
+}
+
+}  // namespace gyo::fixtures

@@ -1,0 +1,128 @@
+#include "schema/generators.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace gyo {
+
+DatabaseSchema Aring(int n, AttrId base) {
+  GYO_CHECK_MSG(n >= 3, "Aring requires n >= 3");
+  DatabaseSchema d;
+  for (int i = 0; i < n; ++i) {
+    d.Add(AttrSet{base + i, base + (i + 1) % n});
+  }
+  return d;
+}
+
+DatabaseSchema Aclique(int n, AttrId base) {
+  GYO_CHECK_MSG(n >= 3, "Aclique requires n >= 3");
+  AttrSet universe;
+  for (int i = 0; i < n; ++i) universe.Insert(base + i);
+  DatabaseSchema d;
+  for (int i = 0; i < n; ++i) {
+    AttrSet r = universe;
+    r.Erase(base + i);
+    d.Add(r);
+  }
+  return d;
+}
+
+DatabaseSchema PathSchema(int n, AttrId base) {
+  GYO_CHECK_MSG(n >= 2, "PathSchema requires n >= 2 attributes");
+  DatabaseSchema d;
+  for (int i = 0; i + 1 < n; ++i) {
+    d.Add(AttrSet{base + i, base + i + 1});
+  }
+  return d;
+}
+
+DatabaseSchema StarSchema(int leaves, AttrId base) {
+  GYO_CHECK_MSG(leaves >= 1, "StarSchema requires >= 1 leaf");
+  DatabaseSchema d;
+  for (int i = 1; i <= leaves; ++i) {
+    d.Add(AttrSet{base, base + i});
+  }
+  return d;
+}
+
+DatabaseSchema GridSchema(int rows, int cols, AttrId base) {
+  GYO_CHECK_MSG(rows >= 1 && cols >= 1, "grid needs positive dimensions");
+  auto vertex = [&](int r, int c) { return base + r * cols + c; };
+  DatabaseSchema d;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) d.Add(AttrSet{vertex(r, c), vertex(r, c + 1)});
+      if (r + 1 < rows) d.Add(AttrSet{vertex(r, c), vertex(r + 1, c)});
+    }
+  }
+  return d;
+}
+
+RandomTreeResult RandomTreeSchema(int num_relations, int max_arity, Rng& rng) {
+  GYO_CHECK(num_relations >= 1);
+  GYO_CHECK(max_arity >= 1);
+  RandomTreeResult out;
+  AttrId next_attr = 0;
+  // Root relation: fresh attributes only.
+  {
+    int arity = static_cast<int>(rng.Range(1, max_arity));
+    AttrSet r;
+    for (int i = 0; i < arity; ++i) r.Insert(next_attr++);
+    out.schema.Add(r);
+  }
+  for (int i = 1; i < num_relations; ++i) {
+    int parent = static_cast<int>(rng.Below(static_cast<uint64_t>(i)));
+    const AttrSet& p = out.schema[parent];
+    std::vector<AttrId> parent_attrs = p.ToVector();
+    // Choose a (possibly empty) random subset of the parent to share.
+    AttrSet r;
+    int shared = 0;
+    for (AttrId a : parent_attrs) {
+      if (rng.Chance(0.5) && shared + 1 < max_arity) {
+        r.Insert(a);
+        ++shared;
+      }
+    }
+    // Top up with fresh attributes; guarantee non-empty.
+    int fresh = static_cast<int>(rng.Range(r.Empty() ? 1 : 0,
+                                           std::max<int64_t>(1, max_arity - shared)));
+    for (int f = 0; f < fresh; ++f) r.Insert(next_attr++);
+    out.schema.Add(r);
+    out.tree_edges.emplace_back(i, parent);
+  }
+  return out;
+}
+
+DatabaseSchema RandomSchema(int num_relations, int universe_size,
+                            int max_arity, Rng& rng) {
+  GYO_CHECK(num_relations >= 1);
+  GYO_CHECK(universe_size >= 1);
+  GYO_CHECK(max_arity >= 1);
+  DatabaseSchema d;
+  for (int i = 0; i < num_relations; ++i) {
+    int arity = static_cast<int>(
+        rng.Range(1, std::min(max_arity, universe_size)));
+    AttrSet r;
+    while (r.Size() < arity) {
+      r.Insert(static_cast<AttrId>(rng.Below(static_cast<uint64_t>(universe_size))));
+    }
+    d.Add(r);
+  }
+  return d;
+}
+
+DatabaseSchema FattenedRing(int ring, int extra_per_edge, AttrId base) {
+  GYO_CHECK_MSG(ring >= 3, "FattenedRing requires ring >= 3");
+  GYO_CHECK(extra_per_edge >= 0);
+  DatabaseSchema d;
+  AttrId next_extra = base + ring;
+  for (int i = 0; i < ring; ++i) {
+    AttrSet r{base + i, base + (i + 1) % ring};
+    for (int k = 0; k < extra_per_edge; ++k) r.Insert(next_extra++);
+    d.Add(r);
+  }
+  return d;
+}
+
+}  // namespace gyo

@@ -1,0 +1,63 @@
+#ifndef GYO_SCHEMA_GENERATORS_H_
+#define GYO_SCHEMA_GENERATORS_H_
+
+#include <utility>
+#include <vector>
+
+#include "schema/schema.h"
+#include "util/rng.h"
+
+namespace gyo {
+
+/// Generators for the schema families used throughout the paper and the
+/// benchmark harness. All generators are deterministic given their inputs;
+/// attribute ids are dense integers starting at `base` (intern names into a
+/// Catalog separately if you need to print).
+
+/// An Aring of size n (§3.1): U = {A1..An}, relations {Ai, Ai+1} cyclically.
+/// Requires n >= 3. Arings are cyclic schemas (Lemma 3.1).
+DatabaseSchema Aring(int n, AttrId base = 0);
+
+/// An Aclique of size n (§3.1): relations U − {Ai} for each i. Requires
+/// n >= 3. Acliques are cyclic schemas (Lemma 3.1).
+DatabaseSchema Aclique(int n, AttrId base = 0);
+
+/// A path schema (A1A2, A2A3, ..., An-1An); a tree schema. Requires n >= 2.
+DatabaseSchema PathSchema(int n, AttrId base = 0);
+
+/// A star schema ({A0,A1}, {A0,A2}, ..., {A0,An}); a tree schema.
+/// Requires n >= 1 leaves.
+DatabaseSchema StarSchema(int leaves, AttrId base = 0);
+
+/// A rows×cols grid of binary relations (edges of the grid graph on
+/// attribute-vertices); cyclic when rows >= 2 and cols >= 2.
+DatabaseSchema GridSchema(int rows, int cols, AttrId base = 0);
+
+/// A random tree (acyclic) schema together with a witnessing join tree.
+struct RandomTreeResult {
+  DatabaseSchema schema;
+  /// Edges (child, parent) of a qual tree for `schema`.
+  std::vector<std::pair<int, int>> tree_edges;
+};
+
+/// Generates a random tree schema with `num_relations` relations of arity at
+/// most `max_arity`, by growing a join tree: each new relation shares a
+/// random subset of a random existing relation and adds fresh attributes.
+/// Acyclicity holds by construction. Requires num_relations >= 1,
+/// max_arity >= 1.
+RandomTreeResult RandomTreeSchema(int num_relations, int max_arity, Rng& rng);
+
+/// Generates an arbitrary random schema: `num_relations` uniformly random
+/// subsets of a universe of `universe_size` attributes, each of size in
+/// [1, max_arity]. May be a tree or cyclic schema.
+DatabaseSchema RandomSchema(int num_relations, int universe_size,
+                            int max_arity, Rng& rng);
+
+/// Generates a guaranteed-cyclic schema: an Aring of size `ring` whose edges
+/// are fattened with `extra_per_edge` fresh attributes each (fresh attributes
+/// never create ears, so the ring core survives GYO reduction).
+DatabaseSchema FattenedRing(int ring, int extra_per_edge, AttrId base = 0);
+
+}  // namespace gyo
+
+#endif  // GYO_SCHEMA_GENERATORS_H_

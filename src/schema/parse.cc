@@ -1,0 +1,68 @@
+#include "schema/parse.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace gyo {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::vector<std::string_view> Split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool HasWhitespace(std::string_view s) {
+  for (char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c))) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+AttrSet ParseAttrSet(Catalog& catalog, std::string_view spec) {
+  std::string_view token = Trim(spec);
+  GYO_CHECK_MSG(!token.empty(), "empty attribute set in schema spec");
+  if (!HasWhitespace(token)) {
+    return catalog.InternAll(token);
+  }
+  AttrSet out;
+  for (std::string_view name : Split(token, ' ')) {
+    name = Trim(name);
+    if (name.empty()) continue;
+    out.Insert(catalog.Intern(name));
+  }
+  GYO_CHECK_MSG(!out.Empty(), "empty attribute set in schema spec");
+  return out;
+}
+
+DatabaseSchema ParseSchema(Catalog& catalog, std::string_view spec) {
+  DatabaseSchema out;
+  for (std::string_view token : Split(spec, ',')) {
+    out.Add(ParseAttrSet(catalog, token));
+  }
+  return out;
+}
+
+}  // namespace gyo

@@ -1,0 +1,27 @@
+#ifndef GYO_SCHEMA_PARSE_H_
+#define GYO_SCHEMA_PARSE_H_
+
+#include <string_view>
+
+#include "schema/catalog.h"
+#include "schema/schema.h"
+
+namespace gyo {
+
+/// Parses the paper's compact schema notation.
+///
+/// Relations are separated by commas. Within a relation:
+///  * if the token contains no whitespace, every character is a one-letter
+///    attribute ("ab,bc,cd" → ({a,b},{b,c},{c,d}));
+///  * otherwise, whitespace-separated tokens are attribute names
+///    ("part supplier, supplier city" → two relations with named attributes).
+///
+/// New attributes are interned into `catalog`. Dies on empty relations.
+DatabaseSchema ParseSchema(Catalog& catalog, std::string_view spec);
+
+/// Parses a single attribute set in the same notation ("abc" or "a b c").
+AttrSet ParseAttrSet(Catalog& catalog, std::string_view spec);
+
+}  // namespace gyo
+
+#endif  // GYO_SCHEMA_PARSE_H_

@@ -1,0 +1,159 @@
+#include "schema/schema.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+
+namespace gyo {
+
+AttrSet DatabaseSchema::Universe() const {
+  AttrSet u;
+  for (const RelationSchema& r : relations_) u.UnionWith(r);
+  return u;
+}
+
+bool DatabaseSchema::IsReduced() const {
+  int n = NumRelations();
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (relations_[i] == relations_[j]) {
+        if (i < j) continue;  // count the duplicate pair once, from j's side
+        return false;
+      }
+      if (relations_[static_cast<size_t>(i)].IsSubsetOf(
+              relations_[static_cast<size_t>(j)])) {
+        return false;
+      }
+    }
+  }
+  // A duplicate pair means non-reduced: check explicitly.
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (relations_[static_cast<size_t>(i)] ==
+          relations_[static_cast<size_t>(j)]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+DatabaseSchema DatabaseSchema::Reduction() const {
+  DatabaseSchema out;
+  int n = NumRelations();
+  for (int i = 0; i < n; ++i) {
+    const RelationSchema& r = relations_[static_cast<size_t>(i)];
+    bool eliminated = false;
+    for (int j = 0; j < n && !eliminated; ++j) {
+      if (i == j) continue;
+      const RelationSchema& s = relations_[static_cast<size_t>(j)];
+      if (r.IsProperSubsetOf(s)) eliminated = true;
+      // Duplicates: keep only the first occurrence.
+      if (r == s && j < i) eliminated = true;
+    }
+    if (!eliminated) out.Add(r);
+  }
+  return out;
+}
+
+bool DatabaseSchema::CoveredBy(const DatabaseSchema& other) const {
+  for (const RelationSchema& r : relations_) {
+    bool covered = false;
+    for (const RelationSchema& s : other.relations_) {
+      if (r.IsSubsetOf(s)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+bool DatabaseSchema::ContainsRelation(const RelationSchema& r) const {
+  for (const RelationSchema& s : relations_) {
+    if (r == s) return true;
+  }
+  return false;
+}
+
+bool DatabaseSchema::IsSubMultisetOf(const DatabaseSchema& other) const {
+  std::map<AttrSet, int> counts;
+  for (const RelationSchema& s : other.relations_) counts[s]++;
+  for (const RelationSchema& r : relations_) {
+    auto it = counts.find(r);
+    if (it == counts.end() || it->second == 0) return false;
+    --it->second;
+  }
+  return true;
+}
+
+bool DatabaseSchema::EqualsAsMultiset(const DatabaseSchema& other) const {
+  return NumRelations() == other.NumRelations() && IsSubMultisetOf(other);
+}
+
+DatabaseSchema DatabaseSchema::DeleteAttributes(const AttrSet& x) const {
+  DatabaseSchema out;
+  for (const RelationSchema& r : relations_) out.Add(r.Minus(x));
+  return out;
+}
+
+DatabaseSchema DatabaseSchema::Select(const std::vector<int>& indices) const {
+  DatabaseSchema out;
+  for (int i : indices) {
+    GYO_CHECK(i >= 0 && i < NumRelations());
+    out.Add(relations_[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+std::vector<std::vector<int>> DatabaseSchema::ConnectedComponents() const {
+  int n = NumRelations();
+  std::vector<int> comp(static_cast<size_t>(n), -1);
+  int num_comps = 0;
+  for (int start = 0; start < n; ++start) {
+    if (comp[static_cast<size_t>(start)] != -1) continue;
+    // BFS over the "shares an attribute" graph.
+    std::vector<int> queue = {start};
+    comp[static_cast<size_t>(start)] = num_comps;
+    for (size_t qi = 0; qi < queue.size(); ++qi) {
+      int u = queue[qi];
+      for (int v = 0; v < n; ++v) {
+        if (comp[static_cast<size_t>(v)] != -1) continue;
+        if (relations_[static_cast<size_t>(u)].Intersects(
+                relations_[static_cast<size_t>(v)])) {
+          comp[static_cast<size_t>(v)] = num_comps;
+          queue.push_back(v);
+        }
+      }
+    }
+    ++num_comps;
+  }
+  std::vector<std::vector<int>> out(static_cast<size_t>(num_comps));
+  for (int i = 0; i < n; ++i) {
+    out[static_cast<size_t>(comp[static_cast<size_t>(i)])].push_back(i);
+  }
+  return out;
+}
+
+bool DatabaseSchema::IsConnected() const {
+  return ConnectedComponents().size() <= 1;
+}
+
+void DatabaseSchema::SortCanonical() {
+  std::sort(relations_.begin(), relations_.end());
+}
+
+std::string DatabaseSchema::Format(const Catalog& catalog) const {
+  std::string out = "(";
+  for (int i = 0; i < NumRelations(); ++i) {
+    if (i > 0) out += ", ";
+    out += catalog.Format(relations_[static_cast<size_t>(i)]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace gyo

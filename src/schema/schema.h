@@ -1,0 +1,117 @@
+#ifndef GYO_SCHEMA_SCHEMA_H_
+#define GYO_SCHEMA_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "schema/catalog.h"
+#include "util/attr_set.h"
+
+namespace gyo {
+
+/// A relation schema is a set of attributes; we use AttrSet directly.
+using RelationSchema = AttrSet;
+
+/// A database schema: a finite multiset of relation schemas (paper §2).
+///
+/// The multiset is stored as an ordered vector so relation *indices* are
+/// stable; many algorithms (GYO traces, qual graphs, tableaux) refer to
+/// relations by index. Value semantics throughout.
+class DatabaseSchema {
+ public:
+  DatabaseSchema() = default;
+
+  /// Wraps an explicit relation list.
+  explicit DatabaseSchema(std::vector<RelationSchema> relations)
+      : relations_(std::move(relations)) {}
+
+  DatabaseSchema(std::initializer_list<RelationSchema> relations)
+      : relations_(relations) {}
+
+  DatabaseSchema(const DatabaseSchema&) = default;
+  DatabaseSchema& operator=(const DatabaseSchema&) = default;
+  DatabaseSchema(DatabaseSchema&&) = default;
+  DatabaseSchema& operator=(DatabaseSchema&&) = default;
+
+  /// Appends a relation schema; returns its index.
+  int Add(RelationSchema r) {
+    relations_.push_back(std::move(r));
+    return static_cast<int>(relations_.size()) - 1;
+  }
+
+  /// Number of relation schemas (counting duplicates).
+  int NumRelations() const { return static_cast<int>(relations_.size()); }
+
+  /// True iff the schema has no relations.
+  bool Empty() const { return relations_.empty(); }
+
+  /// Relation schema at `index`.
+  const RelationSchema& Relation(int index) const {
+    return relations_[static_cast<size_t>(index)];
+  }
+  const RelationSchema& operator[](int index) const { return Relation(index); }
+
+  const std::vector<RelationSchema>& Relations() const { return relations_; }
+
+  /// U(D): the union of all relation schemas.
+  AttrSet Universe() const;
+
+  /// True iff no relation schema is a subset of another (distinct index),
+  /// i.e. the paper's "reduced" property. Duplicates make a schema
+  /// non-reduced.
+  bool IsReduced() const;
+
+  /// The reduction of D: eliminates relation schemas contained in others and
+  /// collapses duplicates to a single copy (paper §2). Keeps the first
+  /// occurrence of each surviving set; deterministic.
+  DatabaseSchema Reduction() const;
+
+  /// True iff *this ≤ other: every relation of *this is contained in some
+  /// relation of `other` (paper §2).
+  bool CoveredBy(const DatabaseSchema& other) const;
+
+  /// True iff `r` equals some relation schema of *this.
+  bool ContainsRelation(const RelationSchema& r) const;
+
+  /// True iff every relation of *this appears in `other` (as a sub-multiset:
+  /// respects multiplicities).
+  bool IsSubMultisetOf(const DatabaseSchema& other) const;
+
+  /// Multiset equality (order-insensitive, multiplicity-sensitive).
+  bool EqualsAsMultiset(const DatabaseSchema& other) const;
+
+  /// Returns the schema (R − X | R ∈ D); relations that become empty are
+  /// kept so indices stay aligned with *this.
+  DatabaseSchema DeleteAttributes(const AttrSet& x) const;
+
+  /// Returns the sub-schema with the given relation indices, in order.
+  DatabaseSchema Select(const std::vector<int>& indices) const;
+
+  /// Connected components of the "share at least one attribute" graph over
+  /// relation indices. Relations with empty schemas form singleton
+  /// components. Components are sorted by smallest member.
+  std::vector<std::vector<int>> ConnectedComponents() const;
+
+  /// True iff the schema is connected in the sense of §5.2: every pair of
+  /// relations is linked by a path of relations with pairwise-intersecting
+  /// neighbours. The empty schema and singletons are connected.
+  bool IsConnected() const;
+
+  /// Sorts relations into the canonical AttrSet order (stable across runs).
+  /// Invalidates externally-held indices.
+  void SortCanonical();
+
+  /// Renders the schema in the paper's notation, e.g. "(ab, bc, cd)".
+  std::string Format(const Catalog& catalog) const;
+
+  friend bool operator==(const DatabaseSchema& a, const DatabaseSchema& b) {
+    return a.relations_ == b.relations_;
+  }
+
+ private:
+  std::vector<RelationSchema> relations_;
+};
+
+}  // namespace gyo
+
+#endif  // GYO_SCHEMA_SCHEMA_H_

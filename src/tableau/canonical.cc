@@ -1,0 +1,76 @@
+#include "tableau/canonical.h"
+
+#include <vector>
+
+#include "gyo/acyclic.h"
+#include "gyo/gyo.h"
+#include "tableau/minimize.h"
+#include "util/check.h"
+
+namespace gyo {
+
+CanonicalResult CanonicalSchema(const Tableau& t) {
+  const int rows = t.NumRows();
+  const int cols = t.NumCols();
+  // Count symbol occurrences per column to identify repeated variables.
+  std::vector<RelationSchema> raw(static_cast<size_t>(rows));
+  for (int c = 0; c < cols; ++c) {
+    for (int r = 0; r < rows; ++r) {
+      int sym = t.Cell(r, c);
+      if (sym == Tableau::kDistinguished) {
+        raw[static_cast<size_t>(r)].Insert(t.ColumnAttr(c));
+        continue;
+      }
+      bool repeated = false;
+      for (int r2 = 0; r2 < rows && !repeated; ++r2) {
+        if (r2 != r && t.Cell(r2, c) == sym) repeated = true;
+      }
+      if (repeated) raw[static_cast<size_t>(r)].Insert(t.ColumnAttr(c));
+    }
+  }
+  // Reduce (eliminate subsets and duplicates), keeping provenance.
+  CanonicalResult out;
+  for (int r = 0; r < rows; ++r) {
+    const RelationSchema& cand = raw[static_cast<size_t>(r)];
+    bool eliminated = false;
+    for (int r2 = 0; r2 < rows && !eliminated; ++r2) {
+      if (r2 == r) continue;
+      const RelationSchema& other = raw[static_cast<size_t>(r2)];
+      if (cand.IsProperSubsetOf(other)) eliminated = true;
+      if (cand == other && r2 < r) eliminated = true;
+    }
+    if (!eliminated) {
+      out.schema.Add(cand);
+      out.sources.push_back(t.RowOrigin(r));
+    }
+  }
+  return out;
+}
+
+CanonicalResult CanonicalConnectionExact(const DatabaseSchema& d,
+                                         const AttrSet& x) {
+  GYO_CHECK_MSG(x.IsSubsetOf(d.Universe()), "X must be a subset of U(D)");
+  Tableau t = Tableau::Standard(d, x);
+  Tableau minimal = Minimize(t);
+  CanonicalResult out = CanonicalSchema(minimal);
+  out.used_fast_path = false;
+  return out;
+}
+
+CanonicalResult CanonicalConnection(const DatabaseSchema& d,
+                                    const AttrSet& x) {
+  GYO_CHECK_MSG(x.IsSubsetOf(d.Universe()), "X must be a subset of U(D)");
+  // Theorem 3.3(ii): for tree schemas CC(D,X) = GR(D,X).
+  // Theorem 3.3(iii): if U(GR(D,X)) ⊆ X then CC(D,X) = GR(D,X).
+  GyoResult gr = GyoReduceFast(d, x);
+  if (IsTreeSchema(d) || gr.reduced.Universe().IsSubsetOf(x)) {
+    CanonicalResult out;
+    out.schema = gr.reduced;
+    out.sources = gr.survivors;
+    out.used_fast_path = true;
+    return out;
+  }
+  return CanonicalConnectionExact(d, x);
+}
+
+}  // namespace gyo

@@ -1,0 +1,46 @@
+#ifndef GYO_TABLEAU_CANONICAL_H_
+#define GYO_TABLEAU_CANONICAL_H_
+
+#include <vector>
+
+#include "schema/schema.h"
+#include "tableau/tableau.h"
+#include "util/attr_set.h"
+
+namespace gyo {
+
+/// A canonical connection CC(D, X) together with provenance.
+struct CanonicalResult {
+  /// The canonical connection: the canonical schema of a minimal tableau for
+  /// (D, X) (§3.4). Unique by Lemmas 3.3–3.4.
+  DatabaseSchema schema;
+
+  /// For each relation of `schema`, the index of the relation of D whose
+  /// tableau row produced it. (The CC relation is always a subset of that
+  /// source relation — the §6 "useless columns" are exactly the dropped
+  /// attributes.)
+  std::vector<int> sources;
+
+  /// True iff the GYO fast path of Theorem 3.3 was used (D was a tree schema
+  /// or U(GR(D,X)) ⊆ X); false means full tableau minimization ran.
+  bool used_fast_path = false;
+};
+
+/// The canonical schema CS of a tableau (§3.4): for each row, the attributes
+/// whose cell is distinguished or holds a variable repeated in another row;
+/// the resulting schema is reduced. Row origins become sources.
+CanonicalResult CanonicalSchema(const Tableau& t);
+
+/// Computes CC(D, X). Uses Theorem 3.3's fast paths — CC(D,X) = GR(D,X) when
+/// D is a tree schema (ii) or when U(GR(D,X)) ⊆ X (iii) — and falls back to
+/// tableau minimization otherwise. Requires X ⊆ U(D).
+CanonicalResult CanonicalConnection(const DatabaseSchema& d, const AttrSet& x);
+
+/// Computes CC(D, X) by tableau minimization unconditionally. Used to
+/// cross-validate the fast paths and to benchmark them (P3).
+CanonicalResult CanonicalConnectionExact(const DatabaseSchema& d,
+                                         const AttrSet& x);
+
+}  // namespace gyo
+
+#endif  // GYO_TABLEAU_CANONICAL_H_

@@ -1,0 +1,186 @@
+#include "tableau/containment.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace gyo {
+
+namespace {
+
+// Verifies that `row_map` (from-row → to-row) induces a well-defined symbol
+// mapping that fixes distinguished variables.
+bool VerifyRowMap(const Tableau& from, const Tableau& to,
+                  const std::vector<int>& row_map) {
+  const int cols = from.NumCols();
+  // Per-column symbol image, keyed by symbol value.
+  for (int c = 0; c < cols; ++c) {
+    int max_sym = 0;
+    for (int r = 0; r < from.NumRows(); ++r) {
+      max_sym = std::max(max_sym, from.Cell(r, c));
+    }
+    std::vector<int> image(static_cast<size_t>(max_sym) + 1, -1);
+    for (int r = 0; r < from.NumRows(); ++r) {
+      int f = from.Cell(r, c);
+      int t = to.Cell(row_map[static_cast<size_t>(r)], c);
+      if (f == Tableau::kDistinguished && t != Tableau::kDistinguished) {
+        return false;
+      }
+      if (image[static_cast<size_t>(f)] == -1) {
+        image[static_cast<size_t>(f)] = t;
+      } else if (image[static_cast<size_t>(f)] != t) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// Backtracking searcher for a containment mapping.
+class Searcher {
+ public:
+  Searcher(const Tableau& from, const Tableau& to, bool injective)
+      : from_(from), to_(to), injective_(injective) {
+    cols_ = from.NumCols();
+    // Symbol image tables, per column.
+    int max_sym = 2;
+    for (int r = 0; r < from.NumRows(); ++r) {
+      for (int c = 0; c < cols_; ++c) {
+        max_sym = std::max(max_sym, from.Cell(r, c));
+      }
+    }
+    image_.assign(static_cast<size_t>(cols_),
+                  std::vector<int>(static_cast<size_t>(max_sym) + 1, -1));
+    used_.assign(static_cast<size_t>(to.NumRows()), false);
+
+    // Candidate targets per from-row: distinguished cells must land on
+    // distinguished cells.
+    candidates_.resize(static_cast<size_t>(from.NumRows()));
+    for (int r = 0; r < from.NumRows(); ++r) {
+      for (int s = 0; s < to.NumRows(); ++s) {
+        bool ok = true;
+        for (int c = 0; c < cols_ && ok; ++c) {
+          if (from.Cell(r, c) == Tableau::kDistinguished &&
+              to.Cell(s, c) != Tableau::kDistinguished) {
+            ok = false;
+          }
+        }
+        if (ok) candidates_[static_cast<size_t>(r)].push_back(s);
+      }
+    }
+    // Assign most-constrained rows first.
+    order_.resize(static_cast<size_t>(from.NumRows()));
+    std::iota(order_.begin(), order_.end(), 0);
+    std::stable_sort(order_.begin(), order_.end(), [this](int a, int b) {
+      return candidates_[static_cast<size_t>(a)].size() <
+             candidates_[static_cast<size_t>(b)].size();
+    });
+    row_map_.assign(static_cast<size_t>(from.NumRows()), -1);
+  }
+
+  std::optional<std::vector<int>> Run() {
+    if (Assign(0)) return row_map_;
+    return std::nullopt;
+  }
+
+  /// Like Run but requires `verify(row_map)` to accept the mapping; continues
+  /// searching otherwise.
+  template <typename Verify>
+  std::optional<std::vector<int>> RunVerified(Verify&& verify) {
+    verify_ = std::forward<Verify>(verify);
+    has_verify_ = true;
+    if (Assign(0)) return row_map_;
+    return std::nullopt;
+  }
+
+ private:
+  bool Assign(size_t depth) {
+    if (depth == order_.size()) {
+      return !has_verify_ || verify_(row_map_);
+    }
+    int r = order_[depth];
+    for (int s : candidates_[static_cast<size_t>(r)]) {
+      if (injective_ && used_[static_cast<size_t>(s)]) continue;
+      // Try r -> s, recording symbol-image extensions for undo.
+      std::vector<std::pair<int, int>> trail;  // (col, symbol)
+      bool ok = true;
+      for (int c = 0; c < cols_ && ok; ++c) {
+        int f = from_.Cell(r, c);
+        int t = to_.Cell(s, c);
+        int& img = image_[static_cast<size_t>(c)][static_cast<size_t>(f)];
+        if (img == -1) {
+          img = t;
+          trail.emplace_back(c, f);
+        } else if (img != t) {
+          ok = false;
+        }
+      }
+      if (ok) {
+        row_map_[static_cast<size_t>(r)] = s;
+        if (injective_) used_[static_cast<size_t>(s)] = true;
+        if (Assign(depth + 1)) return true;
+        if (injective_) used_[static_cast<size_t>(s)] = false;
+        row_map_[static_cast<size_t>(r)] = -1;
+      }
+      for (auto [c, f] : trail) {
+        image_[static_cast<size_t>(c)][static_cast<size_t>(f)] = -1;
+      }
+    }
+    return false;
+  }
+
+  const Tableau& from_;
+  const Tableau& to_;
+  bool injective_;
+  int cols_;
+  std::vector<std::vector<int>> image_;
+  std::vector<std::vector<int>> candidates_;
+  std::vector<int> order_;
+  std::vector<int> row_map_;
+  std::vector<bool> used_;
+  std::function<bool(const std::vector<int>&)> verify_;
+  bool has_verify_ = false;
+};
+
+}  // namespace
+
+std::optional<std::vector<int>> FindContainmentMapping(const Tableau& from,
+                                                       const Tableau& to) {
+  GYO_CHECK_MSG(from.Columns() == to.Columns(),
+                "containment mapping requires aligned columns");
+  GYO_CHECK_MSG(from.Summary() == to.Summary(),
+                "containment mapping requires equal summaries");
+  if (from.NumRows() == 0) return std::vector<int>{};
+  if (to.NumRows() == 0) return std::nullopt;
+  Searcher searcher(from, to, /*injective=*/false);
+  return searcher.Run();
+}
+
+bool AreEquivalent(const Tableau& a, const Tableau& b) {
+  Tableau x = a;
+  Tableau y = b;
+  Tableau::Align(x, y);
+  return FindContainmentMapping(x, y).has_value() &&
+         FindContainmentMapping(y, x).has_value();
+}
+
+bool AreIsomorphic(const Tableau& a, const Tableau& b) {
+  if (a.NumRows() != b.NumRows()) return false;
+  Tableau x = a;
+  Tableau y = b;
+  Tableau::Align(x, y);
+  if (x.NumRows() == 0) return true;
+  Searcher searcher(x, y, /*injective=*/true);
+  auto found = searcher.RunVerified([&](const std::vector<int>& row_map) {
+    // The inverse of the bijection must also be a containment mapping.
+    std::vector<int> inverse(row_map.size(), -1);
+    for (size_t r = 0; r < row_map.size(); ++r) {
+      inverse[static_cast<size_t>(row_map[r])] = static_cast<int>(r);
+    }
+    return VerifyRowMap(y, x, inverse);
+  });
+  return found.has_value();
+}
+
+}  // namespace gyo

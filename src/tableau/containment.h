@@ -1,0 +1,36 @@
+#ifndef GYO_TABLEAU_CONTAINMENT_H_
+#define GYO_TABLEAU_CONTAINMENT_H_
+
+#include <optional>
+#include <vector>
+
+#include "tableau/tableau.h"
+
+namespace gyo {
+
+/// Containment mappings between tableaux (paper §3.4, after Aho–Sagiv–Ullman).
+///
+/// A containment mapping from T to T' is a symbol-to-symbol mapping (per
+/// column — join-query tableaux are typed) that fixes distinguished variables
+/// and induces a row-to-row mapping from T into T'. We search for the row
+/// mapping directly, threading per-column symbol images.
+
+/// Finds a containment mapping from `from` to `to`, returned as a row map
+/// (from-row → to-row), or nullopt if none exists. The tableaux must have
+/// identical column lists and summaries (use Tableau::Align first if they
+/// come from different universes). Backtracking search; exponential in the
+/// worst case (the underlying problem is NP-complete).
+std::optional<std::vector<int>> FindContainmentMapping(const Tableau& from,
+                                                       const Tableau& to);
+
+/// True iff T ≡ T': containment mappings exist in both directions. Aligns
+/// copies of the inputs automatically.
+bool AreEquivalent(const Tableau& a, const Tableau& b);
+
+/// True iff T ≃ T': there is a row bijection that is a containment mapping
+/// in both directions (paper §3.4). Aligns copies automatically.
+bool AreIsomorphic(const Tableau& a, const Tableau& b);
+
+}  // namespace gyo
+
+#endif  // GYO_TABLEAU_CONTAINMENT_H_

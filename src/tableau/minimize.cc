@@ -1,0 +1,36 @@
+#include "tableau/minimize.h"
+
+#include <numeric>
+#include <vector>
+
+#include "tableau/containment.h"
+
+namespace gyo {
+
+Tableau Minimize(const Tableau& t) {
+  std::vector<int> rows(static_cast<size_t>(t.NumRows()));
+  std::iota(rows.begin(), rows.end(), 0);
+  Tableau current = t;
+  bool changed = true;
+  while (changed && current.NumRows() > 1) {
+    changed = false;
+    for (int r = 0; r < current.NumRows(); ++r) {
+      std::vector<int> keep;
+      keep.reserve(static_cast<size_t>(current.NumRows()) - 1);
+      for (int i = 0; i < current.NumRows(); ++i) {
+        if (i != r) keep.push_back(i);
+      }
+      Tableau candidate = current.SelectRows(keep);
+      if (FindContainmentMapping(current, candidate).has_value()) {
+        // candidate ⊆ current gives the reverse mapping for free, so the two
+        // are equivalent; drop the row and rescan.
+        current = std::move(candidate);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace gyo

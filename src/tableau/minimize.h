@@ -1,0 +1,21 @@
+#ifndef GYO_TABLEAU_MINIMIZE_H_
+#define GYO_TABLEAU_MINIMIZE_H_
+
+#include "tableau/tableau.h"
+
+namespace gyo {
+
+/// Minimizes a tableau: returns an equivalent subtableau with no equivalent
+/// proper subtableau (a *minimal tableau*, unique up to isomorphism by
+/// Lemma 3.4 — the core). Row origins are preserved.
+///
+/// Implementation: repeatedly drop a row r whenever a containment mapping
+/// from T to T − {r} exists; a folding argument shows this greedy process
+/// reaches the core. Exponential worst case (tableau minimization is
+/// NP-hard); for queries over tree schemas prefer the GYO fast path in
+/// canonical.h, which avoids tableaux entirely.
+Tableau Minimize(const Tableau& t);
+
+}  // namespace gyo
+
+#endif  // GYO_TABLEAU_MINIMIZE_H_

@@ -1,0 +1,104 @@
+#include "tableau/tableau.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace gyo {
+
+Tableau Tableau::Standard(const DatabaseSchema& d, const AttrSet& x) {
+  AttrSet universe = d.Universe();
+  GYO_CHECK_MSG(x.IsSubsetOf(universe),
+                "query target X must be a subset of U(D)");
+  Tableau t;
+  t.columns_ = universe.ToVector();
+  t.summary_ = x;
+  const int n = d.NumRelations();
+  t.cells_.resize(static_cast<size_t>(n));
+  t.origins_.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    t.origins_[static_cast<size_t>(i)] = i;
+    auto& row = t.cells_[static_cast<size_t>(i)];
+    row.resize(t.columns_.size());
+    for (size_t c = 0; c < t.columns_.size(); ++c) {
+      AttrId a = t.columns_[c];
+      if (d[i].Contains(a)) {
+        row[c] = x.Contains(a) ? kDistinguished : kShared;
+      } else {
+        row[c] = 2 + i;  // unique nondistinguished variable
+      }
+    }
+  }
+  return t;
+}
+
+Tableau Tableau::SelectRows(const std::vector<int>& rows) const {
+  Tableau t;
+  t.columns_ = columns_;
+  t.summary_ = summary_;
+  for (int r : rows) {
+    GYO_CHECK(r >= 0 && r < NumRows());
+    t.cells_.push_back(cells_[static_cast<size_t>(r)]);
+    t.origins_.push_back(origins_[static_cast<size_t>(r)]);
+  }
+  return t;
+}
+
+void Tableau::Align(Tableau& a, Tableau& b) {
+  GYO_CHECK_MSG(a.summary_ == b.summary_,
+                "aligned tableaux must share a summary");
+  AttrSet cols;
+  for (AttrId c : a.columns_) cols.Insert(c);
+  for (AttrId c : b.columns_) cols.Insert(c);
+  std::vector<AttrId> merged = cols.ToVector();
+
+  auto extend = [&merged](Tableau& t) {
+    std::vector<std::vector<int>> new_cells(t.cells_.size());
+    for (size_t r = 0; r < t.cells_.size(); ++r) {
+      new_cells[r].resize(merged.size());
+      for (size_t c = 0; c < merged.size(); ++c) {
+        // Find merged[c] among t's existing columns.
+        auto it =
+            std::lower_bound(t.columns_.begin(), t.columns_.end(), merged[c]);
+        if (it != t.columns_.end() && *it == merged[c]) {
+          size_t old = static_cast<size_t>(it - t.columns_.begin());
+          new_cells[r][c] = t.cells_[r][old];
+        } else {
+          new_cells[r][c] = 2 + t.origins_[r];  // fresh unique symbol
+        }
+      }
+    }
+    t.cells_ = std::move(new_cells);
+    t.columns_ = merged;
+  };
+  extend(a);
+  extend(b);
+}
+
+std::string Tableau::Format(const Catalog& catalog) const {
+  std::string out;
+  // Header.
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (c > 0) out += "\t";
+    out += catalog.Format(AttrSet{columns_[c]});
+  }
+  out += "\n";
+  for (int r = 0; r < NumRows(); ++r) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) out += "\t";
+      std::string name = catalog.Format(AttrSet{columns_[c]});
+      int sym = Cell(r, static_cast<int>(c));
+      if (sym == kDistinguished) {
+        out += name;
+      } else if (sym == kShared) {
+        out += name + "'";
+      } else {
+        out += name + "_" + std::to_string(sym - 2);
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace gyo

@@ -1,0 +1,86 @@
+#ifndef GYO_TABLEAU_TABLEAU_H_
+#define GYO_TABLEAU_TABLEAU_H_
+
+#include <string>
+#include <vector>
+
+#include "schema/catalog.h"
+#include "schema/schema.h"
+#include "util/attr_set.h"
+
+namespace gyo {
+
+/// The "standard" tableau Tab(D, X) for the query (D, X) (paper §3.4).
+///
+/// A tableau is a matrix of symbols: one row per relation schema, one column
+/// per attribute of U(D). Symbols are integers local to their column:
+///   * kDistinguished (0): the distinguished variable `a` — appears in row i,
+///     column A iff A ∈ Ri ∩ X;
+///   * kShared (1): the single nondistinguished variable a'_A of column A —
+///     appears in row i iff A ∈ Ri − X (shared by all such rows);
+///   * unique symbols (2 + original row index): everywhere else.
+/// Two cells in the same column denote the same variable iff their integers
+/// are equal; cells in different columns never denote the same variable
+/// (join-query tableaux are "typed").
+///
+/// Rows carry their origin (the index of the relation of D they came from),
+/// which is preserved by SelectRows — both so that unique symbols remain
+/// stable under row deletion and so canonical connections can report which
+/// relations survive minimization.
+class Tableau {
+ public:
+  static constexpr int kDistinguished = 0;
+  static constexpr int kShared = 1;
+
+  /// Builds Tab(D, X). Requires X ⊆ U(D).
+  static Tableau Standard(const DatabaseSchema& d, const AttrSet& x);
+
+  int NumRows() const { return static_cast<int>(cells_.size()); }
+  int NumCols() const { return static_cast<int>(columns_.size()); }
+
+  /// The attribute of column `col`.
+  AttrId ColumnAttr(int col) const {
+    return columns_[static_cast<size_t>(col)];
+  }
+  const std::vector<AttrId>& Columns() const { return columns_; }
+
+  /// The symbol at (row, col).
+  int Cell(int row, int col) const {
+    return cells_[static_cast<size_t>(row)][static_cast<size_t>(col)];
+  }
+
+  bool IsDistinguished(int row, int col) const {
+    return Cell(row, col) == kDistinguished;
+  }
+
+  /// The summary (target attribute set X).
+  const AttrSet& Summary() const { return summary_; }
+
+  /// The original relation index each row came from.
+  int RowOrigin(int row) const { return origins_[static_cast<size_t>(row)]; }
+  const std::vector<int>& RowOrigins() const { return origins_; }
+
+  /// The subtableau with the given rows (in the given order); symbols and
+  /// origins are preserved.
+  Tableau SelectRows(const std::vector<int>& rows) const;
+
+  /// Extends two tableaux (in place) to the union of their column sets; the
+  /// added cells receive fresh unique symbols. Containment mappings between
+  /// tableaux over different universes are defined on the aligned versions.
+  /// Requires equal summaries.
+  static void Align(Tableau& a, Tableau& b);
+
+  /// Pretty-prints the tableau; distinguished variables render as the
+  /// attribute name, shared ones as name', unique ones as name_i.
+  std::string Format(const Catalog& catalog) const;
+
+ private:
+  std::vector<AttrId> columns_;            // sorted attribute ids
+  AttrSet summary_;                        // X
+  std::vector<std::vector<int>> cells_;    // [row][col] symbols
+  std::vector<int> origins_;               // [row] original relation index
+};
+
+}  // namespace gyo
+
+#endif  // GYO_TABLEAU_TABLEAU_H_

@@ -1,0 +1,115 @@
+#include "util/attr_set.h"
+
+#include <algorithm>
+
+namespace gyo {
+
+int AttrSet::Size() const {
+  int n = 0;
+  for (uint64_t w : words_) n += __builtin_popcountll(w);
+  return n;
+}
+
+bool AttrSet::IsSubsetOf(const AttrSet& other) const {
+  if (words_.size() > other.words_.size()) {
+    for (size_t w = other.words_.size(); w < words_.size(); ++w) {
+      if (words_[w] != 0) return false;
+    }
+  }
+  size_t common = std::min(words_.size(), other.words_.size());
+  for (size_t w = 0; w < common; ++w) {
+    if ((words_[w] & ~other.words_[w]) != 0) return false;
+  }
+  return true;
+}
+
+bool AttrSet::Intersects(const AttrSet& other) const {
+  size_t common = std::min(words_.size(), other.words_.size());
+  for (size_t w = 0; w < common; ++w) {
+    if ((words_[w] & other.words_[w]) != 0) return true;
+  }
+  return false;
+}
+
+AttrSet AttrSet::Union(const AttrSet& other) const {
+  AttrSet r = *this;
+  r.UnionWith(other);
+  return r;
+}
+
+AttrSet AttrSet::Intersect(const AttrSet& other) const {
+  AttrSet r = *this;
+  r.IntersectWith(other);
+  return r;
+}
+
+AttrSet AttrSet::Minus(const AttrSet& other) const {
+  AttrSet r = *this;
+  r.MinusWith(other);
+  return r;
+}
+
+AttrSet& AttrSet::UnionWith(const AttrSet& other) {
+  if (other.words_.size() > words_.size()) {
+    words_.resize(other.words_.size(), 0);
+  }
+  for (size_t w = 0; w < other.words_.size(); ++w) words_[w] |= other.words_[w];
+  return *this;
+}
+
+AttrSet& AttrSet::IntersectWith(const AttrSet& other) {
+  if (words_.size() > other.words_.size()) {
+    words_.resize(other.words_.size());
+  }
+  for (size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+  Shrink();
+  return *this;
+}
+
+AttrSet& AttrSet::MinusWith(const AttrSet& other) {
+  size_t common = std::min(words_.size(), other.words_.size());
+  for (size_t w = 0; w < common; ++w) words_[w] &= ~other.words_[w];
+  Shrink();
+  return *this;
+}
+
+std::vector<AttrId> AttrSet::ToVector() const {
+  std::vector<AttrId> out;
+  out.reserve(Size());
+  ForEach([&out](AttrId id) { out.push_back(id); });
+  return out;
+}
+
+AttrId AttrSet::Min() const {
+  GYO_CHECK(!Empty());
+  for (size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return static_cast<AttrId>(w * 64 + __builtin_ctzll(words_[w]));
+    }
+  }
+  GYO_CHECK(false);
+  return -1;
+}
+
+bool operator<(const AttrSet& a, const AttrSet& b) {
+  size_t n = std::max(a.words_.size(), b.words_.size());
+  // Compare from the most significant word down so that the order is a
+  // deterministic total order consistent across runs.
+  for (size_t i = n; i-- > 0;) {
+    uint64_t wa = i < a.words_.size() ? a.words_[i] : 0;
+    uint64_t wb = i < b.words_.size() ? b.words_[i] : 0;
+    if (wa != wb) return wa < wb;
+  }
+  return false;
+}
+
+size_t AttrSet::Hash() const {
+  uint64_t h = 1469598103934665603ull;
+  for (uint64_t w : words_) {
+    h ^= w;
+    h *= 1099511628211ull;
+  }
+  return static_cast<size_t>(h);
+}
+
+}  // namespace gyo

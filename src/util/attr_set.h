@@ -1,0 +1,150 @@
+#ifndef GYO_UTIL_ATTR_SET_H_
+#define GYO_UTIL_ATTR_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace gyo {
+
+/// Attribute identifier. Attributes are dense small integers assigned by a
+/// Catalog (see schema/catalog.h); AttrSet does not know about names.
+using AttrId = int;
+
+/// A set of attributes, implemented as a dynamic bitset.
+///
+/// This is the workhorse value type of the library: relation schemas are
+/// AttrSets, and every algorithm in the paper (GYO reduction, tableau
+/// minimization, γ-acyclicity tests, ...) reduces to subset/intersection
+/// arithmetic on AttrSets. All operations are O(universe/64).
+///
+/// AttrSet is a regular value type: copyable, movable, equality-comparable,
+/// hashable, and totally ordered (lexicographic on attribute ids) so it can
+/// be used as a key in ordered containers and to canonically sort schemas.
+class AttrSet {
+ public:
+  /// Creates an empty set.
+  AttrSet() = default;
+
+  /// Creates a set containing the given attribute ids.
+  AttrSet(std::initializer_list<AttrId> ids) {
+    for (AttrId id : ids) Insert(id);
+  }
+
+  AttrSet(const AttrSet&) = default;
+  AttrSet& operator=(const AttrSet&) = default;
+  AttrSet(AttrSet&&) = default;
+  AttrSet& operator=(AttrSet&&) = default;
+
+  /// Inserts attribute `id` (no-op if present).
+  void Insert(AttrId id) {
+    GYO_DCHECK(id >= 0);
+    size_t word = static_cast<size_t>(id) / 64;
+    if (word >= words_.size()) words_.resize(word + 1, 0);
+    words_[word] |= (uint64_t{1} << (id % 64));
+  }
+
+  /// Removes attribute `id` (no-op if absent).
+  void Erase(AttrId id) {
+    GYO_DCHECK(id >= 0);
+    size_t word = static_cast<size_t>(id) / 64;
+    if (word >= words_.size()) return;
+    words_[word] &= ~(uint64_t{1} << (id % 64));
+    Shrink();
+  }
+
+  /// Returns true iff attribute `id` is in the set.
+  bool Contains(AttrId id) const {
+    if (id < 0) return false;
+    size_t word = static_cast<size_t>(id) / 64;
+    if (word >= words_.size()) return false;
+    return (words_[word] >> (id % 64)) & 1;
+  }
+
+  /// Returns the number of attributes in the set.
+  int Size() const;
+
+  /// Returns true iff the set is empty.
+  bool Empty() const { return words_.empty(); }
+
+  /// Removes all attributes.
+  void Clear() { words_.clear(); }
+
+  /// Returns true iff *this ⊆ other.
+  bool IsSubsetOf(const AttrSet& other) const;
+
+  /// Returns true iff *this ⊂ other (strict).
+  bool IsProperSubsetOf(const AttrSet& other) const {
+    return IsSubsetOf(other) && *this != other;
+  }
+
+  /// Returns true iff the two sets share at least one attribute.
+  bool Intersects(const AttrSet& other) const;
+
+  /// Set union.
+  AttrSet Union(const AttrSet& other) const;
+  /// Set intersection.
+  AttrSet Intersect(const AttrSet& other) const;
+  /// Set difference (*this − other).
+  AttrSet Minus(const AttrSet& other) const;
+
+  /// In-place union.
+  AttrSet& UnionWith(const AttrSet& other);
+  /// In-place intersection.
+  AttrSet& IntersectWith(const AttrSet& other);
+  /// In-place difference.
+  AttrSet& MinusWith(const AttrSet& other);
+
+  /// Returns the members in increasing id order.
+  std::vector<AttrId> ToVector() const;
+
+  /// Returns the smallest member; the set must be non-empty.
+  AttrId Min() const;
+
+  /// Calls `fn(id)` for each member in increasing id order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits != 0) {
+        int bit = __builtin_ctzll(bits);
+        fn(static_cast<AttrId>(w * 64 + bit));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  friend bool operator==(const AttrSet& a, const AttrSet& b) {
+    return a.words_ == b.words_;
+  }
+
+  /// Total order: compares as reversed big-endian bit strings, equivalent to
+  /// lexicographic order on the sorted member lists for same-size sets; any
+  /// strict weak order suffices for canonical sorting and map keys.
+  friend bool operator<(const AttrSet& a, const AttrSet& b);
+
+  /// Hash value (FNV-1a over the words).
+  size_t Hash() const;
+
+ private:
+  // Drops trailing zero words so that equal sets compare equal.
+  void Shrink() {
+    while (!words_.empty() && words_.back() == 0) words_.pop_back();
+  }
+
+  std::vector<uint64_t> words_;
+};
+
+/// std::hash adapter.
+struct AttrSetHash {
+  size_t operator()(const AttrSet& s) const { return s.Hash(); }
+};
+
+}  // namespace gyo
+
+#endif  // GYO_UTIL_ATTR_SET_H_

@@ -1,0 +1,43 @@
+#ifndef GYO_UTIL_CHECK_H_
+#define GYO_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Contract-violation macros. The library does not use exceptions; internal
+/// invariant violations abort with a source location, matching the style used
+/// by production database engines for unrecoverable programming errors.
+
+/// Aborts the process with a message if `cond` is false. Always enabled.
+#define GYO_CHECK(cond)                                                      \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "GYO_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+/// Like GYO_CHECK but with a printf-style explanation.
+#define GYO_CHECK_MSG(cond, ...)                                             \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "GYO_CHECK failed at %s:%d: %s: ", __FILE__,      \
+                   __LINE__, #cond);                                         \
+      std::fprintf(stderr, __VA_ARGS__);                                     \
+      std::fprintf(stderr, "\n");                                            \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+/// Debug-only check; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define GYO_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define GYO_DCHECK(cond) GYO_CHECK(cond)
+#endif
+
+#endif  // GYO_UTIL_CHECK_H_

@@ -1,0 +1,45 @@
+#ifndef GYO_UTIL_RNG_H_
+#define GYO_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace gyo {
+
+/// Deterministic, seedable pseudo-random number generator (splitmix64).
+///
+/// All randomized components of the library (schema generators, universal
+/// relation generators, property tests) take an explicit Rng so that every
+/// experiment in EXPERIMENTS.md is reproducible bit-for-bit.
+class Rng {
+ public:
+  /// Constructs a generator from a seed; equal seeds yield equal streams.
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Returns the next 64 random bits.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Returns a uniform integer in [0, bound). `bound` must be positive.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  /// Returns a uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Returns true with probability p (0 <= p <= 1).
+  bool Chance(double p) {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace gyo
+
+#endif  // GYO_UTIL_RNG_H_

@@ -1,0 +1,200 @@
+#include "util/attr_set.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace gyo {
+namespace {
+
+TEST(AttrSetTest, EmptySet) {
+  AttrSet s;
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.Size(), 0);
+  EXPECT_FALSE(s.Contains(0));
+  EXPECT_FALSE(s.Contains(100));
+}
+
+TEST(AttrSetTest, InsertContains) {
+  AttrSet s;
+  s.Insert(3);
+  s.Insert(70);  // crosses a word boundary
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_TRUE(s.Contains(70));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_EQ(s.Size(), 2);
+}
+
+TEST(AttrSetTest, InsertIdempotent) {
+  AttrSet s;
+  s.Insert(5);
+  s.Insert(5);
+  EXPECT_EQ(s.Size(), 1);
+}
+
+TEST(AttrSetTest, EraseShrinksRepresentation) {
+  AttrSet s{200};
+  AttrSet empty;
+  s.Erase(200);
+  EXPECT_EQ(s, empty);  // trailing zero words must not break equality
+  EXPECT_TRUE(s.Empty());
+}
+
+TEST(AttrSetTest, EraseAbsentIsNoop) {
+  AttrSet s{1, 2};
+  s.Erase(99);
+  EXPECT_EQ(s.Size(), 2);
+}
+
+TEST(AttrSetTest, InitializerList) {
+  AttrSet s{1, 5, 9};
+  EXPECT_EQ(s.ToVector(), (std::vector<AttrId>{1, 5, 9}));
+}
+
+TEST(AttrSetTest, SubsetBasics) {
+  AttrSet a{1, 2};
+  AttrSet b{1, 2, 3};
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsProperSubsetOf(b));
+  EXPECT_FALSE(a.IsProperSubsetOf(a));
+  EXPECT_TRUE(AttrSet().IsSubsetOf(a));
+}
+
+TEST(AttrSetTest, SubsetAcrossWordBoundaries) {
+  AttrSet a{1, 100};
+  AttrSet b{1};
+  EXPECT_FALSE(a.IsSubsetOf(b));
+  EXPECT_TRUE(b.IsSubsetOf(a));
+}
+
+TEST(AttrSetTest, Intersects) {
+  AttrSet a{1, 2};
+  AttrSet b{2, 3};
+  AttrSet c{4};
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_FALSE(AttrSet().Intersects(a));
+}
+
+TEST(AttrSetTest, UnionIntersectMinus) {
+  AttrSet a{1, 2, 3};
+  AttrSet b{3, 4};
+  EXPECT_EQ(a.Union(b), (AttrSet{1, 2, 3, 4}));
+  EXPECT_EQ(a.Intersect(b), (AttrSet{3}));
+  EXPECT_EQ(a.Minus(b), (AttrSet{1, 2}));
+  EXPECT_EQ(b.Minus(a), (AttrSet{4}));
+}
+
+TEST(AttrSetTest, InPlaceOps) {
+  AttrSet a{1, 2};
+  a.UnionWith(AttrSet{3});
+  EXPECT_EQ(a, (AttrSet{1, 2, 3}));
+  a.IntersectWith(AttrSet{2, 3, 4});
+  EXPECT_EQ(a, (AttrSet{2, 3}));
+  a.MinusWith(AttrSet{3});
+  EXPECT_EQ(a, (AttrSet{2}));
+}
+
+TEST(AttrSetTest, MinAndForEachOrder) {
+  AttrSet s{9, 2, 77};
+  EXPECT_EQ(s.Min(), 2);
+  std::vector<AttrId> seen;
+  s.ForEach([&](AttrId a) { seen.push_back(a); });
+  EXPECT_EQ(seen, (std::vector<AttrId>{2, 9, 77}));
+}
+
+TEST(AttrSetTest, OrderingIsStrictWeak) {
+  std::vector<AttrSet> sets = {AttrSet{}, AttrSet{0}, AttrSet{1},
+                               AttrSet{0, 1}, AttrSet{64}, AttrSet{0, 64}};
+  std::sort(sets.begin(), sets.end());
+  for (size_t i = 0; i + 1 < sets.size(); ++i) {
+    EXPECT_TRUE(sets[i] < sets[i + 1] || sets[i] == sets[i + 1]);
+    EXPECT_FALSE(sets[i + 1] < sets[i]);
+  }
+}
+
+TEST(AttrSetTest, OrderingConsistentWithEquality) {
+  AttrSet a{1, 65};
+  AttrSet b{1, 65};
+  EXPECT_FALSE(a < b);
+  EXPECT_FALSE(b < a);
+  EXPECT_EQ(a, b);
+}
+
+TEST(AttrSetTest, HashEqualForEqualSets) {
+  AttrSet a{1, 130};
+  AttrSet b;
+  b.Insert(130);
+  b.Insert(1);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(AttrSetTest, HashAfterEraseMatchesFreshSet) {
+  AttrSet a{1, 200};
+  a.Erase(200);
+  EXPECT_EQ(a.Hash(), AttrSet{1}.Hash());
+}
+
+TEST(AttrSetTest, RandomizedAgainstStdSet) {
+  Rng rng(7);
+  AttrSet s;
+  std::set<AttrId> ref;
+  for (int step = 0; step < 2000; ++step) {
+    AttrId a = static_cast<AttrId>(rng.Below(300));
+    if (rng.Chance(0.5)) {
+      s.Insert(a);
+      ref.insert(a);
+    } else {
+      s.Erase(a);
+      ref.erase(a);
+    }
+  }
+  std::vector<AttrId> ref_vec(ref.begin(), ref.end());
+  EXPECT_EQ(s.ToVector(), ref_vec);
+  EXPECT_EQ(s.Size(), static_cast<int>(ref.size()));
+}
+
+TEST(AttrSetTest, RandomizedSetAlgebraAgainstStdSet) {
+  Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    AttrSet a;
+    AttrSet b;
+    std::set<AttrId> ra;
+    std::set<AttrId> rb;
+    for (int i = 0; i < 20; ++i) {
+      AttrId x = static_cast<AttrId>(rng.Below(100));
+      AttrId y = static_cast<AttrId>(rng.Below(100));
+      a.Insert(x);
+      ra.insert(x);
+      b.Insert(y);
+      rb.insert(y);
+    }
+    std::set<AttrId> runion;
+    std::set<AttrId> rinter;
+    std::set<AttrId> rminus;
+    std::set_union(ra.begin(), ra.end(), rb.begin(), rb.end(),
+                   std::inserter(runion, runion.begin()));
+    std::set_intersection(ra.begin(), ra.end(), rb.begin(), rb.end(),
+                          std::inserter(rinter, rinter.begin()));
+    std::set_difference(ra.begin(), ra.end(), rb.begin(), rb.end(),
+                        std::inserter(rminus, rminus.begin()));
+    EXPECT_EQ(a.Union(b).ToVector(),
+              std::vector<AttrId>(runion.begin(), runion.end()));
+    EXPECT_EQ(a.Intersect(b).ToVector(),
+              std::vector<AttrId>(rinter.begin(), rinter.end()));
+    EXPECT_EQ(a.Minus(b).ToVector(),
+              std::vector<AttrId>(rminus.begin(), rminus.end()));
+    EXPECT_EQ(a.Intersects(b), !rinter.empty());
+    EXPECT_EQ(a.IsSubsetOf(b),
+              std::includes(rb.begin(), rb.end(), ra.begin(), ra.end()));
+  }
+}
+
+}  // namespace
+}  // namespace gyo

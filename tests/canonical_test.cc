@@ -1,0 +1,155 @@
+#include "tableau/canonical.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "gyo/acyclic.h"
+#include "gyo/gyo.h"
+#include "schema/fixtures.h"
+#include "schema/generators.h"
+#include "schema/parse.h"
+#include "util/rng.h"
+
+namespace gyo {
+namespace {
+
+class CanonicalTest : public ::testing::Test {
+ protected:
+  Catalog catalog_;
+};
+
+TEST_F(CanonicalTest, Sec6Example) {
+  // The paper's §6 example: D = (abg, bcg, acf, ad, de, ea), X = abc.
+  // CC(D, X) = (abg, bcg, ac): ad, de, ea are irrelevant and f is projected
+  // out of acf.
+  DatabaseSchema d = fixtures::Sec6D(catalog_);
+  AttrSet x = fixtures::Sec6X(catalog_);
+  CanonicalResult cc = CanonicalConnectionExact(d, x);
+  EXPECT_TRUE(cc.schema.EqualsAsMultiset(fixtures::Sec6CC(catalog_)));
+  // Provenance: the ac relation came from acf (index 2).
+  for (int i = 0; i < cc.schema.NumRelations(); ++i) {
+    if (cc.schema[i] == ParseAttrSet(catalog_, "ac")) {
+      EXPECT_EQ(cc.sources[static_cast<size_t>(i)], 2);
+    }
+  }
+}
+
+TEST_F(CanonicalTest, FastPathUsedForTreeSchemas) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,cd");
+  CanonicalResult cc = CanonicalConnection(d, ParseAttrSet(catalog_, "ad"));
+  EXPECT_TRUE(cc.used_fast_path);
+}
+
+TEST_F(CanonicalTest, Theorem33iiFastPathMatchesExactOnTreeSchemas) {
+  Rng rng(139);
+  int checked = 0;
+  for (int trial = 0; trial < 200 && checked < 60; ++trial) {
+    DatabaseSchema d = RandomSchema(2 + static_cast<int>(rng.Below(5)),
+                                    2 + static_cast<int>(rng.Below(6)),
+                                    1 + static_cast<int>(rng.Below(4)), rng);
+    if (!IsTreeSchema(d)) continue;
+    ++checked;
+    AttrSet x;
+    d.Universe().ForEach([&](AttrId a) {
+      if (rng.Chance(0.4)) x.Insert(a);
+    });
+    CanonicalResult fast = CanonicalConnection(d, x);
+    CanonicalResult exact = CanonicalConnectionExact(d, x);
+    EXPECT_TRUE(fast.used_fast_path);
+    EXPECT_TRUE(fast.schema.EqualsAsMultiset(exact.schema))
+        << "trial " << trial;
+  }
+  EXPECT_GE(checked, 40);
+}
+
+TEST_F(CanonicalTest, Theorem33iiiFastPathWhenGrWithinTarget) {
+  // A cyclic schema whose GR w.r.t. X lies inside X: the triangle with
+  // X = abc. GR(D, abc) = D and U(D) ⊆ X, so CC = GR.
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,ac");
+  AttrSet x = ParseAttrSet(catalog_, "abc");
+  CanonicalResult fast = CanonicalConnection(d, x);
+  EXPECT_TRUE(fast.used_fast_path);
+  CanonicalResult exact = CanonicalConnectionExact(d, x);
+  EXPECT_TRUE(fast.schema.EqualsAsMultiset(exact.schema));
+  EXPECT_TRUE(fast.schema.EqualsAsMultiset(d));
+}
+
+TEST_F(CanonicalTest, Theorem33iCCCoveredByGR) {
+  // Thm 3.3(i): CC(D, X) ≤ GR(D, X), for cyclic schemas too.
+  Rng rng(149);
+  for (int trial = 0; trial < 80; ++trial) {
+    DatabaseSchema d = RandomSchema(2 + static_cast<int>(rng.Below(5)),
+                                    2 + static_cast<int>(rng.Below(5)),
+                                    1 + static_cast<int>(rng.Below(4)), rng);
+    AttrSet x;
+    d.Universe().ForEach([&](AttrId a) {
+      if (rng.Chance(0.4)) x.Insert(a);
+    });
+    CanonicalResult cc = CanonicalConnectionExact(d, x);
+    GyoResult gr = GyoReduce(d, x);
+    EXPECT_TRUE(cc.schema.CoveredBy(gr.reduced)) << "trial " << trial;
+  }
+}
+
+TEST_F(CanonicalTest, CanonicalSchemaOfRingKeepsAllRelations) {
+  DatabaseSchema d = Aring(4);
+  CanonicalResult cc = CanonicalConnectionExact(d, AttrSet{0, 2});
+  // No row folds; every attribute occurs twice, so nothing is projected out.
+  EXPECT_TRUE(cc.schema.EqualsAsMultiset(d));
+}
+
+TEST_F(CanonicalTest, SourcesAlwaysContainResult) {
+  // Each canonical relation is a subset of the original relation it cites.
+  Rng rng(151);
+  for (int trial = 0; trial < 80; ++trial) {
+    DatabaseSchema d = RandomSchema(2 + static_cast<int>(rng.Below(5)),
+                                    2 + static_cast<int>(rng.Below(6)),
+                                    1 + static_cast<int>(rng.Below(4)), rng);
+    AttrSet x;
+    d.Universe().ForEach([&](AttrId a) {
+      if (rng.Chance(0.4)) x.Insert(a);
+    });
+    CanonicalResult cc = CanonicalConnection(d, x);
+    ASSERT_EQ(cc.sources.size(),
+              static_cast<size_t>(cc.schema.NumRelations()));
+    for (int i = 0; i < cc.schema.NumRelations(); ++i) {
+      EXPECT_TRUE(
+          cc.schema[i].IsSubsetOf(d[cc.sources[static_cast<size_t>(i)]]))
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST_F(CanonicalTest, CCIsReduced) {
+  Rng rng(157);
+  for (int trial = 0; trial < 80; ++trial) {
+    DatabaseSchema d = RandomSchema(2 + static_cast<int>(rng.Below(5)),
+                                    2 + static_cast<int>(rng.Below(6)),
+                                    1 + static_cast<int>(rng.Below(4)), rng);
+    AttrSet x;
+    d.Universe().ForEach([&](AttrId a) {
+      if (rng.Chance(0.4)) x.Insert(a);
+    });
+    CanonicalResult cc = CanonicalConnection(d, x);
+    EXPECT_TRUE(cc.schema.IsReduced()) << "trial " << trial;
+  }
+}
+
+TEST_F(CanonicalTest, CCWithFullTargetIsReductionForCyclic) {
+  // With X = U(D) every variable is distinguished: nothing folds beyond
+  // subset elimination, so CC = reduction of D.
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,ac,abc");
+  CanonicalResult cc = CanonicalConnection(d, d.Universe());
+  EXPECT_TRUE(cc.schema.EqualsAsMultiset(ParseSchema(catalog_, "abc")));
+}
+
+TEST_F(CanonicalTest, SingleRelationCC) {
+  DatabaseSchema d = ParseSchema(catalog_, "abc");
+  CanonicalResult cc = CanonicalConnection(d, ParseAttrSet(catalog_, "ab"));
+  ASSERT_EQ(cc.schema.NumRelations(), 1);
+  EXPECT_EQ(cc.schema[0], ParseAttrSet(catalog_, "ab"));
+}
+
+}  // namespace
+}  // namespace gyo

@@ -1,0 +1,60 @@
+#include "schema/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace gyo {
+namespace {
+
+TEST(CatalogTest, InternAssignsDenseIds) {
+  Catalog c;
+  EXPECT_EQ(c.Intern("a"), 0);
+  EXPECT_EQ(c.Intern("b"), 1);
+  EXPECT_EQ(c.Intern("a"), 0);  // idempotent
+  EXPECT_EQ(c.size(), 2);
+}
+
+TEST(CatalogTest, FindAndName) {
+  Catalog c;
+  AttrId a = c.Intern("part");
+  EXPECT_EQ(c.Find("part"), a);
+  EXPECT_EQ(c.Find("supplier"), std::nullopt);
+  EXPECT_EQ(c.Name(a), "part");
+}
+
+TEST(CatalogTest, InternAll) {
+  Catalog c;
+  AttrSet s = c.InternAll("abc");
+  EXPECT_EQ(s.Size(), 3);
+  EXPECT_TRUE(s.Contains(*c.Find("a")));
+  EXPECT_TRUE(s.Contains(*c.Find("b")));
+  EXPECT_TRUE(s.Contains(*c.Find("c")));
+}
+
+TEST(CatalogTest, InternAllDeduplicates) {
+  Catalog c;
+  AttrSet s = c.InternAll("aab");
+  EXPECT_EQ(s.Size(), 2);
+}
+
+TEST(CatalogTest, FormatSingleLetterConcatenates) {
+  Catalog c;
+  AttrSet s = c.InternAll("cab");
+  // Rendering is in attribute-id order (intern order here: c, a, b).
+  EXPECT_EQ(c.Format(s), "cab");
+}
+
+TEST(CatalogTest, FormatMultiCharUsesCommas) {
+  Catalog c;
+  AttrSet s;
+  s.Insert(c.Intern("part"));
+  s.Insert(c.Intern("city"));
+  EXPECT_EQ(c.Format(s), "part,city");
+}
+
+TEST(CatalogTest, FormatEmptySet) {
+  Catalog c;
+  EXPECT_EQ(c.Format(AttrSet()), "{}");
+}
+
+}  // namespace
+}  // namespace gyo

@@ -1,0 +1,98 @@
+#include "gyo/chordal.h"
+
+#include <gtest/gtest.h>
+
+#include "gyo/acyclic.h"
+#include "schema/generators.h"
+#include "schema/parse.h"
+#include "util/rng.h"
+
+namespace gyo {
+namespace {
+
+class ChordalTest : public ::testing::Test {
+ protected:
+  Catalog catalog_;
+};
+
+TEST_F(ChordalTest, PathIsChordalAndConformal) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,cd");
+  EXPECT_TRUE(PrimalGraphIsChordal(d));
+  EXPECT_TRUE(IsConformal(d));
+  EXPECT_TRUE(IsTreeSchemaViaChordality(d));
+}
+
+TEST_F(ChordalTest, TriangleIsChordalButNotConformal) {
+  // The triangle's primal graph is the 3-clique (chordal), but no relation
+  // contains all of {a, b, c}: cyclicity comes from conformality failing.
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,ac");
+  EXPECT_TRUE(PrimalGraphIsChordal(d));
+  EXPECT_FALSE(IsConformal(d));
+  EXPECT_FALSE(IsTreeSchemaViaChordality(d));
+}
+
+TEST_F(ChordalTest, CoveredTriangleIsConformal) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,ac,abc");
+  EXPECT_TRUE(IsTreeSchemaViaChordality(d));
+}
+
+TEST_F(ChordalTest, RingIsNotChordal) {
+  // An Aring of size >= 4 has a chordless cycle in its primal graph.
+  for (int n = 4; n <= 8; ++n) {
+    EXPECT_FALSE(PrimalGraphIsChordal(Aring(n))) << "n=" << n;
+    EXPECT_FALSE(IsTreeSchemaViaChordality(Aring(n)));
+  }
+}
+
+TEST_F(ChordalTest, AcliqueIsChordalButNotConformal) {
+  // Aclique(n)'s primal graph is the complete graph (chordal); the full
+  // clique is in no relation.
+  for (int n = 3; n <= 6; ++n) {
+    DatabaseSchema d = Aclique(n);
+    EXPECT_TRUE(PrimalGraphIsChordal(d)) << "n=" << n;
+    EXPECT_FALSE(IsConformal(d)) << "n=" << n;
+  }
+}
+
+TEST_F(ChordalTest, EmptyAndSingletonSchemas) {
+  EXPECT_TRUE(IsTreeSchemaViaChordality(DatabaseSchema{}));
+  EXPECT_TRUE(IsTreeSchemaViaChordality(ParseSchema(catalog_, "abc")));
+  EXPECT_TRUE(IsTreeSchemaViaChordality(ParseSchema(catalog_, "a,b")));
+}
+
+TEST_F(ChordalTest, AgreesWithGyoOnFamilies) {
+  for (int n = 2; n <= 10; ++n) {
+    EXPECT_TRUE(IsTreeSchemaViaChordality(PathSchema(n))) << n;
+    EXPECT_TRUE(IsTreeSchemaViaChordality(StarSchema(n))) << n;
+  }
+  EXPECT_FALSE(IsTreeSchemaViaChordality(GridSchema(2, 3)));
+  EXPECT_FALSE(IsTreeSchemaViaChordality(FattenedRing(5, 2)));
+}
+
+TEST_F(ChordalTest, AgreesWithGyoRandomized) {
+  Rng rng(521);
+  int trees = 0;
+  int cyclic = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    DatabaseSchema d = RandomSchema(2 + static_cast<int>(rng.Below(8)),
+                                    2 + static_cast<int>(rng.Below(9)),
+                                    1 + static_cast<int>(rng.Below(5)), rng);
+    bool gyo = IsTreeSchema(d);
+    EXPECT_EQ(gyo, IsTreeSchemaViaChordality(d)) << "trial " << trial;
+    gyo ? ++trees : ++cyclic;
+  }
+  EXPECT_GE(trees, 50);
+  EXPECT_GE(cyclic, 50);
+}
+
+TEST_F(ChordalTest, AgreesOnRandomTreeSchemas) {
+  Rng rng(523);
+  for (int trial = 0; trial < 100; ++trial) {
+    DatabaseSchema d =
+        RandomTreeSchema(1 + static_cast<int>(rng.Below(15)), 5, rng).schema;
+    EXPECT_TRUE(IsTreeSchemaViaChordality(d)) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace gyo

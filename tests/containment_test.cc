@@ -1,0 +1,144 @@
+#include "tableau/containment.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/parse.h"
+#include "tableau/tableau.h"
+
+namespace gyo {
+namespace {
+
+class ContainmentTest : public ::testing::Test {
+ protected:
+  Catalog catalog_;
+};
+
+TEST_F(ContainmentTest, IdentityMappingAlwaysExists) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,ca");
+  Tableau t = Tableau::Standard(d, ParseAttrSet(catalog_, "ab"));
+  auto m = FindContainmentMapping(t, t);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->size(), 3u);
+}
+
+TEST_F(ContainmentTest, SubtableauMapsIntoFullTableau) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,cd");
+  Tableau t = Tableau::Standard(d, ParseAttrSet(catalog_, "ab"));
+  Tableau sub = t.SelectRows({0, 1});
+  EXPECT_TRUE(FindContainmentMapping(sub, t).has_value());
+}
+
+TEST_F(ContainmentTest, RedundantSubsetRowFolds) {
+  // D = (abc, ab): the ab-row maps into the abc-row (its cells are the
+  // shared/distinguished symbols of abc's row where they overlap).
+  DatabaseSchema d = ParseSchema(catalog_, "abc,ab");
+  Tableau t = Tableau::Standard(d, ParseAttrSet(catalog_, "abc"));
+  Tableau just_abc = t.SelectRows({0});
+  EXPECT_TRUE(FindContainmentMapping(t, just_abc).has_value());
+}
+
+TEST_F(ContainmentTest, DistinguishedMustBePreserved) {
+  // D = (ab), D' = (b): the a-distinguished cell cannot map anywhere.
+  DatabaseSchema d = ParseSchema(catalog_, "ab,b");
+  Tableau t = Tableau::Standard(d, ParseAttrSet(catalog_, "ab"));
+  Tableau only_b = t.SelectRows({1});
+  EXPECT_FALSE(FindContainmentMapping(t, only_b).has_value());
+}
+
+TEST_F(ContainmentTest, SharedSymbolForcesConsistentTargets) {
+  // D = (ab, bc) with X = ac: rows share the b-variable. Mapping row 0
+  // somewhere fixes where row 1's b must go.
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,abc");
+  AttrSet x = ParseAttrSet(catalog_, "ac");
+  Tableau t = Tableau::Standard(d, x);
+  // Rows {ab, bc} fold into row {abc}: b'-symbol maps to abc's b-symbol
+  // consistently, a and c distinguished match.
+  Tableau target = t.SelectRows({2});
+  Tableau source = t.SelectRows({0, 1});
+  EXPECT_TRUE(FindContainmentMapping(source, target).has_value());
+}
+
+TEST_F(ContainmentTest, TriangleDoesNotFoldToTwoRows) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,ca");
+  Tableau t = Tableau::Standard(d, d.Universe());
+  for (int drop = 0; drop < 3; ++drop) {
+    std::vector<int> keep;
+    for (int i = 0; i < 3; ++i) {
+      if (i != drop) keep.push_back(i);
+    }
+    EXPECT_FALSE(FindContainmentMapping(t, t.SelectRows(keep)).has_value());
+  }
+}
+
+TEST_F(ContainmentTest, EquivalenceAcrossDifferentSchemas) {
+  // (abc, ab, bc) with target abc is equivalent to (abc) alone: the subset
+  // rows fold away (Lemma 3.2 direction).
+  DatabaseSchema d1 = ParseSchema(catalog_, "abc,ab,bc");
+  DatabaseSchema d2 = ParseSchema(catalog_, "abc");
+  AttrSet x = ParseAttrSet(catalog_, "abc");
+  Tableau t1 = Tableau::Standard(d1, x);
+  Tableau t2 = Tableau::Standard(d2, x);
+  EXPECT_TRUE(AreEquivalent(t1, t2));
+}
+
+TEST_F(ContainmentTest, NonEquivalentQueries) {
+  // (ab, bc) vs (abc) with target abc: (ab, bc) cannot reproduce abc's
+  // constraint over universal databases... it CAN be mapped into, but not
+  // back: Tab((abc)) has one row all-distinguished; Tab((ab,bc)) has no row
+  // with a, b, c all distinguished.
+  DatabaseSchema d1 = ParseSchema(catalog_, "ab,bc");
+  DatabaseSchema d2 = ParseSchema(catalog_, "abc");
+  AttrSet x = ParseAttrSet(catalog_, "abc");
+  Tableau t1 = Tableau::Standard(d1, x);
+  Tableau t2 = Tableau::Standard(d2, x);
+  EXPECT_FALSE(AreEquivalent(t1, t2));
+  // One direction does exist: t2's row maps... it cannot (no target row has
+  // all three distinguished), while each t1 row maps into t2's row.
+  Tableau a = t1;
+  Tableau b = t2;
+  Tableau::Align(a, b);
+  EXPECT_TRUE(FindContainmentMapping(a, b).has_value());
+  EXPECT_FALSE(FindContainmentMapping(b, a).has_value());
+}
+
+TEST_F(ContainmentTest, IsomorphismReflexive) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,ca");
+  Tableau t = Tableau::Standard(d, ParseAttrSet(catalog_, "ab"));
+  EXPECT_TRUE(AreIsomorphic(t, t));
+}
+
+TEST_F(ContainmentTest, IsomorphismUnderRowPermutation) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,cd");
+  Tableau t = Tableau::Standard(d, ParseAttrSet(catalog_, "ad"));
+  Tableau p = t.SelectRows({2, 0, 1});
+  EXPECT_TRUE(AreIsomorphic(t, p));
+}
+
+TEST_F(ContainmentTest, DifferentRowCountsNotIsomorphic) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc");
+  Tableau t = Tableau::Standard(d, ParseAttrSet(catalog_, "ab"));
+  EXPECT_FALSE(AreIsomorphic(t, t.SelectRows({0})));
+}
+
+TEST_F(ContainmentTest, EquivalentButNotIsomorphic) {
+  // (abc, ab) vs (abc): equivalent (the ab row folds), but not isomorphic
+  // (different row counts).
+  DatabaseSchema d1 = ParseSchema(catalog_, "abc,ab");
+  DatabaseSchema d2 = ParseSchema(catalog_, "abc");
+  AttrSet x = ParseAttrSet(catalog_, "a");
+  Tableau t1 = Tableau::Standard(d1, x);
+  Tableau t2 = Tableau::Standard(d2, x);
+  EXPECT_TRUE(AreEquivalent(t1, t2));
+  EXPECT_FALSE(AreIsomorphic(t1, t2));
+}
+
+TEST_F(ContainmentTest, EmptyTableauMapsAnywhere) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab");
+  Tableau t = Tableau::Standard(d, ParseAttrSet(catalog_, "a"));
+  Tableau empty = t.SelectRows({});
+  EXPECT_TRUE(FindContainmentMapping(empty, t).has_value());
+  EXPECT_FALSE(FindContainmentMapping(t, empty).has_value());
+}
+
+}  // namespace
+}  // namespace gyo

@@ -1,0 +1,177 @@
+#include "gyo/gamma.h"
+
+#include <gtest/gtest.h>
+
+#include "gyo/acyclic.h"
+#include "query/lossless.h"
+#include "schema/generators.h"
+#include "schema/parse.h"
+#include "util/rng.h"
+
+namespace gyo {
+namespace {
+
+class GammaTest : public ::testing::Test {
+ protected:
+  Catalog catalog_;
+};
+
+TEST_F(GammaTest, PathIsGammaAcyclic) {
+  EXPECT_TRUE(IsGammaAcyclic(ParseSchema(catalog_, "ab,bc,cd")));
+}
+
+TEST_F(GammaTest, StarIsGammaAcyclic) {
+  EXPECT_TRUE(IsGammaAcyclic(ParseSchema(catalog_, "ab,ac,ad")));
+}
+
+TEST_F(GammaTest, TriangleIsNotGammaAcyclic) {
+  // The triangle is cyclic, and γ-acyclic schemas are tree schemas.
+  EXPECT_FALSE(IsGammaAcyclic(ParseSchema(catalog_, "ab,bc,ac")));
+}
+
+TEST_F(GammaTest, TreeButNotGammaAcyclic) {
+  // §5.1 example: (abc, ab, bc) is a tree schema but D' = (ab, bc) is
+  // connected and not a subtree, so it is NOT γ-acyclic.
+  DatabaseSchema d = ParseSchema(catalog_, "abc,ab,bc");
+  EXPECT_TRUE(IsTreeSchema(d));
+  EXPECT_FALSE(IsGammaAcyclic(d));
+}
+
+TEST_F(GammaTest, SubsetChainIsGammaAcyclic) {
+  EXPECT_TRUE(IsGammaAcyclic(ParseSchema(catalog_, "abc,ab,a")));
+}
+
+TEST_F(GammaTest, DuplicatesDoNotBreakGammaAcyclicity) {
+  EXPECT_TRUE(IsGammaAcyclic(ParseSchema(catalog_, "ab,ab")));
+}
+
+TEST_F(GammaTest, EmptyAndSingletonAreGammaAcyclic) {
+  EXPECT_TRUE(IsGammaAcyclic(DatabaseSchema{}));
+  EXPECT_TRUE(IsGammaAcyclic(ParseSchema(catalog_, "abc")));
+}
+
+TEST_F(GammaTest, WeakGammaCycleFoundInTriangle) {
+  auto cycle = FindWeakGammaCycle(ParseSchema(catalog_, "ab,bc,ac"));
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_GE(cycle->relations.size(), 3u);
+  EXPECT_EQ(cycle->relations.size(), cycle->attributes.size());
+}
+
+TEST_F(GammaTest, WeakGammaCycleAbsentInPath) {
+  EXPECT_FALSE(FindWeakGammaCycle(ParseSchema(catalog_, "ab,bc,cd")).has_value());
+}
+
+TEST_F(GammaTest, WeakGammaCycleWitnessIsValid) {
+  Rng rng(111);
+  for (int trial = 0; trial < 150; ++trial) {
+    DatabaseSchema d = RandomSchema(3 + static_cast<int>(rng.Below(4)),
+                                    3 + static_cast<int>(rng.Below(5)),
+                                    2 + static_cast<int>(rng.Below(3)), rng);
+    auto cycle = FindWeakGammaCycle(d);
+    if (!cycle.has_value()) continue;
+    DatabaseSchema dd = Deduplicate(d);
+    const auto& rels = cycle->relations;
+    const auto& attrs = cycle->attributes;
+    ASSERT_GE(rels.size(), 3u);
+    ASSERT_EQ(rels.size(), attrs.size());
+    const size_t m = rels.size();
+    // Distinctness.
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = i + 1; j < m; ++j) {
+        EXPECT_NE(rels[i], rels[j]);
+        EXPECT_NE(attrs[i], attrs[j]);
+      }
+    }
+    // Incidence: attrs[i] ∈ rels[i] ∩ rels[i+1 mod m].
+    for (size_t i = 0; i < m; ++i) {
+      EXPECT_TRUE(dd[rels[i]].Contains(attrs[i]));
+      EXPECT_TRUE(dd[rels[(i + 1) % m]].Contains(attrs[i]));
+    }
+    // Locality: every attribute but the last avoids the other cycle
+    // relations.
+    for (size_t i = 0; i + 1 < m; ++i) {
+      for (size_t j = 0; j < m; ++j) {
+        if (j == i || j == i + 1) continue;
+        EXPECT_FALSE(dd[rels[j]].Contains(attrs[i]))
+            << "attr " << attrs[i] << " leaks into cycle relation " << j;
+      }
+    }
+  }
+}
+
+TEST_F(GammaTest, Theorem53CharacterizationsAgreeRandomized) {
+  // (i) no weak γ-cycle == (ii) pairwise disconnection == (iii) tree schema
+  // with all connected sub-schemas subtrees.
+  Rng rng(113);
+  int gamma_acyclic_seen = 0;
+  int gamma_cyclic_seen = 0;
+  for (int trial = 0; trial < 250; ++trial) {
+    DatabaseSchema d = RandomSchema(2 + static_cast<int>(rng.Below(5)),
+                                    2 + static_cast<int>(rng.Below(5)),
+                                    1 + static_cast<int>(rng.Below(4)), rng);
+    bool by_pairs = IsGammaAcyclic(d);
+    bool by_cycles = !FindWeakGammaCycle(d).has_value();
+    bool by_subtrees = IsGammaAcyclicBySubtrees(d);
+    EXPECT_EQ(by_pairs, by_cycles) << "trial " << trial;
+    EXPECT_EQ(by_pairs, by_subtrees) << "trial " << trial;
+    if (by_pairs) {
+      ++gamma_acyclic_seen;
+    } else {
+      ++gamma_cyclic_seen;
+    }
+  }
+  EXPECT_GE(gamma_acyclic_seen, 20);
+  EXPECT_GE(gamma_cyclic_seen, 20);
+}
+
+TEST_F(GammaTest, GammaAcyclicImpliesTreeSchema) {
+  Rng rng(117);
+  for (int trial = 0; trial < 200; ++trial) {
+    DatabaseSchema d = RandomSchema(2 + static_cast<int>(rng.Below(6)),
+                                    2 + static_cast<int>(rng.Below(6)),
+                                    1 + static_cast<int>(rng.Below(4)), rng);
+    if (IsGammaAcyclic(d)) {
+      EXPECT_TRUE(IsTreeSchema(d)) << "trial " << trial;
+    }
+  }
+}
+
+TEST_F(GammaTest, Corollary53LosslessForAllConnectedSubschemas) {
+  // Cor 5.3 (§5.2): D is γ-acyclic iff ⋈D ⊨ ⋈D' for all connected D' ⊆ D.
+  Rng rng(119);
+  int checked = 0;
+  for (int trial = 0; trial < 150 && checked < 60; ++trial) {
+    DatabaseSchema d = RandomSchema(2 + static_cast<int>(rng.Below(4)),
+                                    2 + static_cast<int>(rng.Below(5)),
+                                    1 + static_cast<int>(rng.Below(4)), rng);
+    DatabaseSchema dd = Deduplicate(d);
+    const int n = dd.NumRelations();
+    if (n > 6) continue;
+    ++checked;
+    bool all_lossless = true;
+    for (uint32_t mask = 1; mask < (uint32_t{1} << n) && all_lossless;
+         ++mask) {
+      std::vector<int> indices;
+      for (int i = 0; i < n; ++i) {
+        if ((mask >> i) & 1) indices.push_back(i);
+      }
+      DatabaseSchema sub = dd.Select(indices);
+      if (!sub.IsConnected()) continue;
+      if (!JoinDependencyImplies(dd, sub)) all_lossless = false;
+    }
+    EXPECT_EQ(all_lossless, IsGammaAcyclic(dd)) << "trial " << trial;
+  }
+  EXPECT_GE(checked, 40);
+}
+
+TEST_F(GammaTest, DeduplicateKeepsFirstOccurrences) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,ab,cd,bc");
+  DatabaseSchema dd = Deduplicate(d);
+  ASSERT_EQ(dd.NumRelations(), 3);
+  EXPECT_EQ(dd[0], ParseAttrSet(catalog_, "ab"));
+  EXPECT_EQ(dd[1], ParseAttrSet(catalog_, "bc"));
+  EXPECT_EQ(dd[2], ParseAttrSet(catalog_, "cd"));
+}
+
+}  // namespace
+}  // namespace gyo

@@ -1,0 +1,126 @@
+#include "schema/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "gyo/acyclic.h"
+#include "gyo/qual_graph.h"
+
+namespace gyo {
+namespace {
+
+TEST(GeneratorsTest, AringShape) {
+  DatabaseSchema d = Aring(5);
+  EXPECT_EQ(d.NumRelations(), 5);
+  EXPECT_EQ(d.Universe().Size(), 5);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(d[i].Size(), 2);
+  EXPECT_TRUE(IsAring(d));
+}
+
+TEST(GeneratorsTest, AringIsCyclic) {
+  for (int n = 3; n <= 8; ++n) {
+    EXPECT_TRUE(IsCyclicSchema(Aring(n))) << "Aring(" << n << ")";
+  }
+}
+
+TEST(GeneratorsTest, AcliqueShape) {
+  DatabaseSchema d = Aclique(4);
+  EXPECT_EQ(d.NumRelations(), 4);
+  EXPECT_EQ(d.Universe().Size(), 4);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(d[i].Size(), 3);
+  EXPECT_TRUE(IsAclique(d));
+}
+
+TEST(GeneratorsTest, AcliqueIsCyclic) {
+  for (int n = 3; n <= 7; ++n) {
+    EXPECT_TRUE(IsCyclicSchema(Aclique(n))) << "Aclique(" << n << ")";
+  }
+}
+
+TEST(GeneratorsTest, Size3RingEqualsSize3Clique) {
+  // (ab, bc, ca) is both the Aring and the Aclique of size 3.
+  DatabaseSchema ring = Aring(3);
+  EXPECT_TRUE(IsAring(ring));
+  EXPECT_TRUE(IsAclique(ring));
+}
+
+TEST(GeneratorsTest, PathIsTree) {
+  for (int n = 2; n <= 10; ++n) {
+    EXPECT_TRUE(IsTreeSchema(PathSchema(n))) << "Path(" << n << ")";
+  }
+}
+
+TEST(GeneratorsTest, StarIsTree) {
+  for (int leaves = 1; leaves <= 10; ++leaves) {
+    EXPECT_TRUE(IsTreeSchema(StarSchema(leaves)));
+  }
+}
+
+TEST(GeneratorsTest, GridCyclicity) {
+  EXPECT_TRUE(IsTreeSchema(GridSchema(1, 5)));  // a path
+  EXPECT_TRUE(IsTreeSchema(GridSchema(5, 1)));
+  EXPECT_TRUE(IsCyclicSchema(GridSchema(2, 2)));
+  EXPECT_TRUE(IsCyclicSchema(GridSchema(3, 4)));
+}
+
+TEST(GeneratorsTest, GridRelationCount) {
+  // rows*(cols-1) horizontal + (rows-1)*cols vertical edges.
+  DatabaseSchema d = GridSchema(3, 4);
+  EXPECT_EQ(d.NumRelations(), 3 * 3 + 2 * 4);
+  EXPECT_EQ(d.Universe().Size(), 12);
+}
+
+TEST(GeneratorsTest, RandomTreeSchemaIsAcyclicByConstruction) {
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    RandomTreeResult r = RandomTreeSchema(1 + trial % 12, 4, rng);
+    EXPECT_TRUE(IsTreeSchema(r.schema)) << "trial " << trial;
+  }
+}
+
+TEST(GeneratorsTest, RandomTreeSchemaWitnessIsQualTree) {
+  Rng rng(43);
+  for (int trial = 0; trial < 30; ++trial) {
+    RandomTreeResult r = RandomTreeSchema(2 + trial % 10, 4, rng);
+    QualGraph g;
+    g.num_nodes = r.schema.NumRelations();
+    g.edges = r.tree_edges;
+    EXPECT_TRUE(IsQualTree(r.schema, g)) << "trial " << trial;
+  }
+}
+
+TEST(GeneratorsTest, RandomSchemaRespectsBounds) {
+  Rng rng(44);
+  DatabaseSchema d = RandomSchema(20, 10, 3, rng);
+  EXPECT_EQ(d.NumRelations(), 20);
+  EXPECT_LE(d.Universe().Size(), 10);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_GE(d[i].Size(), 1);
+    EXPECT_LE(d[i].Size(), 3);
+  }
+}
+
+TEST(GeneratorsTest, RandomSchemaIsDeterministicInSeed) {
+  Rng rng1(7);
+  Rng rng2(7);
+  DatabaseSchema a = RandomSchema(10, 8, 3, rng1);
+  DatabaseSchema b = RandomSchema(10, 8, 3, rng2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(GeneratorsTest, FattenedRingStaysCyclic) {
+  for (int extra = 0; extra <= 3; ++extra) {
+    DatabaseSchema d = FattenedRing(5, extra);
+    EXPECT_TRUE(IsCyclicSchema(d)) << "extra=" << extra;
+    EXPECT_EQ(d.NumRelations(), 5);
+    EXPECT_EQ(d[0].Size(), 2 + extra);
+  }
+}
+
+TEST(GeneratorsTest, BaseOffsetsDisjointUniverses) {
+  DatabaseSchema a = Aring(4, 0);
+  DatabaseSchema b = Aring(4, 100);
+  EXPECT_FALSE(a.Universe().Intersects(b.Universe()));
+}
+
+}  // namespace
+}  // namespace gyo

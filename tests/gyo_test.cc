@@ -1,0 +1,207 @@
+#include "gyo/gyo.h"
+
+#include <gtest/gtest.h>
+
+#include "gyo/acyclic.h"
+#include "schema/generators.h"
+#include "schema/parse.h"
+#include "util/rng.h"
+
+namespace gyo {
+namespace {
+
+class GyoTest : public ::testing::Test {
+ protected:
+  Catalog catalog_;
+};
+
+TEST_F(GyoTest, TreeSchemaReducesToEmpty) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,cd");
+  GyoResult r = GyoReduce(d);
+  EXPECT_TRUE(r.FullyReduced());
+  EXPECT_LE(r.reduced.NumRelations(), 1);
+}
+
+TEST_F(GyoTest, TriangleDoesNotReduce) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,ac");
+  GyoResult r = GyoReduce(d);
+  EXPECT_FALSE(r.FullyReduced());
+  // Nothing is deletable in a triangle: GR(D) = D.
+  EXPECT_TRUE(r.reduced.EqualsAsMultiset(d));
+  EXPECT_TRUE(r.trace.empty());
+}
+
+TEST_F(GyoTest, SacredAttributesBlockDeletion) {
+  // With a and d sacred nothing is deletable on the path: b and c occur
+  // twice each, so GR(D, ad) = D — the whole chain is needed to connect a
+  // to d.
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,cd");
+  GyoResult r = GyoReduce(d, ParseAttrSet(catalog_, "ad"));
+  EXPECT_TRUE(r.reduced.EqualsAsMultiset(d));
+  EXPECT_TRUE(r.trace.empty());
+  // With only a sacred, the chain collapses from the d-end down to (a).
+  GyoResult r2 = GyoReduce(d, ParseAttrSet(catalog_, "a"));
+  ASSERT_EQ(r2.reduced.NumRelations(), 1);
+  EXPECT_EQ(r2.reduced[0], ParseAttrSet(catalog_, "a"));
+  for (const GyoStep& step : r2.trace) {
+    if (step.kind == GyoStep::Kind::kAttributeDeletion) {
+      EXPECT_NE(step.attribute, *catalog_.Find("a"));
+    }
+  }
+}
+
+TEST_F(GyoTest, GrWithUniverseSacredOnlyEliminatesSubsets) {
+  DatabaseSchema d = ParseSchema(catalog_, "abc,ab,bc,d");
+  GyoResult r = GyoReduce(d, d.Universe());
+  // No attribute may be deleted; only ab, bc vanish as subsets of abc.
+  EXPECT_TRUE(
+      r.reduced.EqualsAsMultiset(ParseSchema(catalog_, "abc,d")));
+  for (const GyoStep& step : r.trace) {
+    EXPECT_EQ(step.kind, GyoStep::Kind::kSubsetElimination);
+  }
+}
+
+TEST_F(GyoTest, ReductionIsReduced) {
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    DatabaseSchema d = RandomSchema(8, 8, 4, rng);
+    GyoResult r = GyoReduce(d);
+    EXPECT_TRUE(r.reduced.IsReduced()) << "trial " << trial;
+  }
+}
+
+TEST_F(GyoTest, SurvivorsParallelReduced) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,ac,de");
+  GyoResult r = GyoReduce(d);
+  ASSERT_EQ(r.survivors.size(),
+            static_cast<size_t>(r.reduced.NumRelations()));
+  // The triangle survives; its survivor indices point at the originals.
+  for (size_t i = 0; i < r.survivors.size(); ++i) {
+    EXPECT_TRUE(r.reduced[static_cast<int>(i)].IsSubsetOf(
+        d[r.survivors[i]]));
+  }
+}
+
+TEST_F(GyoTest, TraceStepsAreWellFormed) {
+  DatabaseSchema d = ParseSchema(catalog_, "abc,ab,bc,cd");
+  GyoResult r = GyoReduce(d);
+  for (const GyoStep& s : r.trace) {
+    EXPECT_GE(s.relation, 0);
+    EXPECT_LT(s.relation, d.NumRelations());
+    if (s.kind == GyoStep::Kind::kAttributeDeletion) {
+      EXPECT_GE(s.attribute, 0);
+    } else {
+      EXPECT_GE(s.absorber, 0);
+      EXPECT_NE(s.absorber, s.relation);
+    }
+  }
+}
+
+TEST_F(GyoTest, FastMatchesNaiveOnFixtures) {
+  for (const char* spec :
+       {"ab,bc,cd", "ab,bc,ac", "abc,cde,ace,afe", "ab,ab,ab", "a,b,c",
+        "abcd,bce,ef,fa", "ab,bc,cd,da,ac"}) {
+    Catalog c;
+    DatabaseSchema d = ParseSchema(c, spec);
+    GyoResult naive = GyoReduce(d);
+    GyoResult fast = GyoReduceFast(d);
+    EXPECT_TRUE(naive.reduced.EqualsAsMultiset(fast.reduced)) << spec;
+    EXPECT_EQ(naive.survivors, fast.survivors) << spec;
+  }
+}
+
+TEST_F(GyoTest, FastMatchesNaiveRandomized) {
+  Rng rng(17);
+  for (int trial = 0; trial < 300; ++trial) {
+    DatabaseSchema d = RandomSchema(2 + static_cast<int>(rng.Below(10)),
+                                    2 + static_cast<int>(rng.Below(10)),
+                                    1 + static_cast<int>(rng.Below(5)), rng);
+    GyoResult naive = GyoReduce(d);
+    GyoResult fast = GyoReduceFast(d);
+    EXPECT_TRUE(naive.reduced.EqualsAsMultiset(fast.reduced))
+        << "trial " << trial;
+  }
+}
+
+TEST_F(GyoTest, MaierUllmanUniquenessUnderRandomOrders) {
+  // GR(D, X) must not depend on the order operations are applied in.
+  Rng gen(23);
+  for (int trial = 0; trial < 60; ++trial) {
+    DatabaseSchema d = RandomSchema(2 + static_cast<int>(gen.Below(7)),
+                                    2 + static_cast<int>(gen.Below(8)),
+                                    1 + static_cast<int>(gen.Below(4)), gen);
+    AttrSet x;
+    d.Universe().ForEach([&](AttrId a) {
+      if (gen.Chance(0.3)) x.Insert(a);
+    });
+    GyoResult reference = GyoReduce(d, x);
+    for (uint64_t seed = 0; seed < 5; ++seed) {
+      Rng order_rng(seed * 1000 + static_cast<uint64_t>(trial));
+      GyoResult random = GyoReduceRandomOrder(d, x, order_rng);
+      EXPECT_TRUE(reference.reduced.EqualsAsMultiset(random.reduced))
+          << "trial " << trial << " seed " << seed;
+    }
+  }
+}
+
+TEST_F(GyoTest, OperationsPreserveSchemaType) {
+  // Paper §3.3: applying GYO operations never flips tree ↔ cyclic. We verify
+  // on prefixes of the trace by replaying operations.
+  Rng rng(31);
+  for (int trial = 0; trial < 60; ++trial) {
+    DatabaseSchema d = RandomSchema(3 + static_cast<int>(rng.Below(5)),
+                                    3 + static_cast<int>(rng.Below(6)),
+                                    1 + static_cast<int>(rng.Below(4)), rng);
+    bool tree = IsTreeSchema(d);
+    GyoResult r = GyoReduce(d);
+    // Replay the trace one step at a time.
+    std::vector<RelationSchema> rels = d.Relations();
+    std::vector<bool> alive(rels.size(), true);
+    for (const GyoStep& s : r.trace) {
+      if (s.kind == GyoStep::Kind::kAttributeDeletion) {
+        rels[static_cast<size_t>(s.relation)].Erase(s.attribute);
+      } else {
+        alive[static_cast<size_t>(s.relation)] = false;
+      }
+      DatabaseSchema current;
+      for (size_t i = 0; i < rels.size(); ++i) {
+        if (alive[i]) current.Add(rels[i]);
+      }
+      EXPECT_EQ(IsTreeSchema(current), tree) << "trial " << trial;
+    }
+  }
+}
+
+TEST_F(GyoTest, DuplicateRelationsCollapse) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,ab,ab");
+  GyoResult r = GyoReduce(d, d.Universe());
+  EXPECT_EQ(r.reduced.NumRelations(), 1);
+  EXPECT_EQ(r.survivors, (std::vector<int>{0}));
+}
+
+TEST_F(GyoTest, SingleRelationReducesToEmpty) {
+  DatabaseSchema d = ParseSchema(catalog_, "abc");
+  GyoResult r = GyoReduce(d);
+  EXPECT_TRUE(r.FullyReduced());
+}
+
+TEST_F(GyoTest, EmptySchemaIsFullyReduced) {
+  DatabaseSchema d;
+  EXPECT_TRUE(GyoReduce(d).FullyReduced());
+}
+
+TEST_F(GyoTest, AringIsItsOwnReduction) {
+  DatabaseSchema d = Aring(6);
+  GyoResult r = GyoReduce(d);
+  EXPECT_TRUE(r.reduced.EqualsAsMultiset(d));
+}
+
+TEST_F(GyoTest, FattenedRingReducesToRingCore) {
+  // Extra attributes are isolated and get deleted; the ring edges remain.
+  DatabaseSchema d = FattenedRing(5, 2);
+  GyoResult r = GyoReduce(d);
+  EXPECT_TRUE(r.reduced.EqualsAsMultiset(Aring(5)));
+}
+
+}  // namespace
+}  // namespace gyo

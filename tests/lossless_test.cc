@@ -1,0 +1,159 @@
+#include "query/lossless.h"
+
+#include <gtest/gtest.h>
+
+#include "gyo/acyclic.h"
+#include "gyo/qual_graph.h"
+#include "rel/ops.h"
+#include "rel/universal.h"
+#include "schema/fixtures.h"
+#include "schema/generators.h"
+#include "schema/parse.h"
+#include "tableau/canonical.h"
+#include "util/rng.h"
+
+namespace gyo {
+namespace {
+
+class LosslessTest : public ::testing::Test {
+ protected:
+  Catalog catalog_;
+};
+
+TEST_F(LosslessTest, PaperCounterexample) {
+  // §5.1: D = (abc, ab, bc), D' = (ab, bc): ⋈D ⊭ ⋈D'.
+  DatabaseSchema d = fixtures::Sec51D(catalog_);
+  DatabaseSchema dprime = fixtures::Sec51Dp(catalog_);
+  EXPECT_FALSE(JoinDependencyImplies(d, dprime));
+}
+
+TEST_F(LosslessTest, PaperCounterexampleWitnessedByData) {
+  // Find a universal relation satisfying ⋈D but not ⋈D'.
+  DatabaseSchema d = fixtures::Sec51D(catalog_);
+  DatabaseSchema dprime = fixtures::Sec51Dp(catalog_);
+  Rng rng(173);
+  bool witnessed = false;
+  for (int rep = 0; rep < 100 && !witnessed; ++rep) {
+    Relation model = RandomModelOfJd(d, 5, 2, rng);
+    ASSERT_TRUE(JdHolds(model, d));
+    if (!JdHolds(model, dprime)) witnessed = true;
+  }
+  EXPECT_TRUE(witnessed);
+}
+
+TEST_F(LosslessTest, SubtreesOfTreesAreLossless) {
+  // Corollary 5.2, forward direction on a path.
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,cd");
+  EXPECT_TRUE(JoinDependencyImplies(d, ParseSchema(catalog_, "ab,bc")));
+  EXPECT_TRUE(JoinDependencyImplies(d, ParseSchema(catalog_, "bc,cd")));
+  EXPECT_TRUE(JoinDependencyImplies(d, d));
+  EXPECT_FALSE(JoinDependencyImplies(d, ParseSchema(catalog_, "ab,cd")));
+}
+
+TEST_F(LosslessTest, WholeSchemaAlwaysLossless) {
+  Rng rng(179);
+  for (int trial = 0; trial < 50; ++trial) {
+    DatabaseSchema d = RandomSchema(2 + static_cast<int>(rng.Below(5)),
+                                    2 + static_cast<int>(rng.Below(5)),
+                                    1 + static_cast<int>(rng.Below(4)), rng);
+    EXPECT_TRUE(JoinDependencyImplies(d, d)) << "trial " << trial;
+  }
+}
+
+TEST_F(LosslessTest, Corollary52MatchesSubtreeTest) {
+  // For tree schemas: ⋈D ⊨ ⋈D' iff D' is a subtree of D.
+  Rng rng(181);
+  int checked = 0;
+  for (int trial = 0; trial < 200 && checked < 50; ++trial) {
+    DatabaseSchema d = RandomSchema(2 + static_cast<int>(rng.Below(4)),
+                                    2 + static_cast<int>(rng.Below(5)),
+                                    1 + static_cast<int>(rng.Below(4)), rng);
+    if (!IsTreeSchema(d)) continue;
+    ++checked;
+    const int n = d.NumRelations();
+    for (uint32_t mask = 1; mask < (uint32_t{1} << n); ++mask) {
+      std::vector<int> indices;
+      for (int i = 0; i < n; ++i) {
+        if ((mask >> i) & 1) indices.push_back(i);
+      }
+      DatabaseSchema dprime = d.Select(indices);
+      EXPECT_EQ(JoinDependencyImplies(d, dprime),
+                LosslessInTreeSchema(d, indices))
+          << "trial " << trial << " mask " << mask;
+    }
+  }
+  EXPECT_GE(checked, 30);
+}
+
+TEST_F(LosslessTest, DecisionMatchesEmpiricalModels) {
+  // If ⋈D ⊨ ⋈D' holds, every random model of ⋈D satisfies ⋈D'.
+  Rng rng(191);
+  int positive = 0;
+  int negative_confirmed = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    DatabaseSchema d = RandomSchema(2 + static_cast<int>(rng.Below(4)),
+                                    2 + static_cast<int>(rng.Below(4)),
+                                    1 + static_cast<int>(rng.Below(3)), rng);
+    std::vector<int> indices;
+    for (int i = 0; i < d.NumRelations(); ++i) {
+      if (rng.Chance(0.7)) indices.push_back(i);
+    }
+    if (indices.empty()) continue;
+    DatabaseSchema dprime = d.Select(indices);
+    bool implied = JoinDependencyImplies(d, dprime);
+    bool all_models_ok = true;
+    for (int rep = 0; rep < 6; ++rep) {
+      Relation model =
+          RandomModelOfJd(d, 2 + static_cast<int>(rng.Below(12)),
+                          2 + static_cast<int>(rng.Below(3)), rng);
+      if (!JdHolds(model, dprime)) all_models_ok = false;
+    }
+    if (implied) {
+      EXPECT_TRUE(all_models_ok) << "trial " << trial;
+      ++positive;
+    } else if (!all_models_ok) {
+      ++negative_confirmed;  // random data found the paper-predicted gap
+    }
+  }
+  EXPECT_GE(positive, 10);
+  EXPECT_GE(negative_confirmed, 5);
+}
+
+TEST_F(LosslessTest, Theorem51EqualityForReducedSubschemas) {
+  // Thm 5.1 parenthetical: CC(D, U(D')) = D' (as sets of schemas) iff D' is
+  // reduced, for implied D'.
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,cd");
+  DatabaseSchema dprime = ParseSchema(catalog_, "ab,bc");
+  ASSERT_TRUE(JoinDependencyImplies(d, dprime));
+  ASSERT_TRUE(dprime.IsReduced());
+  CanonicalResult cc = CanonicalConnection(d, dprime.Universe());
+  EXPECT_TRUE(cc.schema.EqualsAsMultiset(dprime));
+}
+
+TEST_F(LosslessTest, RingHasNoLosslessProperSubset) {
+  // Any proper connected subset of an Aring loses the cycle constraint.
+  DatabaseSchema d = Aring(5);
+  for (int drop = 0; drop < 5; ++drop) {
+    std::vector<int> indices;
+    for (int i = 0; i < 5; ++i) {
+      if (i != drop) indices.push_back(i);
+    }
+    EXPECT_FALSE(JoinDependencyImplies(d, d.Select(indices)));
+  }
+}
+
+TEST_F(LosslessTest, SingletonSubschemaAlwaysLossless) {
+  // ⋈D ⊨ ⋈(R) trivially for R ∈ D: π_R(I) = π_R(I).
+  Rng rng(193);
+  for (int trial = 0; trial < 50; ++trial) {
+    DatabaseSchema d = RandomSchema(2 + static_cast<int>(rng.Below(5)),
+                                    2 + static_cast<int>(rng.Below(5)),
+                                    1 + static_cast<int>(rng.Below(4)), rng);
+    int pick = static_cast<int>(rng.Below(static_cast<uint64_t>(d.NumRelations())));
+    EXPECT_TRUE(JoinDependencyImplies(d, d.Select({pick})))
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace gyo

@@ -1,0 +1,110 @@
+#include "tableau/minimize.h"
+
+#include <gtest/gtest.h>
+
+#include "gyo/acyclic.h"
+#include "schema/generators.h"
+#include "schema/parse.h"
+#include "tableau/containment.h"
+#include "util/rng.h"
+
+namespace gyo {
+namespace {
+
+class MinimizeTest : public ::testing::Test {
+ protected:
+  Catalog catalog_;
+};
+
+TEST_F(MinimizeTest, TriangleIsAlreadyMinimal) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,ca");
+  Tableau t = Tableau::Standard(d, d.Universe());
+  Tableau m = Minimize(t);
+  EXPECT_EQ(m.NumRows(), 3);
+}
+
+TEST_F(MinimizeTest, SubsetRowsFold) {
+  DatabaseSchema d = ParseSchema(catalog_, "abc,ab,bc");
+  Tableau t = Tableau::Standard(d, ParseAttrSet(catalog_, "abc"));
+  Tableau m = Minimize(t);
+  EXPECT_EQ(m.NumRows(), 1);
+  EXPECT_EQ(m.RowOrigin(0), 0);  // the abc row survives
+}
+
+TEST_F(MinimizeTest, Sec6ExampleMinimizesToThreeRows) {
+  DatabaseSchema d = ParseSchema(catalog_, "abg,bcg,acf,ad,de,ea");
+  Tableau t = Tableau::Standard(d, ParseAttrSet(catalog_, "abc"));
+  Tableau m = Minimize(t);
+  EXPECT_EQ(m.NumRows(), 3);
+  // The survivors are the rows of abg, bcg, acf.
+  std::vector<int> origins = m.RowOrigins();
+  std::sort(origins.begin(), origins.end());
+  EXPECT_EQ(origins, (std::vector<int>{0, 1, 2}));
+}
+
+TEST_F(MinimizeTest, ResultIsEquivalentToInput) {
+  Rng rng(131);
+  for (int trial = 0; trial < 60; ++trial) {
+    DatabaseSchema d = RandomSchema(2 + static_cast<int>(rng.Below(5)),
+                                    2 + static_cast<int>(rng.Below(6)),
+                                    1 + static_cast<int>(rng.Below(4)), rng);
+    AttrSet x;
+    d.Universe().ForEach([&](AttrId a) {
+      if (rng.Chance(0.4)) x.Insert(a);
+    });
+    Tableau t = Tableau::Standard(d, x);
+    Tableau m = Minimize(t);
+    EXPECT_LE(m.NumRows(), t.NumRows());
+    EXPECT_TRUE(AreEquivalent(t, m)) << "trial " << trial;
+  }
+}
+
+TEST_F(MinimizeTest, MinimizationIsIdempotent) {
+  Rng rng(137);
+  for (int trial = 0; trial < 40; ++trial) {
+    DatabaseSchema d = RandomSchema(2 + static_cast<int>(rng.Below(5)),
+                                    2 + static_cast<int>(rng.Below(6)),
+                                    1 + static_cast<int>(rng.Below(3)), rng);
+    Tableau m = Minimize(Tableau::Standard(d, AttrSet()));
+    Tableau mm = Minimize(m);
+    EXPECT_EQ(m.NumRows(), mm.NumRows()) << "trial " << trial;
+  }
+}
+
+TEST_F(MinimizeTest, MinimalTableauxAreIsomorphicAcrossRowOrders) {
+  // Lemma 3.4: any two minimal tableaux for the same query are isomorphic.
+  // We minimize the same tableau with rows presented in different orders.
+  DatabaseSchema d = ParseSchema(catalog_, "abg,bcg,acf,ad,de,ea");
+  AttrSet x = ParseAttrSet(catalog_, "abc");
+  Tableau t = Tableau::Standard(d, x);
+  Tableau m1 = Minimize(t);
+  Tableau m2 = Minimize(t.SelectRows({5, 4, 3, 2, 1, 0}));
+  EXPECT_TRUE(AreIsomorphic(m1, m2));
+}
+
+TEST_F(MinimizeTest, EmptyTargetAlwaysMinimizesToOneRow) {
+  // With X = ∅ there are no distinguished variables, so the constant map
+  // onto any single row is a containment mapping: every Tab(D, ∅) folds to
+  // one row — even for cyclic schemas.
+  for (const DatabaseSchema& d : {PathSchema(5), Aring(4), Aclique(4)}) {
+    Tableau m = Minimize(Tableau::Standard(d, AttrSet()));
+    EXPECT_EQ(m.NumRows(), 1);
+  }
+}
+
+TEST_F(MinimizeTest, RingWithFullTargetStaysWhole) {
+  // With X = U every variable is distinguished; an Aring row can only map to
+  // itself, so nothing folds.
+  DatabaseSchema d = Aring(4);
+  Tableau m = Minimize(Tableau::Standard(d, d.Universe()));
+  EXPECT_EQ(m.NumRows(), 4);
+}
+
+TEST_F(MinimizeTest, SingleRowTableauUntouched) {
+  DatabaseSchema d = ParseSchema(catalog_, "abc");
+  Tableau t = Tableau::Standard(d, ParseAttrSet(catalog_, "ab"));
+  EXPECT_EQ(Minimize(t).NumRows(), 1);
+}
+
+}  // namespace
+}  // namespace gyo

@@ -1,0 +1,53 @@
+#include "schema/parse.h"
+
+#include <gtest/gtest.h>
+
+namespace gyo {
+namespace {
+
+TEST(ParseTest, CompactNotation) {
+  Catalog c;
+  DatabaseSchema d = ParseSchema(c, "ab,bc,cd");
+  ASSERT_EQ(d.NumRelations(), 3);
+  EXPECT_EQ(d[0].Size(), 2);
+  EXPECT_EQ(d.Universe().Size(), 4);
+}
+
+TEST(ParseTest, CompactWithSurroundingSpaces) {
+  Catalog c;
+  DatabaseSchema d = ParseSchema(c, " ab , bc ");
+  ASSERT_EQ(d.NumRelations(), 2);
+  EXPECT_EQ(d[0], c.InternAll("ab"));
+}
+
+TEST(ParseTest, NamedAttributes) {
+  Catalog c;
+  DatabaseSchema d = ParseSchema(c, "part supplier, supplier city");
+  ASSERT_EQ(d.NumRelations(), 2);
+  EXPECT_EQ(d.Universe().Size(), 3);
+  EXPECT_TRUE(d[0].Contains(*c.Find("part")));
+  EXPECT_TRUE(d[1].Contains(*c.Find("city")));
+  EXPECT_TRUE(d[0].Intersects(d[1]));  // shared "supplier"
+}
+
+TEST(ParseTest, SharedCatalogAcrossCalls) {
+  Catalog c;
+  AttrSet x = ParseAttrSet(c, "ab");
+  DatabaseSchema d = ParseSchema(c, "abc");
+  EXPECT_TRUE(x.IsSubsetOf(d[0]));
+}
+
+TEST(ParseTest, SingleAttributeRelation) {
+  Catalog c;
+  DatabaseSchema d = ParseSchema(c, "a");
+  ASSERT_EQ(d.NumRelations(), 1);
+  EXPECT_EQ(d[0].Size(), 1);
+}
+
+TEST(ParseTest, RepeatedLettersCollapse) {
+  Catalog c;
+  EXPECT_EQ(ParseAttrSet(c, "aba").Size(), 2);
+}
+
+}  // namespace
+}  // namespace gyo

@@ -1,0 +1,236 @@
+// Randomized cross-validation of the paper's theorems, run as parameterized
+// sweeps over seeded generators. Each suite states the theorem it validates.
+
+#include <gtest/gtest.h>
+
+#include "gyo/acyclic.h"
+#include "gyo/chordal.h"
+#include "gyo/gamma.h"
+#include "gyo/gyo.h"
+#include "gyo/qual_graph.h"
+#include "query/lossless.h"
+#include "query/query.h"
+#include "rel/solver.h"
+#include "rel/universal.h"
+#include "schema/generators.h"
+#include "tableau/canonical.h"
+#include "tableau/containment.h"
+#include "tableau/minimize.h"
+#include "util/rng.h"
+
+namespace gyo {
+namespace {
+
+DatabaseSchema RandomSmallSchema(Rng& rng, int max_rel = 6, int max_uni = 7,
+                                 int max_arity = 4) {
+  return RandomSchema(2 + static_cast<int>(rng.Below(
+                              static_cast<uint64_t>(max_rel - 1))),
+                      2 + static_cast<int>(rng.Below(
+                              static_cast<uint64_t>(max_uni - 1))),
+                      1 + static_cast<int>(rng.Below(
+                              static_cast<uint64_t>(max_arity))),
+                      rng);
+}
+
+AttrSet RandomTarget(const DatabaseSchema& d, Rng& rng, double p = 0.4) {
+  AttrSet x;
+  d.Universe().ForEach([&](AttrId a) {
+    if (rng.Chance(p)) x.Insert(a);
+  });
+  return x;
+}
+
+class SeededProperty : public ::testing::TestWithParam<uint64_t> {};
+
+// Corollary 3.1 + Maier's MST + exhaustive qual-tree enumeration agree on
+// what a tree schema is.
+TEST_P(SeededProperty, AcyclicityTestsAgree) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    DatabaseSchema d = RandomSmallSchema(rng);
+    bool by_gyo = IsTreeSchema(d);
+    EXPECT_EQ(by_gyo, BuildJoinTree(d).has_value());
+    EXPECT_EQ(by_gyo, BuildJoinTreeMaier(d).has_value());
+    EXPECT_EQ(by_gyo, IsTreeSchemaViaChordality(d));
+    if (d.NumRelations() <= 6) {
+      EXPECT_EQ(by_gyo, !EnumerateQualTrees(d).empty());
+    }
+  }
+}
+
+// GyoReduce and GyoReduceFast compute the same (unique) GR(D, X).
+TEST_P(SeededProperty, GyoImplementationsAgree) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 60; ++trial) {
+    DatabaseSchema d = RandomSmallSchema(rng, 8, 9, 4);
+    AttrSet x = RandomTarget(d, rng);
+    GyoResult a = GyoReduce(d, x);
+    GyoResult b = GyoReduceFast(d, x);
+    EXPECT_TRUE(a.reduced.EqualsAsMultiset(b.reduced));
+    Rng order(GetParam() ^ 0x9e37u);
+    GyoResult c = GyoReduceRandomOrder(d, x, order);
+    EXPECT_TRUE(a.reduced.EqualsAsMultiset(c.reduced));
+  }
+}
+
+// Theorem 3.3: CC(D,X) ≤ GR(D,X) always; equality (as schemas) for tree
+// schemas and when U(GR) ⊆ X.
+TEST_P(SeededProperty, Theorem33) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    DatabaseSchema d = RandomSmallSchema(rng, 5, 6, 3);
+    AttrSet x = RandomTarget(d, rng);
+    CanonicalResult exact = CanonicalConnectionExact(d, x);
+    GyoResult gr = GyoReduce(d, x);
+    EXPECT_TRUE(exact.schema.CoveredBy(gr.reduced));
+    if (IsTreeSchema(d) || gr.reduced.Universe().IsSubsetOf(x)) {
+      EXPECT_TRUE(exact.schema.EqualsAsMultiset(gr.reduced));
+    }
+  }
+}
+
+// Theorem 4.1 / Lemma 3.5: CC equality characterizes weak equivalence, and a
+// sub-database solves the query iff it covers the CC — validated empirically
+// on UR databases in the solvable direction.
+TEST_P(SeededProperty, Theorem41Empirical) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    DatabaseSchema d = RandomSmallSchema(rng, 5, 6, 3);
+    AttrSet x = RandomTarget(d, rng);
+    CanonicalResult cc = CanonicalConnection(d, x);
+    // The CC itself is a solving sub-database.
+    EXPECT_TRUE(SolvableByJoinProject(d, x, cc.schema));
+    EXPECT_TRUE(WeaklyEquivalent(d, cc.schema, x));
+    // Empirically: evaluating (CC, X) matches (D, X) on UR databases.
+    for (int rep = 0; rep < 4; ++rep) {
+      Relation universal =
+          RandomUniversal(d.Universe(), 1 + static_cast<int>(rng.Below(20)),
+                          2 + static_cast<int>(rng.Below(3)), rng);
+      Relation full = EvaluateJoinQuery(d, x, ProjectDatabase(universal, d));
+      Relation pruned = EvaluateJoinQuery(
+          cc.schema, x, ProjectDatabase(universal, cc.schema));
+      EXPECT_TRUE(full.EqualsAsSet(pruned));
+    }
+  }
+}
+
+// Theorem 5.1 empirically: the CC-based lossless-join decision agrees with
+// data. Positive answers must hold on every random model of ⋈D.
+TEST_P(SeededProperty, Theorem51Empirical) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 12; ++trial) {
+    DatabaseSchema d = RandomSmallSchema(rng, 5, 5, 3);
+    std::vector<int> indices;
+    for (int i = 0; i < d.NumRelations(); ++i) {
+      if (rng.Chance(0.7)) indices.push_back(i);
+    }
+    if (indices.empty()) continue;
+    DatabaseSchema dprime = d.Select(indices);
+    if (JoinDependencyImplies(d, dprime)) {
+      for (int rep = 0; rep < 4; ++rep) {
+        Relation model =
+            RandomModelOfJd(d, 2 + static_cast<int>(rng.Below(10)),
+                            2 + static_cast<int>(rng.Below(3)), rng);
+        EXPECT_TRUE(JdHolds(model, dprime));
+      }
+    }
+  }
+}
+
+// Corollary 5.2: on tree schemas, lossless ⇔ subtree, cross-checked three
+// ways (CC decision, GYO subtree test, exhaustive qual-tree enumeration).
+TEST_P(SeededProperty, Corollary52ThreeWays) {
+  Rng rng(GetParam());
+  int checked = 0;
+  for (int trial = 0; trial < 60 && checked < 12; ++trial) {
+    DatabaseSchema d = RandomSmallSchema(rng, 5, 6, 3);
+    if (!IsTreeSchema(d)) continue;
+    ++checked;
+    const int n = d.NumRelations();
+    for (uint32_t mask = 1; mask < (uint32_t{1} << n); ++mask) {
+      std::vector<int> indices;
+      for (int i = 0; i < n; ++i) {
+        if ((mask >> i) & 1) indices.push_back(i);
+      }
+      bool by_cc = JoinDependencyImplies(d, d.Select(indices));
+      bool by_subtree = IsSubtree(d, indices);
+      EXPECT_EQ(by_cc, by_subtree) << "mask " << mask;
+    }
+  }
+}
+
+// Theorem 5.3: the three γ-acyclicity characterizations coincide.
+TEST_P(SeededProperty, Theorem53) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    DatabaseSchema d = RandomSmallSchema(rng, 5, 5, 3);
+    bool ii = IsGammaAcyclic(d);
+    EXPECT_EQ(ii, !FindWeakGammaCycle(d).has_value());
+    EXPECT_EQ(ii, IsGammaAcyclicBySubtrees(d));
+  }
+}
+
+// Minimization invariants: equivalent, no larger, idempotent, isomorphic
+// across presentation orders (Lemma 3.4).
+TEST_P(SeededProperty, MinimizationInvariants) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 15; ++trial) {
+    DatabaseSchema d = RandomSmallSchema(rng, 5, 6, 3);
+    AttrSet x = RandomTarget(d, rng);
+    Tableau t = Tableau::Standard(d, x);
+    Tableau m = Minimize(t);
+    EXPECT_LE(m.NumRows(), t.NumRows());
+    EXPECT_TRUE(AreEquivalent(t, m));
+    EXPECT_EQ(Minimize(m).NumRows(), m.NumRows());
+    // Reverse the row order; the core must be isomorphic.
+    std::vector<int> rev;
+    for (int r = t.NumRows() - 1; r >= 0; --r) rev.push_back(r);
+    Tableau m2 = Minimize(t.SelectRows(rev));
+    EXPECT_EQ(m.NumRows(), m2.NumRows());
+    EXPECT_TRUE(AreIsomorphic(m, m2));
+  }
+}
+
+// The three §4/§6 evaluation strategies give identical answers on UR
+// databases (full join, CC-pruned, Yannakakis where applicable).
+TEST_P(SeededProperty, EvaluationStrategiesAgree) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 8; ++trial) {
+    DatabaseSchema d = RandomSmallSchema(rng, 5, 6, 3);
+    AttrSet x = RandomTarget(d, rng, 0.5);
+    Program full = FullJoinProgram(d, x);
+    Program pruned = CCPrunedProgram(d, x);
+    auto yann = YannakakisProgram(d, x);
+    for (int rep = 0; rep < 4; ++rep) {
+      Relation universal =
+          RandomUniversal(d.Universe(), 1 + static_cast<int>(rng.Below(25)),
+                          2 + static_cast<int>(rng.Below(3)), rng);
+      std::vector<Relation> states = ProjectDatabase(universal, d);
+      Relation a = full.Run(states);
+      Relation b = pruned.Run(states);
+      EXPECT_TRUE(a.EqualsAsSet(b));
+      if (yann.has_value()) {
+        Relation c = yann->Run(states);
+        EXPECT_TRUE(a.EqualsAsSet(c));
+      }
+    }
+  }
+}
+
+// Corollary 3.2 via Theorem 3.2(iii): U(GR(D)) is the unique least treefier.
+TEST_P(SeededProperty, Corollary32) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    DatabaseSchema d = RandomSmallSchema(rng, 5, 6, 3);
+    AttrSet u_gr = TreefyingRelation(d);
+    DatabaseSchema plus = d;
+    plus.Add(u_gr);
+    EXPECT_TRUE(IsTreeSchema(plus));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace gyo

@@ -1,0 +1,257 @@
+#include "gyo/qual_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "gyo/acyclic.h"
+#include "schema/generators.h"
+#include "schema/parse.h"
+#include "util/rng.h"
+
+namespace gyo {
+namespace {
+
+class QualGraphTest : public ::testing::Test {
+ protected:
+  Catalog catalog_;
+};
+
+TEST_F(QualGraphTest, PathQualTree) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,cd");
+  QualGraph g;
+  g.num_nodes = 3;
+  g.edges = {{0, 1}, {1, 2}};
+  EXPECT_TRUE(IsQualTree(d, g));
+}
+
+TEST_F(QualGraphTest, BadEdgeOrderViolatesAttributeConnectivity) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,cd");
+  QualGraph g;
+  g.num_nodes = 3;
+  g.edges = {{0, 2}, {2, 1}};  // ab - cd - bc: b's nodes {0,2-no}: disconnected
+  EXPECT_TRUE(g.IsTree());
+  EXPECT_FALSE(IsQualGraph(d, g));
+}
+
+TEST_F(QualGraphTest, TriangleCycleIsQualGraphButNotTree) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,ac");
+  QualGraph g;
+  g.num_nodes = 3;
+  g.edges = {{0, 1}, {1, 2}, {2, 0}};
+  EXPECT_TRUE(IsQualGraph(d, g));
+  EXPECT_FALSE(g.IsTree());
+}
+
+TEST_F(QualGraphTest, Fig1TreeSchemaHasTreeQualGraph) {
+  // (abc, cde, ace, afe): abc - ace - afe with cde hanging off ace.
+  DatabaseSchema d = ParseSchema(catalog_, "abc,cde,ace,afe");
+  QualGraph g;
+  g.num_nodes = 4;
+  g.edges = {{0, 2}, {1, 2}, {3, 2}};
+  EXPECT_TRUE(IsQualTree(d, g));
+}
+
+TEST_F(QualGraphTest, IsTreeRejectsDisconnected) {
+  QualGraph g;
+  g.num_nodes = 4;
+  g.edges = {{0, 1}, {2, 3}};
+  EXPECT_FALSE(g.IsTree());
+}
+
+TEST_F(QualGraphTest, IsTreeRejectsCycleWithRightEdgeCount) {
+  QualGraph g;
+  g.num_nodes = 4;
+  g.edges = {{0, 1}, {1, 2}, {2, 0}};
+  EXPECT_FALSE(g.IsTree());
+}
+
+TEST_F(QualGraphTest, BuildJoinTreeOnTreeSchemas) {
+  for (const char* spec :
+       {"ab,bc,cd", "abc,cde,ace,afe", "ab", "a,b", "abc,ab,bc",
+        "ab,abc,abcd,abcde"}) {
+    Catalog c;
+    DatabaseSchema d = ParseSchema(c, spec);
+    auto tree = BuildJoinTree(d);
+    ASSERT_TRUE(tree.has_value()) << spec;
+    EXPECT_TRUE(IsQualTree(d, *tree)) << spec;
+  }
+}
+
+TEST_F(QualGraphTest, BuildJoinTreeRejectsCyclicSchemas) {
+  EXPECT_FALSE(BuildJoinTree(Aring(4)).has_value());
+  EXPECT_FALSE(BuildJoinTree(Aclique(4)).has_value());
+  EXPECT_FALSE(BuildJoinTree(GridSchema(2, 3)).has_value());
+}
+
+TEST_F(QualGraphTest, BuildJoinTreeHandlesDisconnectedSchemas) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,de,ef");
+  auto tree = BuildJoinTree(d);
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_TRUE(IsQualTree(d, *tree));
+}
+
+TEST_F(QualGraphTest, MaierAgreesWithGyoOnRandomSchemas) {
+  Rng rng(71);
+  for (int trial = 0; trial < 200; ++trial) {
+    DatabaseSchema d = RandomSchema(2 + static_cast<int>(rng.Below(8)),
+                                    2 + static_cast<int>(rng.Below(8)),
+                                    1 + static_cast<int>(rng.Below(4)), rng);
+    auto gyo_tree = BuildJoinTree(d);
+    auto maier_tree = BuildJoinTreeMaier(d);
+    EXPECT_EQ(gyo_tree.has_value(), maier_tree.has_value())
+        << "trial " << trial;
+    if (maier_tree.has_value()) {
+      EXPECT_TRUE(IsQualTree(d, *maier_tree)) << "trial " << trial;
+    }
+  }
+}
+
+TEST_F(QualGraphTest, EnumerateQualTreesPath) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,cd");
+  // The path has exactly one qual tree (Fig. 1: "this is the only qual
+  // graph" holds for the triangle; for the path the tree is forced too).
+  std::vector<QualGraph> trees = EnumerateQualTrees(d);
+  ASSERT_EQ(trees.size(), 1u);
+  EXPECT_TRUE(IsQualTree(d, trees[0]));
+}
+
+TEST_F(QualGraphTest, EnumerateQualTreesCyclicIsEmpty) {
+  EXPECT_TRUE(EnumerateQualTrees(Aring(4)).empty());
+  EXPECT_TRUE(EnumerateQualTrees(Aclique(4)).empty());
+}
+
+TEST_F(QualGraphTest, EnumerateMatchesBuilderExistence) {
+  Rng rng(73);
+  for (int trial = 0; trial < 120; ++trial) {
+    DatabaseSchema d = RandomSchema(2 + static_cast<int>(rng.Below(5)),
+                                    2 + static_cast<int>(rng.Below(6)),
+                                    1 + static_cast<int>(rng.Below(4)), rng);
+    bool any = !EnumerateQualTrees(d).empty();
+    EXPECT_EQ(any, BuildJoinTree(d).has_value()) << "trial " << trial;
+    EXPECT_EQ(any, IsTreeSchema(d)) << "trial " << trial;
+  }
+}
+
+TEST_F(QualGraphTest, MinimumQualGraphsOfTreeSchemasAreQualTrees) {
+  // §5.1: "for tree schemas, a minimum size qual graph is simply a tree."
+  Rng rng(83);
+  int checked = 0;
+  for (int trial = 0; trial < 60 && checked < 20; ++trial) {
+    DatabaseSchema d = RandomSchema(2 + static_cast<int>(rng.Below(4)),
+                                    2 + static_cast<int>(rng.Below(5)),
+                                    1 + static_cast<int>(rng.Below(4)), rng);
+    if (!IsTreeSchema(d) || !d.IsConnected()) continue;
+    ++checked;
+    std::vector<QualGraph> minimum = EnumerateMinimumQualGraphs(d);
+    std::vector<QualGraph> trees = EnumerateQualTrees(d);
+    ASSERT_FALSE(minimum.empty());
+    EXPECT_EQ(minimum.size(), trees.size()) << "trial " << trial;
+    for (const QualGraph& g : minimum) {
+      EXPECT_TRUE(IsQualTree(d, g)) << "trial " << trial;
+    }
+  }
+  EXPECT_GE(checked, 10);
+}
+
+TEST_F(QualGraphTest, MinimumQualGraphOfTriangleIsTheCycle) {
+  // The cyclic triangle needs all three edges.
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,ac");
+  std::vector<QualGraph> minimum = EnumerateMinimumQualGraphs(d);
+  ASSERT_EQ(minimum.size(), 1u);
+  EXPECT_EQ(minimum[0].edges.size(), 3u);
+}
+
+TEST_F(QualGraphTest, MinimumQualGraphsOfCyclicSchemasExceedTreeSize) {
+  for (const DatabaseSchema& d : {Aring(4), Aring(5)}) {
+    std::vector<QualGraph> minimum = EnumerateMinimumQualGraphs(d);
+    ASSERT_FALSE(minimum.empty());
+    EXPECT_GT(minimum[0].edges.size(),
+              static_cast<size_t>(d.NumRelations() - 1));
+  }
+}
+
+TEST_F(QualGraphTest, DisconnectedSchemaMinimumQualGraphHasNoCrossEdges) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,cd");
+  std::vector<QualGraph> minimum = EnumerateMinimumQualGraphs(d);
+  ASSERT_FALSE(minimum.empty());
+  EXPECT_TRUE(minimum[0].edges.empty());
+}
+
+TEST_F(QualGraphTest, ToDotContainsNodesAndEdges) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc");
+  QualGraph g;
+  g.num_nodes = 2;
+  g.edges = {{0, 1}};
+  std::string dot = g.ToDot(d, catalog_);
+  EXPECT_NE(dot.find("graph qual {"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"ab\""), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n1;"), std::string::npos);
+}
+
+TEST_F(QualGraphTest, SubtreeBasics) {
+  // D = (ab, bc, cd): {ab, bc} is a subtree; {ab, cd} is not (bc separates).
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,cd");
+  EXPECT_TRUE(IsSubtree(d, {0, 1}));
+  EXPECT_TRUE(IsSubtree(d, {1, 2}));
+  EXPECT_TRUE(IsSubtree(d, {0, 1, 2}));
+  EXPECT_TRUE(IsSubtree(d, {1}));
+  EXPECT_FALSE(IsSubtree(d, {0, 2}));
+}
+
+TEST_F(QualGraphTest, PaperSubtreeCounterexample) {
+  // §5.1: D = (abc, ab, bc), D' = (ab, bc) is NOT a subtree of D.
+  DatabaseSchema d = ParseSchema(catalog_, "abc,ab,bc");
+  EXPECT_FALSE(IsSubtree(d, {1, 2}));
+  EXPECT_TRUE(IsSubtree(d, {0}));
+  EXPECT_TRUE(IsSubtree(d, {0, 1}));
+}
+
+TEST_F(QualGraphTest, SubtreeMatchesExhaustiveEnumeration) {
+  // Theorem 3.1(ii) validated against brute-force qual tree enumeration.
+  Rng rng(79);
+  int checked = 0;
+  for (int trial = 0; trial < 200 && checked < 60; ++trial) {
+    DatabaseSchema d = RandomSchema(2 + static_cast<int>(rng.Below(4)),
+                                    2 + static_cast<int>(rng.Below(6)),
+                                    1 + static_cast<int>(rng.Below(4)), rng);
+    if (!IsTreeSchema(d)) continue;
+    ++checked;
+    std::vector<QualGraph> trees = EnumerateQualTrees(d);
+    const int n = d.NumRelations();
+    for (uint32_t mask = 1; mask < (uint32_t{1} << n); ++mask) {
+      std::vector<int> indices;
+      for (int i = 0; i < n; ++i) {
+        if ((mask >> i) & 1) indices.push_back(i);
+      }
+      // Brute force: some qual tree where `indices` induces a connected
+      // subgraph.
+      bool expected = false;
+      for (const QualGraph& t : trees) {
+        // Count connectivity of induced subgraph via BFS.
+        std::vector<bool> in(static_cast<size_t>(n), false);
+        for (int i : indices) in[static_cast<size_t>(i)] = true;
+        std::vector<int> queue = {indices[0]};
+        std::vector<bool> seen(static_cast<size_t>(n), false);
+        seen[static_cast<size_t>(indices[0])] = true;
+        auto adj = t.Adjacency();
+        for (size_t qi = 0; qi < queue.size(); ++qi) {
+          for (int v : adj[static_cast<size_t>(queue[qi])]) {
+            if (in[static_cast<size_t>(v)] && !seen[static_cast<size_t>(v)]) {
+              seen[static_cast<size_t>(v)] = true;
+              queue.push_back(v);
+            }
+          }
+        }
+        if (queue.size() == indices.size()) {
+          expected = true;
+          break;
+        }
+      }
+      EXPECT_EQ(IsSubtree(d, indices), expected)
+          << "trial " << trial << " mask " << mask;
+    }
+  }
+  EXPECT_GE(checked, 30);
+}
+
+}  // namespace
+}  // namespace gyo

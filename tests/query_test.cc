@@ -1,0 +1,138 @@
+#include "query/query.h"
+
+#include <gtest/gtest.h>
+
+#include "rel/universal.h"
+#include "schema/fixtures.h"
+#include "schema/generators.h"
+#include "schema/parse.h"
+#include "rel/ops.h"
+#include "util/rng.h"
+
+namespace gyo {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  Catalog catalog_;
+};
+
+TEST_F(QueryTest, Sec6SubdatabaseSolves) {
+  // §6: (D, abc) is solvable from (abg, bcg, π_ac(acf)) alone.
+  DatabaseSchema d = fixtures::Sec6D(catalog_);
+  AttrSet x = fixtures::Sec6X(catalog_);
+  EXPECT_TRUE(SolvableByJoinProject(d, x, fixtures::Sec6CC(catalog_)));
+  // The first three original relations also suffice (they cover the CC).
+  EXPECT_TRUE(SolvableByJoinProject(d, x, ParseSchema(catalog_, "abg,bcg,acf")));
+  // Dropping bcg breaks it.
+  EXPECT_FALSE(SolvableByJoinProject(d, x, ParseSchema(catalog_, "abg,acf")));
+}
+
+TEST_F(QueryTest, WeakEquivalenceOfDAndItsCC) {
+  DatabaseSchema d = fixtures::Sec6D(catalog_);
+  AttrSet x = fixtures::Sec6X(catalog_);
+  EXPECT_TRUE(WeaklyEquivalent(d, fixtures::Sec6CC(catalog_), x));
+}
+
+TEST_F(QueryTest, WeakEquivalenceRejectsDifferentQueries) {
+  DatabaseSchema d1 = ParseSchema(catalog_, "ab,bc");
+  DatabaseSchema d2 = ParseSchema(catalog_, "abc");
+  EXPECT_FALSE(WeaklyEquivalent(d1, d2, ParseAttrSet(catalog_, "abc")));
+}
+
+TEST_F(QueryTest, WeakEquivalenceReflexive) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,ca");
+  EXPECT_TRUE(WeaklyEquivalent(d, d, ParseAttrSet(catalog_, "ab")));
+}
+
+TEST_F(QueryTest, SolvabilityValidatedOnRandomURDatabases) {
+  // Theorem 4.1, empirically: if CC(D,X) ≤ D' then joining D' and projecting
+  // gives the same answer as joining all of D, on UR databases.
+  Rng rng(163);
+  for (int trial = 0; trial < 40; ++trial) {
+    DatabaseSchema d = RandomSchema(2 + static_cast<int>(rng.Below(4)),
+                                    2 + static_cast<int>(rng.Below(5)),
+                                    1 + static_cast<int>(rng.Below(4)), rng);
+    AttrSet x;
+    d.Universe().ForEach([&](AttrId a) {
+      if (rng.Chance(0.4)) x.Insert(a);
+    });
+    // Candidate D': a random subset of D's relations.
+    std::vector<int> indices;
+    for (int i = 0; i < d.NumRelations(); ++i) {
+      if (rng.Chance(0.6)) indices.push_back(i);
+    }
+    if (indices.empty()) continue;
+    DatabaseSchema dprime = d.Select(indices);
+    if (!x.IsSubsetOf(dprime.Universe())) continue;
+    bool solvable = SolvableByJoinProject(d, x, dprime);
+
+    bool agrees = true;
+    for (int rep = 0; rep < 5 && agrees; ++rep) {
+      Relation universal = RandomUniversal(
+          d.Universe(), 1 + static_cast<int>(rng.Below(25)),
+          2 + static_cast<int>(rng.Below(3)), rng);
+      std::vector<Relation> states = ProjectDatabase(universal, d);
+      Relation full = EvaluateJoinQuery(d, x, states);
+      std::vector<Relation> sub_states = ProjectDatabase(universal, dprime);
+      Relation sub = EvaluateJoinQuery(dprime, x, sub_states);
+      if (!full.EqualsAsSet(sub)) agrees = false;
+    }
+    // Solvable ⇒ every UR database agrees. (The converse may fail on a small
+    // sample, so only the sound direction is asserted.)
+    if (solvable) {
+      EXPECT_TRUE(agrees) << "trial " << trial;
+    }
+  }
+}
+
+TEST_F(QueryTest, URAssumptionCollapsesProjectionQueries) {
+  // A striking consequence of the UR assumption: on the triangle with
+  // X = ab, CC(D, X) = (ab) — the single relation ab already solves the
+  // query, because π_ab(⋈D) = π_ab(I) = R1 on every UR database.
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,ca");
+  AttrSet x = ParseAttrSet(catalog_, "ab");
+  CanonicalResult cc = CanonicalConnection(d, x);
+  EXPECT_TRUE(cc.schema.EqualsAsMultiset(ParseSchema(catalog_, "ab")));
+  EXPECT_TRUE(SolvableByJoinProject(d, x, ParseSchema(catalog_, "ab")));
+}
+
+TEST_F(QueryTest, NecessityOnTheTriangle) {
+  // With X = abc the canonical connection is the whole triangle: no proper
+  // subset solves the query.
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,ca");
+  AttrSet x = ParseAttrSet(catalog_, "abc");
+  EXPECT_TRUE(SolvableByJoinProject(d, x, d));
+  EXPECT_FALSE(SolvableByJoinProject(d, x, ParseSchema(catalog_, "ab,bc")));
+  EXPECT_FALSE(SolvableByJoinProject(d, x, ParseSchema(catalog_, "ab")));
+}
+
+TEST_F(QueryTest, NecessityWitnessedByACounterexampleDatabase) {
+  // Concrete counterexample: on the triangle, π_abc(⋈D) ≠ ab ⋈ bc for some
+  // UR database. Find one.
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,ca");
+  DatabaseSchema dprime = ParseSchema(catalog_, "ab,bc");
+  AttrSet x = ParseAttrSet(catalog_, "abc");
+  Rng rng(167);
+  bool found_gap = false;
+  for (int rep = 0; rep < 200 && !found_gap; ++rep) {
+    Relation universal = RandomUniversal(d.Universe(), 6, 2, rng);
+    Relation full =
+        EvaluateJoinQuery(d, x, ProjectDatabase(universal, d));
+    Relation sub =
+        EvaluateJoinQuery(dprime, x, ProjectDatabase(universal, dprime));
+    if (!full.EqualsAsSet(sub)) found_gap = true;
+  }
+  EXPECT_TRUE(found_gap);
+}
+
+TEST_F(QueryTest, RelevantSubdatabaseMatchesCanonicalConnection) {
+  DatabaseSchema d = fixtures::Sec6D(catalog_);
+  AttrSet x = fixtures::Sec6X(catalog_);
+  CanonicalResult a = RelevantSubdatabase(d, x);
+  CanonicalResult b = CanonicalConnection(d, x);
+  EXPECT_TRUE(a.schema.EqualsAsMultiset(b.schema));
+}
+
+}  // namespace
+}  // namespace gyo

@@ -1,0 +1,186 @@
+#include "rel/reducer.h"
+
+#include <gtest/gtest.h>
+
+#include "gyo/acyclic.h"
+#include "rel/ops.h"
+#include "rel/universal.h"
+#include "schema/generators.h"
+#include "schema/parse.h"
+#include "util/rng.h"
+
+namespace gyo {
+namespace {
+
+class ReducerTest : public ::testing::Test {
+ protected:
+  Catalog catalog_;
+
+  // The classic cyclic counterexample: a triangle of "inequality" relations,
+  // pairwise consistent yet with an empty join.
+  std::vector<Relation> InconsistentTriangle(DatabaseSchema* schema) {
+    *schema = Aring(3);  // relations {0,1}, {1,2}, {0,2}
+    std::vector<Relation> states;
+    for (const RelationSchema& r : schema->Relations()) {
+      Relation rel(r);
+      rel.AddRow({0, 1});
+      rel.AddRow({1, 0});
+      rel.Canonicalize();
+      states.push_back(rel);
+    }
+    return states;
+  }
+};
+
+TEST_F(ReducerTest, URDatabasesAreGloballyConsistent) {
+  // π_R(I) states always equal the projections of their own join.
+  Rng rng(443);
+  for (int trial = 0; trial < 40; ++trial) {
+    DatabaseSchema d = RandomSchema(2 + static_cast<int>(rng.Below(4)),
+                                    2 + static_cast<int>(rng.Below(5)),
+                                    1 + static_cast<int>(rng.Below(4)), rng);
+    Relation universal = RandomUniversal(
+        d.Universe(), 1 + static_cast<int>(rng.Below(20)), 3, rng);
+    std::vector<Relation> states = ProjectDatabase(universal, d);
+    EXPECT_TRUE(IsGloballyConsistent(d, states)) << "trial " << trial;
+  }
+}
+
+TEST_F(ReducerTest, RandomStatesAreUsuallyInconsistent) {
+  // Independent random states over a path schema dangle with overwhelming
+  // probability; make sure the detector actually fires.
+  Rng rng(449);
+  DatabaseSchema d = PathSchema(4);
+  int inconsistent = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Relation> states;
+    for (const RelationSchema& r : d.Relations()) {
+      Relation rel(r);
+      for (int k = 0; k < 6; ++k) {
+        rel.AddRow({static_cast<Value>(rng.Below(8)),
+                    static_cast<Value>(rng.Below(8))});
+      }
+      rel.Canonicalize();
+      states.push_back(rel);
+    }
+    if (!IsGloballyConsistent(d, states)) ++inconsistent;
+  }
+  EXPECT_GE(inconsistent, 15);
+}
+
+TEST_F(ReducerTest, FullReducerMakesTreeStatesConsistent) {
+  // The §4 claim: for tree schemas, 2(n-1) semijoins reach global
+  // consistency from ANY state — not just UR ones.
+  Rng rng(457);
+  int checked = 0;
+  for (int trial = 0; trial < 80 && checked < 25; ++trial) {
+    DatabaseSchema d = RandomTreeSchema(2 + static_cast<int>(rng.Below(5)), 3,
+                                        rng).schema;
+    ++checked;
+    std::vector<Relation> states;
+    for (const RelationSchema& r : d.Relations()) {
+      Relation rel(r);
+      for (int k = 0; k < 8; ++k) {
+        std::vector<Value> row(static_cast<size_t>(rel.Arity()));
+        for (auto& v : row) v = static_cast<Value>(rng.Below(3));
+        rel.AddRow(std::move(row));
+      }
+      rel.Canonicalize();
+      states.push_back(rel);
+    }
+    auto reduced = ApplyFullReducer(d, states);
+    ASSERT_TRUE(reduced.has_value());
+    EXPECT_TRUE(IsGloballyConsistent(d, *reduced)) << "trial " << trial;
+    // Reduction never loses join tuples.
+    Relation before = JoinAll(states);
+    Relation after = JoinAll(*reduced);
+    EXPECT_TRUE(before.EqualsAsSet(after)) << "trial " << trial;
+  }
+  EXPECT_GE(checked, 25);
+}
+
+TEST_F(ReducerTest, FullReducerRejectsCyclicSchemas) {
+  DatabaseSchema d;
+  std::vector<Relation> states = InconsistentTriangle(&d);
+  EXPECT_FALSE(ApplyFullReducer(d, states).has_value());
+}
+
+TEST_F(ReducerTest, CyclicSchemasDefeatSemijoins) {
+  // Bernstein–Goodman: the triangle state is a semijoin fixpoint (every
+  // pairwise semijoin is the identity) yet globally inconsistent — no
+  // semijoin program can fully reduce a cyclic schema.
+  DatabaseSchema d;
+  std::vector<Relation> states = InconsistentTriangle(&d);
+  int steps = -1;
+  std::vector<Relation> fix = SemijoinFixpoint(d, states, &steps);
+  EXPECT_EQ(steps, 0);
+  for (size_t i = 0; i < states.size(); ++i) {
+    EXPECT_TRUE(fix[i].EqualsAsSet(states[i]));
+  }
+  EXPECT_FALSE(IsGloballyConsistent(d, fix));
+  EXPECT_EQ(JoinAll(states).NumRows(), 0);  // the join is empty!
+}
+
+TEST_F(ReducerTest, FixpointMatchesFullReducerOnTrees) {
+  Rng rng(461);
+  for (int trial = 0; trial < 25; ++trial) {
+    DatabaseSchema d = RandomTreeSchema(2 + static_cast<int>(rng.Below(4)), 3,
+                                        rng).schema;
+    std::vector<Relation> states;
+    for (const RelationSchema& r : d.Relations()) {
+      Relation rel(r);
+      for (int k = 0; k < 6; ++k) {
+        std::vector<Value> row(static_cast<size_t>(rel.Arity()));
+        for (auto& v : row) v = static_cast<Value>(rng.Below(3));
+        rel.AddRow(std::move(row));
+      }
+      rel.Canonicalize();
+      states.push_back(rel);
+    }
+    auto reduced = ApplyFullReducer(d, states);
+    ASSERT_TRUE(reduced.has_value());
+    std::vector<Relation> fix = SemijoinFixpoint(d, states);
+    for (size_t i = 0; i < states.size(); ++i) {
+      EXPECT_TRUE((*reduced)[i].EqualsAsSet(fix[i]))
+          << "trial " << trial << " relation " << i;
+    }
+  }
+}
+
+TEST_F(ReducerTest, FixpointNeverLosesJoinTuples) {
+  Rng rng(463);
+  for (int trial = 0; trial < 25; ++trial) {
+    DatabaseSchema d = RandomSchema(2 + static_cast<int>(rng.Below(4)),
+                                    2 + static_cast<int>(rng.Below(4)),
+                                    1 + static_cast<int>(rng.Below(3)), rng);
+    std::vector<Relation> states;
+    for (const RelationSchema& r : d.Relations()) {
+      Relation rel(r);
+      for (int k = 0; k < 5; ++k) {
+        std::vector<Value> row(static_cast<size_t>(rel.Arity()));
+        for (auto& v : row) v = static_cast<Value>(rng.Below(3));
+        rel.AddRow(std::move(row));
+      }
+      rel.Canonicalize();
+      states.push_back(rel);
+    }
+    Relation before = JoinAll(states);
+    Relation after = JoinAll(SemijoinFixpoint(d, states));
+    EXPECT_TRUE(before.EqualsAsSet(after)) << "trial " << trial;
+  }
+}
+
+TEST_F(ReducerTest, EmptyRelationPropagates) {
+  DatabaseSchema d = PathSchema(3);
+  std::vector<Relation> states;
+  for (const RelationSchema& r : d.Relations()) states.emplace_back(r);
+  states[0].AddRow({1, 2});
+  states[0].Canonicalize();
+  // states[1] empty: the fixpoint empties everything connected.
+  std::vector<Relation> fix = SemijoinFixpoint(d, states);
+  EXPECT_EQ(fix[0].NumRows(), 0);
+  EXPECT_EQ(fix[1].NumRows(), 0);
+}
+
+}  // namespace
+}  // namespace gyo

@@ -1,0 +1,93 @@
+#include "rel/relation.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/parse.h"
+
+namespace gyo {
+namespace {
+
+class RelationTest : public ::testing::Test {
+ protected:
+  Catalog catalog_;
+};
+
+TEST_F(RelationTest, EmptyRelation) {
+  Relation r(ParseAttrSet(catalog_, "ab"));
+  EXPECT_EQ(r.Arity(), 2);
+  EXPECT_EQ(r.NumRows(), 0);
+  EXPECT_TRUE(r.Empty());
+}
+
+TEST_F(RelationTest, AttrsSortedById) {
+  AttrSet s = ParseAttrSet(catalog_, "ba");  // interned in order b, a
+  Relation r(s);
+  EXPECT_EQ(r.Attrs().size(), 2u);
+  EXPECT_LT(r.Attrs()[0], r.Attrs()[1]);
+}
+
+TEST_F(RelationTest, AddAndAccess) {
+  Relation r(ParseAttrSet(catalog_, "ab"));
+  r.AddRow({1, 2});
+  r.AddRow({3, 4});
+  EXPECT_EQ(r.NumRows(), 2);
+  AttrId a = *catalog_.Find("a");
+  AttrId b = *catalog_.Find("b");
+  EXPECT_EQ(r.At(0, a), 1);
+  EXPECT_EQ(r.At(0, b), 2);
+  EXPECT_EQ(r.At(1, a), 3);
+}
+
+TEST_F(RelationTest, CanonicalizeSortsAndDedupes) {
+  Relation r(ParseAttrSet(catalog_, "a"));
+  r.AddRow({5});
+  r.AddRow({1});
+  r.AddRow({5});
+  r.Canonicalize();
+  EXPECT_EQ(r.NumRows(), 2);
+  EXPECT_EQ(r.Row(0), (std::vector<Value>{1}));
+  EXPECT_EQ(r.Row(1), (std::vector<Value>{5}));
+}
+
+TEST_F(RelationTest, EqualsAsSet) {
+  AttrSet s = ParseAttrSet(catalog_, "ab");
+  Relation r1(s);
+  Relation r2(s);
+  r1.AddRow({1, 2});
+  r1.AddRow({3, 4});
+  r2.AddRow({3, 4});
+  r2.AddRow({1, 2});
+  r1.Canonicalize();
+  r2.Canonicalize();
+  EXPECT_TRUE(r1.EqualsAsSet(r2));
+  r2.AddRow({9, 9});
+  r2.Canonicalize();
+  EXPECT_FALSE(r1.EqualsAsSet(r2));
+}
+
+TEST_F(RelationTest, DifferentSchemasNeverEqual) {
+  Relation r1(ParseAttrSet(catalog_, "a"));
+  Relation r2(ParseAttrSet(catalog_, "b"));
+  EXPECT_FALSE(r1.EqualsAsSet(r2));
+}
+
+TEST_F(RelationTest, NullaryRelation) {
+  // Arity-0 relations represent TRUE (one empty tuple) or FALSE (none).
+  Relation r(AttrSet{});
+  EXPECT_EQ(r.Arity(), 0);
+  r.AddRow({});
+  r.AddRow({});
+  r.Canonicalize();
+  EXPECT_EQ(r.NumRows(), 1);
+}
+
+TEST_F(RelationTest, FormatShowsSchemaAndRows) {
+  Relation r(ParseAttrSet(catalog_, "ab"));
+  r.AddRow({7, 8});
+  std::string s = r.Format(catalog_);
+  EXPECT_NE(s.find("ab"), std::string::npos);
+  EXPECT_NE(s.find('7'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gyo

@@ -1,0 +1,132 @@
+#include "schema/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/parse.h"
+
+namespace gyo {
+namespace {
+
+class SchemaTest : public ::testing::Test {
+ protected:
+  Catalog catalog_;
+};
+
+TEST_F(SchemaTest, UniverseIsUnionOfRelations) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,cd");
+  EXPECT_EQ(d.Universe(), ParseAttrSet(catalog_, "abcd"));
+}
+
+TEST_F(SchemaTest, EmptySchema) {
+  DatabaseSchema d;
+  EXPECT_TRUE(d.Empty());
+  EXPECT_TRUE(d.Universe().Empty());
+  EXPECT_TRUE(d.IsReduced());
+  EXPECT_TRUE(d.IsConnected());
+}
+
+TEST_F(SchemaTest, IsReducedDetectsSubsets) {
+  EXPECT_FALSE(ParseSchema(catalog_, "abc,ab").IsReduced());
+  EXPECT_TRUE(ParseSchema(catalog_, "ab,bc").IsReduced());
+}
+
+TEST_F(SchemaTest, IsReducedDetectsDuplicates) {
+  EXPECT_FALSE(ParseSchema(catalog_, "ab,ab").IsReduced());
+}
+
+TEST_F(SchemaTest, ReductionRemovesSubsetsAndDuplicates) {
+  DatabaseSchema d = ParseSchema(catalog_, "abc,ab,bc,abc,c");
+  DatabaseSchema r = d.Reduction();
+  EXPECT_EQ(r.NumRelations(), 1);
+  EXPECT_EQ(r[0], ParseAttrSet(catalog_, "abc"));
+  EXPECT_TRUE(r.IsReduced());
+}
+
+TEST_F(SchemaTest, ReductionKeepsIncomparableRelations) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,ca");
+  EXPECT_TRUE(d.Reduction().EqualsAsMultiset(d));
+}
+
+TEST_F(SchemaTest, ReductionIsIdempotent) {
+  DatabaseSchema d = ParseSchema(catalog_, "abc,ab,ab,bcd,d");
+  DatabaseSchema once = d.Reduction();
+  EXPECT_TRUE(once.Reduction().EqualsAsMultiset(once));
+}
+
+TEST_F(SchemaTest, CoveredByIsThePaperOrder) {
+  DatabaseSchema d = ParseSchema(catalog_, "abc,cd");
+  DatabaseSchema smaller = ParseSchema(catalog_, "ab,c,cd");
+  EXPECT_TRUE(smaller.CoveredBy(d));   // smaller ≤ d
+  EXPECT_FALSE(d.CoveredBy(smaller));  // abc fits in no relation of smaller
+  EXPECT_TRUE(d.CoveredBy(d));
+}
+
+TEST_F(SchemaTest, ContainsRelation) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc");
+  EXPECT_TRUE(d.ContainsRelation(ParseAttrSet(catalog_, "ab")));
+  EXPECT_FALSE(d.ContainsRelation(ParseAttrSet(catalog_, "ac")));
+}
+
+TEST_F(SchemaTest, MultisetOperations) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,ab,bc");
+  DatabaseSchema one = ParseSchema(catalog_, "ab,bc");
+  EXPECT_TRUE(one.IsSubMultisetOf(d));
+  EXPECT_FALSE(d.IsSubMultisetOf(one));  // multiplicity respected
+  DatabaseSchema reordered = ParseSchema(catalog_, "bc,ab,ab");
+  EXPECT_TRUE(d.EqualsAsMultiset(reordered));
+  EXPECT_FALSE(d.EqualsAsMultiset(one));
+}
+
+TEST_F(SchemaTest, DeleteAttributesKeepsIndices) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,cd");
+  DatabaseSchema cut = d.DeleteAttributes(ParseAttrSet(catalog_, "bc"));
+  ASSERT_EQ(cut.NumRelations(), 3);
+  EXPECT_EQ(cut[0], ParseAttrSet(catalog_, "a"));
+  EXPECT_TRUE(cut[1].Empty());
+  EXPECT_EQ(cut[2], ParseAttrSet(catalog_, "d"));
+}
+
+TEST_F(SchemaTest, SelectPreservesOrder) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,cd");
+  DatabaseSchema s = d.Select({2, 0});
+  ASSERT_EQ(s.NumRelations(), 2);
+  EXPECT_EQ(s[0], ParseAttrSet(catalog_, "cd"));
+  EXPECT_EQ(s[1], ParseAttrSet(catalog_, "ab"));
+}
+
+TEST_F(SchemaTest, ConnectedComponents) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,de,ef,gh");
+  auto comps = d.ConnectedComponents();
+  ASSERT_EQ(comps.size(), 3u);
+  EXPECT_EQ(comps[0], (std::vector<int>{0, 1}));
+  EXPECT_EQ(comps[1], (std::vector<int>{2, 3}));
+  EXPECT_EQ(comps[2], (std::vector<int>{4}));
+  EXPECT_FALSE(d.IsConnected());
+}
+
+TEST_F(SchemaTest, ConnectedSingleRelation) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab");
+  EXPECT_TRUE(d.IsConnected());
+}
+
+TEST_F(SchemaTest, ConnectivityIsTransitive) {
+  // ab and cd share nothing directly but connect through bc.
+  DatabaseSchema d = ParseSchema(catalog_, "ab,cd,bc");
+  EXPECT_TRUE(d.IsConnected());
+}
+
+TEST_F(SchemaTest, SortCanonicalIsDeterministic) {
+  DatabaseSchema a = ParseSchema(catalog_, "cd,ab,bc");
+  DatabaseSchema b = ParseSchema(catalog_, "bc,cd,ab");
+  a.SortCanonical();
+  b.SortCanonical();
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(SchemaTest, FormatUsesPaperNotation) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc");
+  EXPECT_EQ(d.Format(catalog_), "(ab, bc)");
+}
+
+}  // namespace
+}  // namespace gyo

@@ -1,0 +1,131 @@
+// Larger-scale randomized stress: cross-implementation agreement and
+// invariants on schemas well beyond the sizes the unit tests use.
+
+#include <gtest/gtest.h>
+
+#include "gyo/acyclic.h"
+#include "gyo/chordal.h"
+#include "gyo/gamma.h"
+#include "gyo/gyo.h"
+#include "gyo/qual_graph.h"
+#include "schema/generators.h"
+#include "tableau/canonical.h"
+#include "util/rng.h"
+
+namespace gyo {
+namespace {
+
+TEST(StressTest, GyoImplementationsAgreeOnLargeSchemas) {
+  Rng rng(601);
+  for (int trial = 0; trial < 12; ++trial) {
+    int n = 50 + static_cast<int>(rng.Below(150));
+    DatabaseSchema d = RandomSchema(n, 30 + static_cast<int>(rng.Below(40)),
+                                    2 + static_cast<int>(rng.Below(5)), rng);
+    AttrSet x;
+    d.Universe().ForEach([&](AttrId a) {
+      if (rng.Chance(0.2)) x.Insert(a);
+    });
+    GyoResult naive = GyoReduce(d, x);
+    GyoResult fast = GyoReduceFast(d, x);
+    EXPECT_TRUE(naive.reduced.EqualsAsMultiset(fast.reduced))
+        << "trial " << trial;
+    EXPECT_TRUE(naive.reduced.IsReduced());
+  }
+}
+
+TEST(StressTest, AcyclicityOraclesAgreeOnLargeSchemas) {
+  Rng rng(607);
+  int trees = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    DatabaseSchema d;
+    if (trial % 2 == 0) {
+      d = RandomTreeSchema(60 + static_cast<int>(rng.Below(100)), 6, rng)
+              .schema;
+    } else {
+      d = RandomSchema(40 + static_cast<int>(rng.Below(60)),
+                       20 + static_cast<int>(rng.Below(30)),
+                       2 + static_cast<int>(rng.Below(4)), rng);
+    }
+    bool gyo = IsTreeSchema(d);
+    EXPECT_EQ(gyo, BuildJoinTree(d).has_value()) << "trial " << trial;
+    EXPECT_EQ(gyo, BuildJoinTreeMaier(d).has_value()) << "trial " << trial;
+    EXPECT_EQ(gyo, IsTreeSchemaViaChordality(d)) << "trial " << trial;
+    if (gyo) {
+      ++trees;
+      auto t = BuildJoinTree(d);
+      EXPECT_TRUE(IsQualTree(d, *t));
+    }
+  }
+  EXPECT_GE(trees, 15);
+}
+
+TEST(StressTest, LargeTreeSchemaCanonicalConnectionsFast) {
+  // CC on 200-relation tree schemas must stay on the GYO fast path and
+  // return covered, reduced results.
+  Rng rng(613);
+  for (int trial = 0; trial < 8; ++trial) {
+    DatabaseSchema d = RandomTreeSchema(200, 5, rng).schema;
+    AttrSet x;
+    int k = 0;
+    d.Universe().ForEach([&](AttrId a) {
+      if (k++ % 7 == 0) x.Insert(a);
+    });
+    CanonicalResult cc = CanonicalConnection(d, x);
+    EXPECT_TRUE(cc.used_fast_path);
+    EXPECT_TRUE(cc.schema.IsReduced());
+    EXPECT_TRUE(cc.schema.CoveredBy(d));
+  }
+}
+
+TEST(StressTest, GammaAcyclicityOnLargeFamilies) {
+  EXPECT_TRUE(IsGammaAcyclic(PathSchema(300)));
+  EXPECT_TRUE(IsGammaAcyclic(StarSchema(300)));
+  EXPECT_FALSE(IsGammaAcyclic(Aring(300)));
+  EXPECT_FALSE(IsGammaAcyclic(GridSchema(12, 12)));
+}
+
+TEST(StressTest, WideAttributeIdsWork) {
+  // Attribute ids far beyond one bitset word.
+  DatabaseSchema d;
+  for (int i = 0; i < 40; ++i) {
+    d.Add(AttrSet{1000 + 37 * i, 1000 + 37 * (i + 1)});
+  }
+  EXPECT_TRUE(IsTreeSchema(d));  // a path over scattered ids
+  d.Add(AttrSet{1000, 1000 + 37 * 40});
+  EXPECT_FALSE(IsTreeSchema(d));  // closed into a ring
+}
+
+TEST(StressTest, DeepSubsetChainsReduce) {
+  // R_k = {0..k}: a chain of subsets; everything collapses into the top.
+  DatabaseSchema d;
+  for (int k = 0; k < 60; ++k) {
+    AttrSet r;
+    for (int i = 0; i <= k; ++i) r.Insert(i);
+    d.Add(r);
+  }
+  GyoResult gr = GyoReduceFast(d, d.Universe());
+  EXPECT_EQ(gr.reduced.NumRelations(), 1);
+  EXPECT_EQ(gr.survivors, (std::vector<int>{59}));
+}
+
+TEST(StressTest, ManyDuplicatesCollapse) {
+  DatabaseSchema d;
+  for (int k = 0; k < 100; ++k) d.Add(AttrSet{1, 2, 3});
+  GyoResult gr = GyoReduceFast(d, d.Universe());
+  EXPECT_EQ(gr.reduced.NumRelations(), 1);
+  GyoResult gr2 = GyoReduce(d, d.Universe());
+  EXPECT_TRUE(gr.reduced.EqualsAsMultiset(gr2.reduced));
+}
+
+TEST(StressTest, SubtreeChecksOnLongPaths) {
+  DatabaseSchema d = PathSchema(200);
+  std::vector<int> prefix;
+  for (int i = 0; i < 100; ++i) prefix.push_back(i);
+  EXPECT_TRUE(IsSubtree(d, prefix));
+  std::vector<int> gapped = prefix;
+  gapped.push_back(150);  // disconnected from the prefix
+  EXPECT_FALSE(IsSubtree(d, gapped));
+}
+
+}  // namespace
+}  // namespace gyo

@@ -1,0 +1,117 @@
+#include "tableau/tableau.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/parse.h"
+
+namespace gyo {
+namespace {
+
+class TableauTest : public ::testing::Test {
+ protected:
+  Catalog catalog_;
+};
+
+TEST_F(TableauTest, StandardShape) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc");
+  Tableau t = Tableau::Standard(d, ParseAttrSet(catalog_, "ac"));
+  EXPECT_EQ(t.NumRows(), 2);
+  EXPECT_EQ(t.NumCols(), 3);
+  EXPECT_EQ(t.Summary(), ParseAttrSet(catalog_, "ac"));
+}
+
+TEST_F(TableauTest, StandardSymbolPlacement) {
+  // D = (ab, bc), X = ac. Columns in id order: a, b, c.
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc");
+  AttrSet x = ParseAttrSet(catalog_, "ac");
+  Tableau t = Tableau::Standard(d, x);
+  int col_a = 0;
+  int col_b = 1;
+  int col_c = 2;
+  // Row 0 (ab): a distinguished (a ∈ R0 ∩ X), b shared (b ∈ R0 − X),
+  // c unique.
+  EXPECT_EQ(t.Cell(0, col_a), Tableau::kDistinguished);
+  EXPECT_EQ(t.Cell(0, col_b), Tableau::kShared);
+  EXPECT_GE(t.Cell(0, col_c), 2);
+  // Row 1 (bc): a unique, b shared (same variable as row 0!), c distinguished.
+  EXPECT_GE(t.Cell(1, col_a), 2);
+  EXPECT_EQ(t.Cell(1, col_b), Tableau::kShared);
+  EXPECT_EQ(t.Cell(1, col_c), Tableau::kDistinguished);
+  // The shared b-variable is literally the same symbol in both rows.
+  EXPECT_EQ(t.Cell(0, col_b), t.Cell(1, col_b));
+  // Unique symbols differ between rows.
+  EXPECT_NE(t.Cell(0, col_c), t.Cell(1, col_c));
+}
+
+TEST_F(TableauTest, UniqueSymbolsKeyedByOriginRow) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,cd");
+  Tableau t = Tableau::Standard(d, ParseAttrSet(catalog_, "ad"));
+  // Unique symbol of row i is 2 + i.
+  EXPECT_EQ(t.Cell(0, 2), 2 + 0);  // c-column of row 0
+  EXPECT_EQ(t.Cell(2, 0), 2 + 2);  // a-column of row 2
+}
+
+TEST_F(TableauTest, RowOrigins) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,cd");
+  Tableau t = Tableau::Standard(d, ParseAttrSet(catalog_, "a"));
+  EXPECT_EQ(t.RowOrigins(), (std::vector<int>{0, 1, 2}));
+}
+
+TEST_F(TableauTest, SelectRowsPreservesSymbolsAndOrigins) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc,cd");
+  Tableau t = Tableau::Standard(d, ParseAttrSet(catalog_, "ad"));
+  Tableau s = t.SelectRows({2, 0});
+  EXPECT_EQ(s.NumRows(), 2);
+  EXPECT_EQ(s.RowOrigin(0), 2);
+  EXPECT_EQ(s.RowOrigin(1), 0);
+  for (int c = 0; c < t.NumCols(); ++c) {
+    EXPECT_EQ(s.Cell(0, c), t.Cell(2, c));
+    EXPECT_EQ(s.Cell(1, c), t.Cell(0, c));
+  }
+}
+
+TEST_F(TableauTest, AlignExtendsColumns) {
+  DatabaseSchema d1 = ParseSchema(catalog_, "ab");
+  DatabaseSchema d2 = ParseSchema(catalog_, "ab,bc");
+  AttrSet x = ParseAttrSet(catalog_, "a");
+  Tableau t1 = Tableau::Standard(d1, x);
+  Tableau t2 = Tableau::Standard(d2, x);
+  EXPECT_EQ(t1.NumCols(), 2);
+  Tableau::Align(t1, t2);
+  EXPECT_EQ(t1.NumCols(), 3);
+  EXPECT_EQ(t2.NumCols(), 3);
+  EXPECT_EQ(t1.Columns(), t2.Columns());
+  // The added c-cell of t1's row is a unique symbol.
+  EXPECT_GE(t1.Cell(0, 2), 2);
+}
+
+TEST_F(TableauTest, EmptyTargetHasNoDistinguished) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc");
+  Tableau t = Tableau::Standard(d, AttrSet());
+  for (int r = 0; r < t.NumRows(); ++r) {
+    for (int c = 0; c < t.NumCols(); ++c) {
+      EXPECT_NE(t.Cell(r, c), Tableau::kDistinguished);
+    }
+  }
+}
+
+TEST_F(TableauTest, FullTargetHasNoShared) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc");
+  Tableau t = Tableau::Standard(d, d.Universe());
+  for (int r = 0; r < t.NumRows(); ++r) {
+    for (int c = 0; c < t.NumCols(); ++c) {
+      EXPECT_NE(t.Cell(r, c), Tableau::kShared);
+    }
+  }
+}
+
+TEST_F(TableauTest, FormatMentionsAllColumns) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab");
+  Tableau t = Tableau::Standard(d, ParseAttrSet(catalog_, "a"));
+  std::string s = t.Format(catalog_);
+  EXPECT_NE(s.find('a'), std::string::npos);
+  EXPECT_NE(s.find('b'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gyo

@@ -1,0 +1,122 @@
+// Theorem 5.2 and Corollary 5.3 (§5.1): minimum-cardinality sub-schemas that
+// preserve a query are exactly pinned down by canonical connections, and
+// their joins are lossless.
+
+#include <gtest/gtest.h>
+
+#include "query/lossless.h"
+#include "query/query.h"
+#include "schema/generators.h"
+#include "schema/parse.h"
+#include "tableau/canonical.h"
+#include "util/rng.h"
+
+namespace gyo {
+namespace {
+
+// Enumerates all index subsets of d and returns those D' ⊆ D of minimum
+// cardinality with (D, X) ≡ (D', X) (and X ⊆ U(D')).
+std::vector<std::vector<int>> MinimumEquivalentSubschemas(
+    const DatabaseSchema& d, const AttrSet& x) {
+  const int n = d.NumRelations();
+  std::vector<std::vector<int>> best;
+  size_t best_size = static_cast<size_t>(n) + 1;
+  for (uint32_t mask = 1; mask < (uint32_t{1} << n); ++mask) {
+    std::vector<int> indices;
+    for (int i = 0; i < n; ++i) {
+      if ((mask >> i) & 1) indices.push_back(i);
+    }
+    if (indices.size() > best_size) continue;
+    DatabaseSchema sub = d.Select(indices);
+    if (!x.IsSubsetOf(sub.Universe())) continue;
+    if (!WeaklyEquivalent(d, sub, x)) continue;
+    if (indices.size() < best_size) {
+      best_size = indices.size();
+      best.clear();
+    }
+    best.push_back(indices);
+  }
+  return best;
+}
+
+class Theorem52Test : public ::testing::Test {
+ protected:
+  Catalog catalog_;
+};
+
+TEST_F(Theorem52Test, Sec6ExampleMinimumSubschema) {
+  // For the §6 query, the minimum equivalent sub-schema is (abg, bcg, acf).
+  DatabaseSchema d = ParseSchema(catalog_, "abg,bcg,acf,ad,de,ea");
+  AttrSet x = ParseAttrSet(catalog_, "abc");
+  auto witnesses = MinimumEquivalentSubschemas(d, x);
+  ASSERT_FALSE(witnesses.empty());
+  EXPECT_EQ(witnesses[0].size(), 3u);
+  for (const auto& w : witnesses) {
+    DatabaseSchema sub = d.Select(w);
+    // Corollary 5.3: the minimum witness has a lossless join under ⋈D.
+    EXPECT_TRUE(JoinDependencyImplies(d, sub));
+    // Theorem 5.2: CC(D, U(D')) = D' (the witness is reduced here).
+    CanonicalResult cc = CanonicalConnection(d, sub.Universe());
+    EXPECT_TRUE(cc.schema.EqualsAsMultiset(sub));
+  }
+}
+
+TEST_F(Theorem52Test, RandomizedTheorem52) {
+  Rng rng(467);
+  int verified = 0;
+  for (int trial = 0; trial < 120 && verified < 40; ++trial) {
+    DatabaseSchema d = RandomSchema(2 + static_cast<int>(rng.Below(4)),
+                                    2 + static_cast<int>(rng.Below(4)),
+                                    1 + static_cast<int>(rng.Below(3)), rng);
+    AttrSet x;
+    d.Universe().ForEach([&](AttrId a) {
+      if (rng.Chance(0.4)) x.Insert(a);
+    });
+    if (x.Empty()) continue;
+    auto witnesses = MinimumEquivalentSubschemas(d, x);
+    if (witnesses.empty()) continue;
+    for (const auto& w : witnesses) {
+      DatabaseSchema sub = d.Select(w);
+      ++verified;
+      // Corollary 5.3: lossless.
+      EXPECT_TRUE(JoinDependencyImplies(d, sub))
+          << "trial " << trial << " witness size " << w.size();
+      // Theorem 5.2: CC(D, U(D')) = D' when D' is reduced; in general the
+      // canonical connection is covered by D'.
+      CanonicalResult cc = CanonicalConnection(d, sub.Universe());
+      if (sub.IsReduced()) {
+        EXPECT_TRUE(cc.schema.EqualsAsMultiset(sub))
+            << "trial " << trial;
+      } else {
+        EXPECT_TRUE(cc.schema.CoveredBy(sub)) << "trial " << trial;
+      }
+    }
+  }
+  EXPECT_GE(verified, 40);
+}
+
+TEST_F(Theorem52Test, MinimumWitnessAlwaysCoversCC) {
+  // Every minimum witness must cover CC(D, X) (Theorem 4.1 necessity), and
+  // |witness| can not beat |CC(D, X)|.
+  Rng rng(479);
+  for (int trial = 0; trial < 60; ++trial) {
+    DatabaseSchema d = RandomSchema(2 + static_cast<int>(rng.Below(4)),
+                                    2 + static_cast<int>(rng.Below(4)),
+                                    1 + static_cast<int>(rng.Below(3)), rng);
+    AttrSet x;
+    d.Universe().ForEach([&](AttrId a) {
+      if (rng.Chance(0.4)) x.Insert(a);
+    });
+    if (x.Empty()) continue;
+    CanonicalResult cc = CanonicalConnection(d, x);
+    auto witnesses = MinimumEquivalentSubschemas(d, x);
+    for (const auto& w : witnesses) {
+      DatabaseSchema sub = d.Select(w);
+      EXPECT_TRUE(cc.schema.CoveredBy(sub)) << "trial " << trial;
+      EXPECT_LE(static_cast<int>(w.size()), d.NumRelations());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gyo

@@ -1,0 +1,133 @@
+#include "query/tree_projection.h"
+
+#include <gtest/gtest.h>
+
+#include "gyo/acyclic.h"
+#include "schema/fixtures.h"
+#include "schema/generators.h"
+#include "schema/parse.h"
+
+namespace gyo {
+namespace {
+
+class TreeProjectionTest : public ::testing::Test {
+ protected:
+  Catalog catalog_;
+};
+
+TEST_F(TreeProjectionTest, PaperExampleVerifies) {
+  // §3.2: D = 8-ring, D'' = (ab, abch, cdgh, defg, ef), D' = (abef, abch,
+  // cdgh, defg, e). D'' ∈ TP(D', D).
+  DatabaseSchema d = fixtures::Sec32D(catalog_);
+  DatabaseSchema dpp = fixtures::Sec32Dpp(catalog_);
+  DatabaseSchema dp = fixtures::Sec32Dp(catalog_);
+  EXPECT_TRUE(d.CoveredBy(dpp));
+  EXPECT_TRUE(dpp.CoveredBy(dp));
+  EXPECT_TRUE(IsTreeSchema(dpp));
+  EXPECT_TRUE(IsTreeProjection(dpp, dp, d));
+  // Both endpoints are cyclic, as the paper remarks.
+  EXPECT_TRUE(IsCyclicSchema(d));
+  EXPECT_TRUE(IsCyclicSchema(dp));
+}
+
+TEST_F(TreeProjectionTest, PaperExampleSearchFindsAProjection) {
+  DatabaseSchema d = fixtures::Sec32D(catalog_);
+  DatabaseSchema dp = fixtures::Sec32Dp(catalog_);
+  TreeProjectionResult r = FindTreeProjection(dp, d);
+  ASSERT_TRUE(r.projection.has_value());
+  EXPECT_TRUE(IsTreeProjection(*r.projection, dp, d));
+}
+
+TEST_F(TreeProjectionTest, RejectsNonSandwiched) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc");
+  DatabaseSchema dp = ParseSchema(catalog_, "abc");
+  // dpp missing coverage of bc.
+  EXPECT_FALSE(IsTreeProjection(ParseSchema(catalog_, "ab"), dp, d));
+  // dpp exceeding dp.
+  EXPECT_FALSE(IsTreeProjection(ParseSchema(catalog_, "abcd"), dp, d));
+}
+
+TEST_F(TreeProjectionTest, RejectsCyclicMiddle) {
+  DatabaseSchema d = Aring(4);
+  EXPECT_FALSE(IsTreeProjection(d, d, d));  // the ring itself is cyclic
+}
+
+TEST_F(TreeProjectionTest, TrivialWhenDprimeIsTree) {
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc");
+  DatabaseSchema dp = ParseSchema(catalog_, "ab,bc,cd");
+  TreeProjectionResult r = FindTreeProjection(dp, d);
+  ASSERT_TRUE(r.projection.has_value());
+  EXPECT_TRUE(IsTreeProjection(*r.projection, dp, d));
+}
+
+TEST_F(TreeProjectionTest, RingWithinItselfHasNoProjection) {
+  // D = D' = Aring: any sandwiched D'' must (up to subsets) contain the ring
+  // edges, hence be cyclic.
+  DatabaseSchema d = Aring(4);
+  TreeProjectionResult r = FindTreeProjection(d, d);
+  EXPECT_FALSE(r.projection.has_value());
+  EXPECT_FALSE(r.exhausted);
+}
+
+TEST_F(TreeProjectionTest, RingWithFullUniverseHost) {
+  // Adding the full universe as a host always yields a projection.
+  DatabaseSchema d = Aring(5);
+  DatabaseSchema dp = d;
+  dp.Add(d.Universe());
+  TreeProjectionResult r = FindTreeProjection(dp, d);
+  ASSERT_TRUE(r.projection.has_value());
+  EXPECT_TRUE(IsTreeProjection(*r.projection, dp, d));
+}
+
+TEST_F(TreeProjectionTest, SixRingWithTwoHalfHosts) {
+  // An 8-ring with two "half" hosts abcde and efgha admits a projection
+  // (split the ring into two arcs sharing {a, e}).
+  DatabaseSchema d = fixtures::Sec32D(catalog_);
+  DatabaseSchema dp = ParseSchema(catalog_, "abcde,efgha");
+  ASSERT_TRUE(d.CoveredBy(dp));
+  TreeProjectionResult r = FindTreeProjection(dp, d);
+  ASSERT_TRUE(r.projection.has_value());
+  EXPECT_TRUE(IsTreeProjection(*r.projection, dp, d));
+}
+
+TEST_F(TreeProjectionTest, QueryFormIncludesTarget) {
+  // TP(D', Q) covers X too: pass D ∪ {X}.
+  DatabaseSchema d = ParseSchema(catalog_, "ab,bc");
+  AttrSet x = ParseAttrSet(catalog_, "ac");
+  DatabaseSchema dq = d;
+  dq.Add(x);
+  DatabaseSchema dp = ParseSchema(catalog_, "abc");
+  TreeProjectionResult r = FindTreeProjection(dp, dq);
+  ASSERT_TRUE(r.projection.has_value());
+  // Some node must contain the target ac.
+  bool covered = false;
+  for (const RelationSchema& rel : r.projection->Relations()) {
+    if (x.IsSubsetOf(rel)) covered = true;
+  }
+  EXPECT_TRUE(covered);
+}
+
+TEST_F(TreeProjectionTest, FoundProjectionsAlwaysVerify) {
+  Rng rng(197);
+  int found = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    DatabaseSchema d = RandomSchema(3 + static_cast<int>(rng.Below(4)),
+                                    4 + static_cast<int>(rng.Below(4)),
+                                    2, rng);
+    // Hosts: pairwise unions of consecutive relations plus a random big one.
+    DatabaseSchema dp;
+    for (int i = 0; i + 1 < d.NumRelations(); ++i) {
+      dp.Add(d[i].Union(d[i + 1]));
+    }
+    dp.Add(d[d.NumRelations() - 1].Union(d[0]));
+    TreeProjectionResult r = FindTreeProjection(dp, d);
+    if (r.projection.has_value()) {
+      ++found;
+      EXPECT_TRUE(IsTreeProjection(*r.projection, dp, d)) << "trial " << trial;
+    }
+  }
+  EXPECT_GE(found, 10);
+}
+
+}  // namespace
+}  // namespace gyo

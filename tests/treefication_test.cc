@@ -1,0 +1,147 @@
+#include "query/treefication.h"
+
+#include <gtest/gtest.h>
+
+#include "gyo/acyclic.h"
+#include "schema/generators.h"
+#include "schema/parse.h"
+#include "util/rng.h"
+
+namespace gyo {
+namespace {
+
+class TreeficationTest : public ::testing::Test {
+ protected:
+  Catalog catalog_;
+
+  static void ExpectSolutionTreefies(const DatabaseSchema& d,
+                                     const TreeficationResult& r, int k,
+                                     int b) {
+    ASSERT_TRUE(r.feasible);
+    EXPECT_LE(static_cast<int>(r.added.size()), k);
+    DatabaseSchema augmented = d;
+    for (const AttrSet& s : r.added) {
+      EXPECT_LE(s.Size(), b);
+      augmented.Add(s);
+    }
+    EXPECT_TRUE(IsTreeSchema(augmented));
+  }
+};
+
+TEST_F(TreeficationTest, TreeSchemaNeedsNothing) {
+  DatabaseSchema d = PathSchema(5);
+  TreeficationResult r = FixedTreefication(d, 0, 0);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_TRUE(r.added.empty());
+}
+
+TEST_F(TreeficationTest, RingNeedsItsUniverse) {
+  DatabaseSchema d = Aring(4);
+  // One relation of size 4 (the universe) suffices...
+  ExpectSolutionTreefies(d, FixedTreefication(d, 1, 4), 1, 4);
+  // ...but size 3 does not (Cor 3.2: the least treefying relation is U(GR)).
+  EXPECT_FALSE(FixedTreefication(d, 1, 3).feasible);
+}
+
+TEST_F(TreeficationTest, SixRingSplitsAcrossTwoRelations) {
+  // A 6-ring cannot be treefied by one relation of size 4, but CAN by two:
+  // e.g. {0,1,2,3} and {0,3,4,5}.
+  DatabaseSchema d = Aring(6);
+  EXPECT_FALSE(FixedTreefication(d, 1, 4).feasible);
+  TreeficationResult two = FixedTreefication(d, 2, 4);
+  ExpectSolutionTreefies(d, two, 2, 4);
+}
+
+TEST_F(TreeficationTest, ZeroBudgetOnCyclicFails) {
+  EXPECT_FALSE(FixedTreefication(Aring(4), 0, 4).feasible);
+  EXPECT_FALSE(FixedTreefication(Aring(4), 2, 1).feasible);
+}
+
+TEST_F(TreeficationTest, FFDSolvesDisjointCliques) {
+  // Two Acliques of size 3 fit one per bin with capacity 3.
+  BinPackingInstance inst{{3, 3}, 3, 2};
+  DatabaseSchema d = BinPackingToSchema(inst);
+  TreeficationResult r = FixedTreeficationFFD(d, 2, 3);
+  ExpectSolutionTreefies(d, r, 2, 3);
+  // One bin is not enough at capacity 3.
+  EXPECT_FALSE(FixedTreeficationFFD(d, 1, 3).feasible);
+}
+
+TEST_F(TreeficationTest, FFDSolutionsAlwaysTreefy) {
+  Rng rng(199);
+  for (int trial = 0; trial < 60; ++trial) {
+    DatabaseSchema d = RandomSchema(3 + static_cast<int>(rng.Below(5)),
+                                    3 + static_cast<int>(rng.Below(6)),
+                                    2 + static_cast<int>(rng.Below(3)), rng);
+    TreeficationResult r = FixedTreeficationFFD(d, 3, 6);
+    if (r.feasible) {
+      DatabaseSchema augmented = d;
+      for (const AttrSet& s : r.added) augmented.Add(s);
+      EXPECT_TRUE(IsTreeSchema(augmented)) << "trial " << trial;
+    }
+  }
+}
+
+TEST_F(TreeficationTest, ExactSolutionsAlwaysTreefy) {
+  Rng rng(211);
+  for (int trial = 0; trial < 30; ++trial) {
+    DatabaseSchema d = RandomSchema(3 + static_cast<int>(rng.Below(4)),
+                                    3 + static_cast<int>(rng.Below(4)),
+                                    2 + static_cast<int>(rng.Below(2)), rng);
+    int k = 1 + static_cast<int>(rng.Below(2));
+    int b = 2 + static_cast<int>(rng.Below(4));
+    TreeficationResult r = FixedTreefication(d, k, b);
+    if (r.feasible) ExpectSolutionTreefies(d, r, k, b);
+  }
+}
+
+TEST_F(TreeficationTest, BinPackingToSchemaShape) {
+  BinPackingInstance inst{{3, 4}, 4, 2};
+  DatabaseSchema d = BinPackingToSchema(inst);
+  EXPECT_EQ(d.NumRelations(), 7);       // 3 + 4 clique members
+  EXPECT_EQ(d.Universe().Size(), 7);    // disjoint attribute blocks
+  EXPECT_TRUE(IsCyclicSchema(d));
+}
+
+TEST_F(TreeficationTest, SolveBinPackingExactBasics) {
+  EXPECT_TRUE(SolveBinPackingExact({{3, 3}, 3, 2}));
+  EXPECT_FALSE(SolveBinPackingExact({{3, 3}, 3, 1}));
+  EXPECT_TRUE(SolveBinPackingExact({{3, 3}, 6, 1}));
+  EXPECT_FALSE(SolveBinPackingExact({{7}, 6, 3}));  // item exceeds capacity
+  EXPECT_TRUE(SolveBinPackingExact({{}, 3, 0}));    // nothing to pack
+  EXPECT_TRUE(SolveBinPackingExact({{4, 3, 3, 4, 3, 3}, 10, 2}));
+  EXPECT_FALSE(SolveBinPackingExact({{4, 4, 4, 4, 4}, 9, 2}));
+}
+
+TEST_F(TreeficationTest, Theorem42ReductionAgreesWithBinPacking) {
+  // Bin packing is feasible iff the Aclique schema is fixed-treefiable.
+  Rng rng(223);
+  int feasible_seen = 0;
+  int infeasible_seen = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    int items = 1 + static_cast<int>(rng.Below(2));
+    BinPackingInstance inst;
+    for (int i = 0; i < items; ++i) {
+      inst.sizes.push_back(3 + static_cast<int>(rng.Below(2)));
+    }
+    inst.capacity = 3 + static_cast<int>(rng.Below(5));
+    inst.bins = 1 + static_cast<int>(rng.Below(2));
+    DatabaseSchema d = BinPackingToSchema(inst);
+    if (d.Universe().Size() > 8) continue;
+    bool packs = SolveBinPackingExact(inst);
+    TreeficationResult r =
+        FixedTreefication(d, inst.bins, inst.capacity);
+    ASSERT_FALSE(r.exhausted) << "trial " << trial;
+    EXPECT_EQ(packs, r.feasible) << "trial " << trial;
+    if (packs) {
+      ++feasible_seen;
+    } else {
+      ++infeasible_seen;
+    }
+  }
+  EXPECT_GE(feasible_seen, 5);
+  EXPECT_GE(infeasible_seen, 5);
+}
+
+}  // namespace
+}  // namespace gyo
