@@ -123,6 +123,10 @@ class AttrSet {
     return a.words_ == b.words_;
   }
 
+  friend bool operator!=(const AttrSet& a, const AttrSet& b) {
+    return !(a == b);
+  }
+
   /// Total order: compares as reversed big-endian bit strings, equivalent to
   /// lexicographic order on the sorted member lists for same-size sets; any
   /// strict weak order suffices for canonical sorting and map keys.

@@ -160,6 +160,55 @@ TEST(AttrSetTest, RandomizedAgainstStdSet) {
   EXPECT_EQ(s.Size(), static_cast<int>(ref.size()));
 }
 
+TEST(AttrSetTest, NotEqualsAgreesWithEquals) {
+  AttrSet empty;
+  AttrSet a{1, 2};
+  AttrSet b{1, 2};
+  AttrSet c{1, 3};
+  EXPECT_FALSE(empty != AttrSet{});
+  EXPECT_FALSE(a != b);
+  EXPECT_TRUE(a != c);
+  EXPECT_TRUE(a != empty);
+  EXPECT_TRUE(empty != a);
+}
+
+TEST(AttrSetTest, NotEqualsIgnoresRepresentation) {
+  // A set that grew past a word boundary and shrank back must not compare
+  // different from one that never grew.
+  AttrSet grown{1, 200};
+  grown.Erase(200);
+  AttrSet plain{1};
+  EXPECT_FALSE(grown != plain);
+}
+
+TEST(AttrSetTest, ProperSubsetEmptySets) {
+  AttrSet empty;
+  EXPECT_FALSE(empty.IsProperSubsetOf(AttrSet{}));  // ∅ ⊄ ∅
+  EXPECT_TRUE(empty.IsProperSubsetOf(AttrSet{0}));
+  EXPECT_FALSE(AttrSet{0}.IsProperSubsetOf(empty));
+}
+
+TEST(AttrSetTest, ProperSubsetEqualSets) {
+  AttrSet a{2, 5, 70};
+  AttrSet b{2, 5, 70};
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(a.IsProperSubsetOf(b));
+  EXPECT_FALSE(b.IsProperSubsetOf(a));
+}
+
+TEST(AttrSetTest, ProperSubsetAcrossWordBoundary) {
+  // Subset differs only in a bit beyond the smaller set's last word.
+  AttrSet small{3, 40};
+  AttrSet big{3, 40, 130};
+  EXPECT_TRUE(small.IsProperSubsetOf(big));
+  EXPECT_FALSE(big.IsProperSubsetOf(small));
+  // Incomparable sets split across different words.
+  AttrSet lo{3};
+  AttrSet hi{130};
+  EXPECT_FALSE(lo.IsProperSubsetOf(hi));
+  EXPECT_FALSE(hi.IsProperSubsetOf(lo));
+}
+
 TEST(AttrSetTest, RandomizedSetAlgebraAgainstStdSet) {
   Rng rng(11);
   for (int trial = 0; trial < 200; ++trial) {
