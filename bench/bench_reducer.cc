@@ -5,32 +5,24 @@
 #include <benchmark/benchmark.h>
 
 #include "rel/reducer.h"
+#include "rel/universal.h"
 #include "schema/generators.h"
 #include "util/rng.h"
 
 namespace gyo {
 namespace {
 
-// Independent random edge states over a path (dangle-heavy, non-UR).
-std::vector<Relation> RandomPathStates(int n, int rows, uint64_t seed) {
+// Independent random edge states (dangle-heavy, non-UR).
+std::vector<Relation> DanglingStates(const DatabaseSchema& d, int rows,
+                                     uint64_t seed) {
   Rng rng(seed);
-  std::vector<Relation> states;
-  for (int i = 0; i < n; ++i) {
-    Relation rel(AttrSet{i, i + 1});
-    for (int k = 0; k < rows; ++k) {
-      rel.AddRow({static_cast<Value>(rng.Below(64)),
-                  static_cast<Value>(rng.Below(64))});
-    }
-    rel.Canonicalize();
-    states.push_back(std::move(rel));
-  }
-  return states;
+  return RandomStates(d, rows, 64, rng);
 }
 
 void BM_FullReducer_Path(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   DatabaseSchema d = PathSchema(n + 1);
-  std::vector<Relation> states = RandomPathStates(n, 256, 37);
+  std::vector<Relation> states = DanglingStates(d, 256, 37);
   for (auto _ : state) {
     benchmark::DoNotOptimize(ApplyFullReducer(d, states));
   }
@@ -40,7 +32,7 @@ BENCHMARK(BM_FullReducer_Path)->RangeMultiplier(2)->Range(4, 64);
 void BM_SemijoinFixpoint_Path(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   DatabaseSchema d = PathSchema(n + 1);
-  std::vector<Relation> states = RandomPathStates(n, 256, 37);
+  std::vector<Relation> states = DanglingStates(d, 256, 37);
   for (auto _ : state) {
     benchmark::DoNotOptimize(SemijoinFixpoint(d, states));
   }
@@ -50,7 +42,7 @@ BENCHMARK(BM_SemijoinFixpoint_Path)->RangeMultiplier(2)->Range(4, 64);
 void BM_ConsistencyCheck_Path(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   DatabaseSchema d = PathSchema(n + 1);
-  std::vector<Relation> states = RandomPathStates(n, 64, 41);
+  std::vector<Relation> states = DanglingStates(d, 64, 41);
   auto reduced = ApplyFullReducer(d, states);
   for (auto _ : state) {
     benchmark::DoNotOptimize(IsGloballyConsistent(d, *reduced));
@@ -63,17 +55,7 @@ void BM_SemijoinFixpoint_Ring(benchmark::State& state) {
   // reaching consistency.
   int n = static_cast<int>(state.range(0));
   DatabaseSchema d = Aring(n);
-  Rng rng(43);
-  std::vector<Relation> states;
-  for (int i = 0; i < n; ++i) {
-    Relation rel(d[i]);
-    for (int k = 0; k < 256; ++k) {
-      rel.AddRow({static_cast<Value>(rng.Below(64)),
-                  static_cast<Value>(rng.Below(64))});
-    }
-    rel.Canonicalize();
-    states.push_back(std::move(rel));
-  }
+  std::vector<Relation> states = DanglingStates(d, 256, 43);
   for (auto _ : state) {
     benchmark::DoNotOptimize(SemijoinFixpoint(d, states));
   }

@@ -29,9 +29,11 @@ std::vector<Relation> PayloadStarData(int leaves, int rows, uint64_t seed) {
   std::vector<Relation> states;
   for (int leaf = 1; leaf <= leaves; ++leaf) {
     Relation rel(AttrSet{0, leaf});
+    rel.Reserve(rows);
     for (int k = 0; k < rows; ++k) {
-      rel.AddRow({static_cast<Value>(rng.Below(64)),
-                  static_cast<Value>(rng.Below(1 << 20))});
+      Value* row = rel.AppendRow();
+      row[0] = static_cast<Value>(rng.Below(64));
+      row[1] = static_cast<Value>(rng.Below(1 << 20));
     }
     rel.Canonicalize();
     states.push_back(std::move(rel));
@@ -73,9 +75,11 @@ std::vector<Relation> DeadEndPathData(int n, int rows, uint64_t seed) {
   for (int i = 0; i < n; ++i) {
     Relation rel(AttrSet{i, i + 1});
     if (i > 0) {
+      rel.Reserve(rows);
       for (int k = 0; k < rows; ++k) {
-        rel.AddRow({static_cast<Value>(rng.Below(16)),
-                    static_cast<Value>(rng.Below(16))});
+        Value* row = rel.AppendRow();
+        row[0] = static_cast<Value>(rng.Below(16));
+        row[1] = static_cast<Value>(rng.Below(16));
       }
     }
     rel.Canonicalize();

@@ -88,16 +88,20 @@ int main(int argc, char** argv) {
   gyo::Relation reference = gyo::EvaluateJoinQuery(d, x, states);
   gyo::Relation via_full = full.Run(states);
   gyo::Relation via_pruned = pruned.Run(states);
-  std::printf("\nexecution on a random UR database (|I| = %d):\n",
-              universal.NumRows());
-  std::printf("  reference answer: %d tuples\n", reference.NumRows());
-  std::printf("  full join:        %d tuples  %s\n", via_full.NumRows(),
+  std::printf("\nexecution on a random UR database (|I| = %lld):\n",
+              static_cast<long long>(universal.NumRows()));
+  std::printf("  reference answer: %lld tuples\n",
+              static_cast<long long>(reference.NumRows()));
+  std::printf("  full join:        %lld tuples  %s\n",
+              static_cast<long long>(via_full.NumRows()),
               via_full.EqualsAsSet(reference) ? "[match]" : "[MISMATCH]");
-  std::printf("  CC-pruned:        %d tuples  %s\n", via_pruned.NumRows(),
+  std::printf("  CC-pruned:        %lld tuples  %s\n",
+              static_cast<long long>(via_pruned.NumRows()),
               via_pruned.EqualsAsSet(reference) ? "[match]" : "[MISMATCH]");
   if (yann.has_value()) {
     gyo::Relation via_yann = yann->Run(states);
-    std::printf("  Yannakakis:       %d tuples  %s\n", via_yann.NumRows(),
+    std::printf("  Yannakakis:       %lld tuples  %s\n",
+                static_cast<long long>(via_yann.NumRows()),
                 via_yann.EqualsAsSet(reference) ? "[match]" : "[MISMATCH]");
   }
   return 0;

@@ -26,8 +26,9 @@ int main() {
   gyo::Relation universal =
       gyo::RandomUniversal(path.Universe(), 24, 8, rng);
   std::vector<gyo::Relation> ur = gyo::ProjectDatabase(universal, path);
-  std::printf("D = %s, states projected from a random I (|I| = %d)\n",
-              path.Format(catalog).c_str(), universal.NumRows());
+  std::printf("D = %s, states projected from a random I (|I| = %lld)\n",
+              path.Format(catalog).c_str(),
+              static_cast<long long>(universal.NumRows()));
   std::printf("globally consistent: %s (semijoins have nothing to prune)\n\n",
               gyo::IsGloballyConsistent(path, ur) ? "yes" : "no");
 
@@ -35,6 +36,7 @@ int main() {
   std::vector<gyo::Relation> dangling;
   for (const gyo::RelationSchema& r : path.Relations()) {
     gyo::Relation rel(r);
+    rel.Reserve(12);
     for (int k = 0; k < 12; ++k) {
       rel.AddRow({static_cast<gyo::Value>(rng.Below(4)),
                   static_cast<gyo::Value>(rng.Below(4))});
@@ -49,10 +51,12 @@ int main() {
               2 * (path.NumRelations() - 1),
               gyo::IsGloballyConsistent(path, *reduced) ? "yes" : "no");
   for (int i = 0; i < path.NumRelations(); ++i) {
-    std::printf("  %s: %d -> %d tuples\n",
+    std::printf("  %s: %lld -> %lld tuples\n",
                 catalog.Format(path[i]).c_str(),
-                dangling[static_cast<size_t>(i)].NumRows(),
-                (*reduced)[static_cast<size_t>(i)].NumRows());
+                static_cast<long long>(
+                    dangling[static_cast<size_t>(i)].NumRows()),
+                static_cast<long long>(
+                    (*reduced)[static_cast<size_t>(i)].NumRows()));
   }
 
   std::printf("\n== 3. Cyclic schemas defeat semijoins ==\n");
@@ -71,9 +75,9 @@ int main() {
   std::vector<gyo::Relation> fix = gyo::SemijoinFixpoint(triangle, tri, &steps);
   std::printf("semijoin fixpoint reached after %d effective semijoins\n",
               steps);
-  std::printf("globally consistent: %s; full join has %d tuples\n",
+  std::printf("globally consistent: %s; full join has %lld tuples\n",
               gyo::IsGloballyConsistent(triangle, fix) ? "yes" : "no",
-              gyo::JoinAll(tri).NumRows());
+              static_cast<long long>(gyo::JoinAll(tri).NumRows()));
   std::printf("=> every tuple dangles, yet no semijoin can remove any: no\n"
               "   full reducer exists for cyclic schemas (Bernstein-Goodman).\n");
   return 0;

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Builds the Release preset and runs the join-heavy benchmarks, emitting one
+# BENCH_<name>.json per binary (Google Benchmark JSON) for the perf
+# trajectory. Tunables:
+#   BENCH_MIN_TIME   --benchmark_min_time value   (default 0.01s; raise for
+#                    stable numbers, keep low for smoke runs)
+#   BENCH_OUT_DIR    where the JSON files land     (default build/release)
+#   BENCH_TARGETS    space-separated bench binaries (default: the three
+#                    join-heavy ones the storage engine is measured by)
+#   BENCH_CMAKE_ARGS extra configure args (e.g. -DGYO_BUILD_TESTS=OFF
+#                    -DGYO_BUILD_EXAMPLES=OFF for a bench-only build; note
+#                    they persist in build/release's CMake cache)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+min_time="${BENCH_MIN_TIME:-0.01s}"
+out_dir="${BENCH_OUT_DIR:-build/release}"
+targets="${BENCH_TARGETS:-bench_join_strategies bench_yannakakis bench_reducer}"
+
+# shellcheck disable=SC2086  # word-splitting of the extra args is intended
+cmake --preset release -DGYO_FETCH_BENCHMARK=ON ${BENCH_CMAKE_ARGS:-}
+cmake --build --preset release -j"$(nproc)"
+
+mkdir -p "${out_dir}"
+for bench in ${targets}; do
+  bin="build/release/bench/${bench}"
+  if [[ ! -x "${bin}" ]]; then
+    echo "error: ${bin} was not built (is Google Benchmark available?)" >&2
+    exit 1
+  fi
+  out="${out_dir}/BENCH_${bench#bench_}.json"
+  echo "== ${bench} -> ${out}"
+  # Google Benchmark < 1.8 rejects the "0.01s" suffix form; probe flag
+  # support with the cheap --benchmark_list_tests mode (so a real benchmark
+  # failure below still fails the script loudly, exactly once).
+  mt="${min_time}"
+  if ! "${bin}" --benchmark_list_tests \
+                --benchmark_min_time="${mt}" > /dev/null 2>&1; then
+    mt="${min_time%s}"
+  fi
+  "${bin}" --benchmark_min_time="${mt}" \
+           --benchmark_out="${out}" --benchmark_out_format=json
+done
+echo "wrote $(ls ${out_dir}/BENCH_*.json | wc -l) BENCH_*.json file(s) to ${out_dir}"

@@ -1,6 +1,6 @@
 #include "rel/ops.h"
 
-#include <unordered_map>
+#include <cstring>
 #include <vector>
 
 #include "util/check.h"
@@ -9,26 +9,120 @@ namespace gyo {
 
 namespace {
 
-// FNV-1a hash for value vectors (join keys).
-struct ValueVecHash {
-  size_t operator()(const std::vector<Value>& v) const {
-    uint64_t h = 1469598103934665603ull;
-    for (Value x : v) {
-      h ^= static_cast<uint64_t>(x);
-      h *= 1099511628211ull;
-    }
-    return static_cast<size_t>(h);
-  }
-};
-
-// Extracts the values of `cols` (column indices) from `row`.
-std::vector<Value> KeyOf(const std::vector<Value>& row,
-                         const std::vector<int>& cols) {
-  std::vector<Value> key;
-  key.reserve(cols.size());
-  for (int c : cols) key.push_back(row[static_cast<size_t>(c)]);
-  return key;
+// Murmur3-style 64-bit finalizer. FNV-1a alone distributes small sequential
+// integers (the common test/benchmark domain) badly in power-of-two bucket
+// arrays; the avalanche step spreads every input bit over the whole word.
+inline uint64_t AvalancheMix(uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
 }
+
+// Hash of the `cols` slice of the row starting at `row` — FNV-1a over the
+// selected values, finalized with AvalancheMix. No key materialization: the
+// values are read in place from the relation's arena.
+inline uint64_t HashSlice(const Value* row, const std::vector<int>& cols) {
+  uint64_t h = 1469598103934665603ull;
+  for (int c : cols) {
+    h ^= static_cast<uint64_t>(row[c]);
+    h *= 1099511628211ull;
+  }
+  return AvalancheMix(h);
+}
+
+// Compares the `a_cols` slice of row `a` with the `b_cols` slice of row `b`
+// (the two sides may index different schemas; the col lists must be aligned
+// on the same attributes).
+inline bool SlicesEqual(const Value* a, const std::vector<int>& a_cols,
+                        const Value* b, const std::vector<int>& b_cols) {
+  for (size_t k = 0; k < a_cols.size(); ++k) {
+    if (a[a_cols[k]] != b[b_cols[k]]) return false;
+  }
+  return true;
+}
+
+inline size_t NextPow2AtLeast(size_t n) {
+  size_t p = 16;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// A chained hash index from the `cols` key slices of `rel`'s rows to their
+// row indices. Keys are never materialized: both build and probe hash/compare
+// directly against the relations' arenas.
+class SliceIndex {
+ public:
+  // An empty index sized for `expected_rows`; register rows with Add().
+  // `rel` may gain rows after construction (entries are row indices, not
+  // pointers), which is how Project dedupes against its growing output.
+  SliceIndex(const Relation& rel, std::vector<int> cols, int64_t expected_rows)
+      : rel_(rel), cols_(std::move(cols)) {
+    const size_t buckets =
+        NextPow2AtLeast(2 * static_cast<size_t>(expected_rows));
+    mask_ = buckets - 1;
+    heads_.assign(buckets, -1);
+    entries_.reserve(static_cast<size_t>(expected_rows));
+  }
+
+  // An index over all current rows of `rel`.
+  SliceIndex(const Relation& rel, std::vector<int> cols)
+      : SliceIndex(rel, std::move(cols), rel.NumRows()) {
+    for (int64_t i = 0; i < rel_.NumRows(); ++i) Add(i);
+  }
+
+  // Registers row `row` of the relation under its key slice.
+  void Add(int64_t row) {
+    uint64_t h = HashSlice(rel_.RowData(row), cols_);
+    size_t b = static_cast<size_t>(h) & mask_;
+    entries_.push_back(Entry{h, row, heads_[b]});
+    heads_[b] = static_cast<int64_t>(entries_.size()) - 1;
+  }
+
+  // Invokes fn(row_index) for every indexed row whose key slice equals the
+  // `probe_cols` slice of the row at `probe`.
+  template <typename Fn>
+  void ForEachMatch(const Value* probe, const std::vector<int>& probe_cols,
+                    Fn&& fn) const {
+    uint64_t h = HashSlice(probe, probe_cols);
+    for (int64_t e = heads_[static_cast<size_t>(h) & mask_]; e >= 0;
+         e = entries_[static_cast<size_t>(e)].next) {
+      const Entry& entry = entries_[static_cast<size_t>(e)];
+      if (entry.hash == h &&
+          SlicesEqual(rel_.RowData(entry.row), cols_, probe, probe_cols)) {
+        fn(entry.row);
+      }
+    }
+  }
+
+  // True iff some indexed row's key slice equals the probe slice.
+  bool Contains(const Value* probe, const std::vector<int>& probe_cols) const {
+    uint64_t h = HashSlice(probe, probe_cols);
+    for (int64_t e = heads_[static_cast<size_t>(h) & mask_]; e >= 0;
+         e = entries_[static_cast<size_t>(e)].next) {
+      const Entry& entry = entries_[static_cast<size_t>(e)];
+      if (entry.hash == h &&
+          SlicesEqual(rel_.RowData(entry.row), cols_, probe, probe_cols)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  struct Entry {
+    uint64_t hash;
+    int64_t row;
+    int64_t next;  // previous entry in the same bucket, -1 at chain end
+  };
+  const Relation& rel_;
+  std::vector<int> cols_;
+  std::vector<int64_t> heads_;
+  std::vector<Entry> entries_;
+  size_t mask_;
+};
 
 }  // namespace
 
@@ -36,11 +130,34 @@ Relation Project(const Relation& r, const AttrSet& x) {
   GYO_CHECK_MSG(x.IsSubsetOf(r.Schema()), "projection target not in schema");
   Relation out(x);
   std::vector<int> cols;
+  cols.reserve(static_cast<size_t>(out.Arity()));
   for (AttrId a : out.Attrs()) cols.push_back(r.ColIndex(a));
-  for (const auto& row : r.Rows()) {
-    out.AddRow(KeyOf(row, cols));
+  // Output cols are 0..arity-1 in arena order, used to compare emitted rows
+  // against candidate source slices.
+  std::vector<int> out_cols;
+  out_cols.reserve(cols.size());
+  for (size_t k = 0; k < cols.size(); ++k) out_cols.push_back(static_cast<int>(k));
+
+  const int64_t n = r.NumRows();
+  if (out.Arity() == 0) {
+    // π_∅: TRUE (one empty tuple) iff r is non-empty.
+    if (n > 0) out.AppendRow();
+    out.MarkCanonical();
+    return out;
   }
-  out.Canonicalize();
+
+  // Dedupe while emitting: an incremental SliceIndex over the rows already
+  // written to the output arena. No sort — the result is duplicate-free but
+  // left non-canonical (sortedness is lazy).
+  SliceIndex seen(out, out_cols, n);
+  out.Reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const Value* src = r.RowData(i);
+    if (seen.Contains(src, cols)) continue;
+    Value* dst = out.AppendRow();
+    for (size_t k = 0; k < cols.size(); ++k) dst[k] = src[cols[k]];
+    seen.Add(out.NumRows() - 1);
+  }
   return out;
 }
 
@@ -64,10 +181,7 @@ Relation NaturalJoin(const Relation& r, const Relation& s) {
   const std::vector<int>& probe_cols =
       (&build == &s) ? r_key_cols : s_key_cols;
 
-  std::unordered_map<std::vector<Value>, std::vector<int>, ValueVecHash> index;
-  for (int i = 0; i < build.NumRows(); ++i) {
-    index[KeyOf(build.Row(i), build_cols)].push_back(i);
-  }
+  SliceIndex index(build, build_cols);
 
   // Output column sources: for each result attribute, where to read it from.
   struct Source {
@@ -75,6 +189,7 @@ Relation NaturalJoin(const Relation& r, const Relation& s) {
     int col;
   };
   std::vector<Source> sources;
+  sources.reserve(static_cast<size_t>(out.Arity()));
   for (AttrId a : out.Attrs()) {
     if (probe.Schema().Contains(a)) {
       sources.push_back(Source{true, probe.ColIndex(a)});
@@ -83,20 +198,21 @@ Relation NaturalJoin(const Relation& r, const Relation& s) {
     }
   }
 
-  for (int i = 0; i < probe.NumRows(); ++i) {
-    auto it = index.find(KeyOf(probe.Row(i), probe_cols));
-    if (it == index.end()) continue;
-    for (int j : it->second) {
-      std::vector<Value> row;
-      row.reserve(sources.size());
-      for (const Source& src : sources) {
-        row.push_back(src.from_probe ? probe.Row(i)[static_cast<size_t>(src.col)]
-                                     : build.Row(j)[static_cast<size_t>(src.col)]);
+  out.Reserve(probe.NumRows());
+  for (int64_t i = 0; i < probe.NumRows(); ++i) {
+    const Value* prow = probe.RowData(i);
+    index.ForEachMatch(prow, probe_cols, [&](int64_t j) {
+      const Value* brow = build.RowData(j);
+      Value* dst = out.AppendRow();
+      for (size_t k = 0; k < sources.size(); ++k) {
+        dst[k] = sources[k].from_probe ? prow[sources[k].col]
+                                       : brow[sources[k].col];
       }
-      out.AddRow(std::move(row));
-    }
+    });
   }
-  out.Canonicalize();
+  // Distinct (probe, build) row pairs yield distinct output tuples (the
+  // output determines both inputs), so duplicate-free inputs give a
+  // duplicate-free output; no dedupe or sort needed.
   return out;
 }
 
@@ -109,16 +225,27 @@ Relation Semijoin(const Relation& r, const Relation& s) {
     r_cols.push_back(r.ColIndex(a));
     s_cols.push_back(s.ColIndex(a));
   });
-  std::unordered_map<std::vector<Value>, bool, ValueVecHash> keys;
-  for (int i = 0; i < s.NumRows(); ++i) {
-    keys[KeyOf(s.Row(i), s_cols)] = true;
+
+  SliceIndex index(s, s_cols);
+
+  // Selection pass: record matching row indices, then compact in one sweep.
+  std::vector<int64_t> selected;
+  for (int64_t i = 0; i < r.NumRows(); ++i) {
+    if (index.Contains(r.RowData(i), r_cols)) selected.push_back(i);
   }
-  for (int i = 0; i < r.NumRows(); ++i) {
-    if (keys.count(KeyOf(r.Row(i), r_cols)) != 0) {
-      out.AddRow(r.Row(i));
+
+  const size_t stride = static_cast<size_t>(r.Arity());
+  out.Reserve(static_cast<int64_t>(selected.size()));
+  for (int64_t i : selected) {
+    if (stride == 0) {
+      out.AppendRow();
+      continue;
     }
+    Value* dst = out.AppendRow();
+    std::memcpy(dst, r.RowData(i), stride * sizeof(Value));
   }
-  out.Canonicalize();
+  // A subsequence of a canonical relation is still sorted and unique.
+  if (r.IsCanonical()) out.MarkCanonical();
   return out;
 }
 

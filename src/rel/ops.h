@@ -6,18 +6,27 @@
 
 namespace gyo {
 
-/// Relational algebra operators (paper §2 notation). All results are
-/// canonicalized (sorted, duplicate-free).
+/// Relational algebra operators (paper §2 notation).
+///
+/// Contract: inputs must be duplicate-free (canonical relations and operator
+/// outputs both qualify; after hand-built AddRow sequences call
+/// Canonicalize() first). All results are duplicate-free, so NumRows() is a
+/// set cardinality — but they are NOT necessarily sorted: canonical form is
+/// established lazily (EqualsAsSet() canonicalizes on demand). Semijoin is
+/// the exception: it selects a subsequence of its left input, so a canonical
+/// input yields a canonical output.
 
-/// π_X(r): projection onto X. Requires X ⊆ r.Schema().
+/// π_X(r): projection onto X. Requires X ⊆ r.Schema(). Output deduplicated
+/// via hashing (unsorted).
 Relation Project(const Relation& r, const AttrSet& x);
 
-/// r ⋈ s: natural join (hash join on the common attributes; a Cartesian
-/// product when the schemas are disjoint).
+/// r ⋈ s: natural join (hash join keyed on in-place column slices of the
+/// common attributes; a Cartesian product when the schemas are disjoint).
 Relation NaturalJoin(const Relation& r, const Relation& s);
 
 /// r ⋉ s: natural semijoin, π_R(r ⋈ s) computed without materializing the
-/// join.
+/// join (membership probes + one compaction pass over a selection vector).
+/// Canonical input r gives canonical output.
 Relation Semijoin(const Relation& r, const Relation& s);
 
 /// ⋈ of a non-empty list of relations, left to right.

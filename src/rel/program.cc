@@ -105,7 +105,7 @@ std::vector<Relation> Program::ExecuteWithStats(
   if (stats != nullptr) {
     *stats = Stats();
     for (size_t i = static_cast<size_t>(num_base_); i < states.size(); ++i) {
-      int rows = states[i].NumRows();
+      int64_t rows = states[i].NumRows();
       stats->max_intermediate_rows = std::max(stats->max_intermediate_rows,
                                               rows);
       stats->total_rows_produced += rows;

@@ -60,11 +60,11 @@ class Program {
   /// CC-pruning and semijoin programs is bounding intermediate results).
   struct Stats {
     /// Rows of the largest relation created by any statement.
-    int max_intermediate_rows = 0;
+    int64_t max_intermediate_rows = 0;
     /// Total rows across all created relations.
-    long total_rows_produced = 0;
+    int64_t total_rows_produced = 0;
     /// Rows of the final statement's result.
-    int result_rows = 0;
+    int64_t result_rows = 0;
   };
 
   /// Executes and also reports size statistics of the created relations.

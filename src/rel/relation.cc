@@ -1,16 +1,11 @@
 #include "rel/relation.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "util/check.h"
 
 namespace gyo {
-
-void Relation::AddRow(std::vector<Value> row) {
-  GYO_CHECK_MSG(static_cast<int>(row.size()) == Arity(),
-                "row arity mismatch: got %zu, want %d", row.size(), Arity());
-  rows_.push_back(std::move(row));
-}
 
 int Relation::ColIndex(AttrId attr) const {
   auto it = std::lower_bound(attrs_.begin(), attrs_.end(), attr);
@@ -20,22 +15,65 @@ int Relation::ColIndex(AttrId attr) const {
 }
 
 void Relation::Canonicalize() {
-  std::sort(rows_.begin(), rows_.end());
-  rows_.erase(std::unique(rows_.begin(), rows_.end()), rows_.end());
+  if (canonical_) return;
+  if (stride_ == 0) {
+    // Arity-0 relations are TRUE (one empty tuple) or FALSE (none).
+    num_rows_ = num_rows_ > 0 ? 1 : 0;
+    canonical_ = true;
+    return;
+  }
+  const Value* base = data_.data();
+  const size_t k = stride_;
+  std::vector<int64_t> order(static_cast<size_t>(num_rows_));
+  std::iota(order.begin(), order.end(), int64_t{0});
+  std::sort(order.begin(), order.end(), [base, k](int64_t a, int64_t b) {
+    const Value* pa = base + static_cast<size_t>(a) * k;
+    const Value* pb = base + static_cast<size_t>(b) * k;
+    return std::lexicographical_compare(pa, pa + k, pb, pb + k);
+  });
+  // Single gather pass applies the permutation and drops duplicates.
+  std::vector<Value> sorted;
+  sorted.reserve(data_.size());
+  for (int64_t idx : order) {
+    const Value* row = base + static_cast<size_t>(idx) * k;
+    if (!sorted.empty() &&
+        std::equal(row, row + k, sorted.data() + sorted.size() - k)) {
+      continue;
+    }
+    sorted.insert(sorted.end(), row, row + k);
+  }
+  data_ = std::move(sorted);
+  num_rows_ = static_cast<int64_t>(data_.size() / k);
+  canonical_ = true;
+}
+
+bool Relation::CheckCanonical() const {
+  if (stride_ == 0) return num_rows_ <= 1;
+  const size_t k = stride_;
+  for (int64_t i = 0; i + 1 < num_rows_; ++i) {
+    const Value* a = data_.data() + static_cast<size_t>(i) * k;
+    const Value* b = a + k;
+    if (!std::lexicographical_compare(a, a + k, b, b + k)) return false;
+  }
+  return true;
+}
+
+void Relation::EnsureCanonical() const {
+  const_cast<Relation*>(this)->Canonicalize();
 }
 
 bool Relation::EqualsAsSet(const Relation& other) const {
   if (!(schema_ == other.schema_)) return false;
-  GYO_DCHECK(std::is_sorted(rows_.begin(), rows_.end()));
-  GYO_DCHECK(std::is_sorted(other.rows_.begin(), other.rows_.end()));
-  return rows_ == other.rows_;
+  EnsureCanonical();
+  other.EnsureCanonical();
+  return num_rows_ == other.num_rows_ && data_ == other.data_;
 }
 
 std::string Relation::Format(const Catalog& catalog, int max_rows) const {
   std::string out = catalog.Format(schema_) + " (" +
                     std::to_string(NumRows()) + " rows)\n";
   int shown = 0;
-  for (const auto& row : rows_) {
+  for (RowRef row : Rows()) {
     if (shown++ == max_rows) {
       out += "  ...\n";
       break;

@@ -1,12 +1,15 @@
 #ifndef GYO_REL_RELATION_H_
 #define GYO_REL_RELATION_H_
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "schema/catalog.h"
 #include "util/attr_set.h"
+#include "util/check.h"
 
 namespace gyo {
 
@@ -14,17 +17,71 @@ namespace gyo {
 /// the paper (the theory is domain-agnostic).
 using Value = int64_t;
 
+/// A non-owning view of one tuple inside a Relation's arena: a pointer into
+/// the flat value array plus the arity. Cheap to copy; invalidated by any
+/// mutation of the owning relation (AddRow/Reserve/Canonicalize).
+class RowRef {
+ public:
+  RowRef(const Value* data, int arity) : data_(data), arity_(arity) {}
+
+  Value operator[](int i) const {
+    GYO_DCHECK(i >= 0 && i < arity_);
+    return data_[i];
+  }
+  int size() const { return arity_; }
+  const Value* data() const { return data_; }
+  const Value* begin() const { return data_; }
+  const Value* end() const { return data_ + arity_; }
+
+  std::vector<Value> ToVector() const {
+    return std::vector<Value>(data_, data_ + arity_);
+  }
+
+  friend bool operator==(const RowRef& a, const RowRef& b) {
+    return a.arity_ == b.arity_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator!=(const RowRef& a, const RowRef& b) { return !(a == b); }
+  friend bool operator<(const RowRef& a, const RowRef& b) {
+    return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                        b.end());
+  }
+
+ private:
+  const Value* data_;
+  int arity_;
+};
+
+inline bool operator==(const RowRef& a, const std::vector<Value>& b) {
+  return static_cast<size_t>(a.size()) == b.size() &&
+         std::equal(a.begin(), a.end(), b.begin());
+}
+inline bool operator==(const std::vector<Value>& a, const RowRef& b) {
+  return b == a;
+}
+
 /// A relation state: a set of tuples over a relation schema.
 ///
-/// Tuples are stored as value vectors aligned with Attrs() (the schema's
-/// attributes in increasing id order). Relations compare as sets — call
-/// Canonicalize() (sort + dedupe) before comparing or after bulk inserts;
-/// the algebra operators in ops.h return canonicalized relations.
+/// Storage is a single flat arena: one contiguous `std::vector<Value>` holding
+/// all tuples back to back, with arity-stride row access. Rows are viewed
+/// through RowRef (see above) or raw `const Value*` cursors (RowData), never
+/// materialized as separate vectors.
+///
+/// Tuples are aligned with Attrs() (the schema's attributes in increasing id
+/// order). Relations are logically sets; canonicalization (sort + dedupe) is
+/// *lazy*: mutations set a dirty flag, and Canonicalize() runs only when set
+/// semantics are needed — EqualsAsSet() canonicalizes both sides on demand.
+/// Physical row order is therefore unspecified until Canonicalize() has run.
+/// The algebra operators in ops.h always return duplicate-free (but not
+/// necessarily sorted) relations, so NumRows() on their results is a set
+/// cardinality; after hand-built AddRow sequences call Canonicalize() before
+/// relying on NumRows() or row order.
 class Relation {
  public:
   /// Creates an empty relation over `schema`.
   explicit Relation(const AttrSet& schema)
-      : schema_(schema), attrs_(schema.ToVector()) {}
+      : schema_(schema),
+        attrs_(schema.ToVector()),
+        stride_(attrs_.size()) {}
 
   Relation(const Relation&) = default;
   Relation& operator=(const Relation&) = default;
@@ -33,40 +90,139 @@ class Relation {
 
   const AttrSet& Schema() const { return schema_; }
   const std::vector<AttrId>& Attrs() const { return attrs_; }
-  int Arity() const { return static_cast<int>(attrs_.size()); }
-  int NumRows() const { return static_cast<int>(rows_.size()); }
-  bool Empty() const { return rows_.empty(); }
+  int Arity() const { return static_cast<int>(stride_); }
+  /// Number of stored rows. 64-bit: generated states can exceed int range.
+  int64_t NumRows() const { return num_rows_; }
+  bool Empty() const { return num_rows_ == 0; }
+
+  /// Pre-allocates arena capacity for `rows` additional rows.
+  void Reserve(int64_t rows) {
+    GYO_DCHECK(rows >= 0);
+    data_.reserve(data_.size() + static_cast<size_t>(rows) * stride_);
+  }
+
+  /// Appends an uninitialized row and returns a pointer to its Arity() slots
+  /// for in-place writing. The pointer is invalidated by the next mutation.
+  Value* AppendRow() {
+    data_.resize(data_.size() + stride_);
+    ++num_rows_;
+    canonical_ = false;
+    return data_.data() + data_.size() - stride_;
+  }
+
+  /// Appends a copy of the `Arity()` values starting at `src`. `src` may
+  /// point into this relation's own arena (e.g. re-appending one of its own
+  /// rows): the offset is captured before AppendRow() can reallocate.
+  void AddRow(const Value* src, size_t n) {
+    GYO_CHECK_MSG(n == stride_, "row arity mismatch: got %zu, want %d", n,
+                  Arity());
+    const Value* base = data_.data();
+    const bool aliases =
+        src >= base && src + stride_ <= base + data_.size();
+    const size_t src_off = aliases ? static_cast<size_t>(src - base) : 0;
+    Value* dst = AppendRow();
+    if (aliases) src = data_.data() + src_off;
+    for (size_t k = 0; k < stride_; ++k) dst[k] = src[k];
+  }
 
   /// Appends a tuple; `row` must have Arity() values aligned with Attrs().
-  void AddRow(std::vector<Value> row);
-
-  const std::vector<Value>& Row(int i) const {
-    return rows_[static_cast<size_t>(i)];
+  void AddRow(std::initializer_list<Value> row) {
+    AddRow(row.begin(), row.size());
   }
-  const std::vector<std::vector<Value>>& Rows() const { return rows_; }
+  void AddRow(const std::vector<Value>& row) { AddRow(row.data(), row.size()); }
+
+  /// View of row `i`. Invalidated by mutation of this relation.
+  RowRef Row(int64_t i) const { return RowRef(RowData(i), Arity()); }
+
+  /// Cursor to the first value of row `i` (the row occupies Arity()
+  /// consecutive slots). Invalidated by mutation of this relation.
+  const Value* RowData(int64_t i) const {
+    GYO_DCHECK(i >= 0 && i < num_rows_);
+    return data_.data() + static_cast<size_t>(i) * stride_;
+  }
+
+  /// Iterable range of RowRef views over all rows.
+  class RowIterator {
+   public:
+    RowIterator(const Value* base, size_t stride, int64_t i)
+        : base_(base), stride_(stride), i_(i) {}
+    RowRef operator*() const {
+      return RowRef(base_ + static_cast<size_t>(i_) * stride_,
+                    static_cast<int>(stride_));
+    }
+    RowIterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator==(const RowIterator& o) const { return i_ == o.i_; }
+    bool operator!=(const RowIterator& o) const { return i_ != o.i_; }
+
+   private:
+    const Value* base_;
+    size_t stride_;
+    int64_t i_;
+  };
+  class RowRange {
+   public:
+    RowRange(const Value* base, size_t stride, int64_t n)
+        : base_(base), stride_(stride), n_(n) {}
+    RowIterator begin() const { return RowIterator(base_, stride_, 0); }
+    RowIterator end() const { return RowIterator(base_, stride_, n_); }
+
+   private:
+    const Value* base_;
+    size_t stride_;
+    int64_t n_;
+  };
+  RowRange Rows() const { return RowRange(data_.data(), stride_, num_rows_); }
+
+  /// The raw arena: NumRows()*Arity() values, rows back to back.
+  const std::vector<Value>& Arena() const { return data_; }
 
   /// The column index of `attr` within rows; dies if absent.
   int ColIndex(AttrId attr) const;
 
   /// Value of `attr` in row `i`.
-  Value At(int i, AttrId attr) const {
-    return rows_[static_cast<size_t>(i)][static_cast<size_t>(ColIndex(attr))];
+  Value At(int64_t i, AttrId attr) const {
+    return RowData(i)[ColIndex(attr)];
   }
 
-  /// Sorts rows and removes duplicates (set semantics).
+  /// Sorts rows and removes duplicates (set semantics). Idempotent; a no-op
+  /// when the relation is already canonical.
   void Canonicalize();
 
-  /// Set equality; both sides must have the same schema and be canonicalized
-  /// (dies otherwise in debug builds).
+  /// True when rows are known to be sorted and duplicate-free.
+  bool IsCanonical() const { return canonical_; }
+
+  /// Asserts (cheaply in release, with a full scan in debug builds) that the
+  /// rows are already sorted and duplicate-free. Operators use this to pass
+  /// canonical form through without re-sorting (e.g. a semijoin of a
+  /// canonical relation selects a subsequence, which stays canonical).
+  void MarkCanonical() {
+    GYO_DCHECK(CheckCanonical());
+    canonical_ = true;
+  }
+
+  /// Set equality; both sides must have the same schema. Canonicalizes both
+  /// sides on demand (which reorders rows — logically const under set
+  /// semantics, hence allowed on const relations).
   bool EqualsAsSet(const Relation& other) const;
 
   /// Renders a small relation for debugging.
   std::string Format(const Catalog& catalog, int max_rows = 20) const;
 
  private:
+  bool CheckCanonical() const;
+  void EnsureCanonical() const;
+
   AttrSet schema_;
   std::vector<AttrId> attrs_;
-  std::vector<std::vector<Value>> rows_;
+  size_t stride_ = 0;
+  // `mutable`: EqualsAsSet() canonicalizes lazily on const relations; under
+  // set semantics a sort + dedupe does not change the logical value.
+  mutable std::vector<Value> data_;
+  mutable int64_t num_rows_ = 0;
+  mutable bool canonical_ = true;
 };
 
 }  // namespace gyo

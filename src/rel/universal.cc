@@ -9,14 +9,25 @@ Relation RandomUniversal(const AttrSet& universe, int num_rows, int domain,
                          Rng& rng) {
   GYO_CHECK(domain >= 1);
   Relation out(universe);
+  out.Reserve(num_rows);
+  const int arity = out.Arity();
   for (int i = 0; i < num_rows; ++i) {
-    std::vector<Value> row(static_cast<size_t>(out.Arity()));
-    for (auto& v : row) {
-      v = static_cast<Value>(rng.Below(static_cast<uint64_t>(domain)));
+    Value* row = out.AppendRow();
+    for (int k = 0; k < arity; ++k) {
+      row[k] = static_cast<Value>(rng.Below(static_cast<uint64_t>(domain)));
     }
-    out.AddRow(std::move(row));
   }
   out.Canonicalize();
+  return out;
+}
+
+std::vector<Relation> RandomStates(const DatabaseSchema& d, int num_rows,
+                                   int domain, Rng& rng) {
+  std::vector<Relation> out;
+  out.reserve(static_cast<size_t>(d.NumRelations()));
+  for (const RelationSchema& r : d.Relations()) {
+    out.push_back(RandomUniversal(r, num_rows, domain, rng));
+  }
   return out;
 }
 

@@ -21,6 +21,13 @@ namespace gyo {
 Relation RandomUniversal(const AttrSet& universe, int num_rows, int domain,
                          Rng& rng);
 
+/// Independent random states for every relation of D: each state is a
+/// canonical random relation over its schema (values below `domain`). Unlike
+/// ProjectDatabase output these are generally NOT globally consistent — the
+/// natural input for reducer experiments.
+std::vector<Relation> RandomStates(const DatabaseSchema& d, int num_rows,
+                                   int domain, Rng& rng);
+
 /// The UR database state {π_R(I) | R ∈ D}.
 std::vector<Relation> ProjectDatabase(const Relation& universal,
                                       const DatabaseSchema& d);

@@ -12,9 +12,10 @@ class OpsTest : public ::testing::Test {
  protected:
   Catalog catalog_;
 
-  Relation Make(const char* schema, std::vector<std::vector<Value>> rows) {
+  Relation Make(const char* schema, const std::vector<std::vector<Value>>& rows) {
     Relation r(ParseAttrSet(catalog_, schema));
-    for (auto& row : rows) r.AddRow(std::move(row));
+    r.Reserve(static_cast<int64_t>(rows.size()));
+    for (const auto& row : rows) r.AddRow(row);
     r.Canonicalize();
     return r;
   }
@@ -23,7 +24,8 @@ class OpsTest : public ::testing::Test {
 TEST_F(OpsTest, ProjectDropsColumnsAndDuplicates) {
   Relation r = Make("ab", {{1, 2}, {1, 3}, {4, 5}});
   Relation p = Project(r, ParseAttrSet(catalog_, "a"));
-  EXPECT_EQ(p.NumRows(), 2);
+  EXPECT_EQ(p.NumRows(), 2);  // duplicate-free even before canonicalization
+  p.Canonicalize();  // row order is unspecified until canonicalized
   EXPECT_EQ(p.Row(0), (std::vector<Value>{1}));
   EXPECT_EQ(p.Row(1), (std::vector<Value>{4}));
 }
@@ -124,6 +126,72 @@ TEST_F(OpsTest, SemijoinOnDisjointSchemasKeepsAllWhenRhsNonEmpty) {
   EXPECT_TRUE(Semijoin(r, s).EqualsAsSet(r));
   Relation empty = Make("b", {});
   EXPECT_EQ(Semijoin(r, empty).NumRows(), 0);
+}
+
+TEST_F(OpsTest, ProjectEmptyRelationOntoEmptyAttrSet) {
+  // π_∅ of an empty relation is FALSE (no tuples); of a non-empty one, TRUE.
+  Relation empty = Make("abc", {});
+  Relation p = Project(empty, AttrSet{});
+  EXPECT_EQ(p.Arity(), 0);
+  EXPECT_EQ(p.NumRows(), 0);
+  Relation nonempty = Make("abc", {{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(Project(nonempty, AttrSet{}).NumRows(), 1);
+}
+
+TEST_F(OpsTest, CartesianProductOfDisjointSchemasHasAllPairs) {
+  Relation r = Make("ab", {{1, 10}, {2, 20}});
+  Relation s = Make("cd", {{7, 70}, {8, 80}, {9, 90}});
+  Relation j = NaturalJoin(r, s);
+  EXPECT_EQ(j.Schema(), ParseAttrSet(catalog_, "abcd"));
+  EXPECT_EQ(j.NumRows(), 6);
+  Relation expected = Make("abcd", {{1, 10, 7, 70}, {1, 10, 8, 80},
+                                    {1, 10, 9, 90}, {2, 20, 7, 70},
+                                    {2, 20, 8, 80}, {2, 20, 9, 90}});
+  EXPECT_TRUE(j.EqualsAsSet(expected));
+}
+
+TEST_F(OpsTest, JoinWithIdenticalSchemasIsSetIntersection) {
+  // Common attributes cover both schemas: the join keys on every column.
+  Relation r = Make("ab", {{1, 2}, {3, 4}, {5, 6}});
+  Relation s = Make("ab", {{3, 4}, {5, 6}, {7, 8}});
+  Relation j = NaturalJoin(r, s);
+  EXPECT_EQ(j.Schema(), r.Schema());
+  EXPECT_TRUE(j.EqualsAsSet(Make("ab", {{3, 4}, {5, 6}})));
+}
+
+TEST_F(OpsTest, SemijoinWithEmptyRightSideIsEmpty) {
+  Relation r = Make("ab", {{1, 2}, {3, 4}});
+  // Same-schema empty right side.
+  EXPECT_EQ(Semijoin(r, Make("ab", {})).NumRows(), 0);
+  // Overlapping-schema empty right side.
+  EXPECT_EQ(Semijoin(r, Make("bc", {})).NumRows(), 0);
+}
+
+TEST_F(OpsTest, SemijoinWithFullSchemaOverlapFiltersWholeTuples) {
+  Relation r = Make("ab", {{1, 2}, {3, 4}, {5, 6}});
+  Relation s = Make("ab", {{3, 4}, {9, 9}});
+  Relation sj = Semijoin(r, s);
+  EXPECT_TRUE(sj.EqualsAsSet(Make("ab", {{3, 4}})));
+}
+
+TEST_F(OpsTest, OperatorOutputsCompareWithoutExplicitCanonicalize) {
+  // Operator results are duplicate-free but unsorted; EqualsAsSet must
+  // canonicalize lazily on its own.
+  Relation r = Make("ab", {{2, 20}, {1, 10}});
+  Relation s = Make("bc", {{20, 7}, {10, 9}});
+  Relation j1 = NaturalJoin(r, s);
+  Relation j2 = NaturalJoin(s, r);
+  EXPECT_TRUE(j1.EqualsAsSet(j2));
+  EXPECT_TRUE(Project(j1, r.Schema()).EqualsAsSet(r));
+}
+
+TEST_F(OpsTest, SemijoinOfCanonicalInputStaysCanonical) {
+  Relation r = Make("ab", {{1, 2}, {3, 4}, {5, 6}});
+  ASSERT_TRUE(r.IsCanonical());
+  Relation sj = Semijoin(r, Make("ab", {{1, 2}, {5, 6}}));
+  EXPECT_TRUE(sj.IsCanonical());
+  EXPECT_EQ(sj.Row(0), (std::vector<Value>{1, 2}));
+  EXPECT_EQ(sj.Row(1), (std::vector<Value>{5, 6}));
 }
 
 TEST_F(OpsTest, JoinAllAssociativity) {

@@ -53,16 +53,7 @@ TEST_F(ReducerTest, RandomStatesAreUsuallyInconsistent) {
   DatabaseSchema d = PathSchema(4);
   int inconsistent = 0;
   for (int trial = 0; trial < 20; ++trial) {
-    std::vector<Relation> states;
-    for (const RelationSchema& r : d.Relations()) {
-      Relation rel(r);
-      for (int k = 0; k < 6; ++k) {
-        rel.AddRow({static_cast<Value>(rng.Below(8)),
-                    static_cast<Value>(rng.Below(8))});
-      }
-      rel.Canonicalize();
-      states.push_back(rel);
-    }
+    std::vector<Relation> states = RandomStates(d, 6, 8, rng);
     if (!IsGloballyConsistent(d, states)) ++inconsistent;
   }
   EXPECT_GE(inconsistent, 15);
@@ -77,17 +68,7 @@ TEST_F(ReducerTest, FullReducerMakesTreeStatesConsistent) {
     DatabaseSchema d = RandomTreeSchema(2 + static_cast<int>(rng.Below(5)), 3,
                                         rng).schema;
     ++checked;
-    std::vector<Relation> states;
-    for (const RelationSchema& r : d.Relations()) {
-      Relation rel(r);
-      for (int k = 0; k < 8; ++k) {
-        std::vector<Value> row(static_cast<size_t>(rel.Arity()));
-        for (auto& v : row) v = static_cast<Value>(rng.Below(3));
-        rel.AddRow(std::move(row));
-      }
-      rel.Canonicalize();
-      states.push_back(rel);
-    }
+    std::vector<Relation> states = RandomStates(d, 8, 3, rng);
     auto reduced = ApplyFullReducer(d, states);
     ASSERT_TRUE(reduced.has_value());
     EXPECT_TRUE(IsGloballyConsistent(d, *reduced)) << "trial " << trial;
@@ -126,17 +107,7 @@ TEST_F(ReducerTest, FixpointMatchesFullReducerOnTrees) {
   for (int trial = 0; trial < 25; ++trial) {
     DatabaseSchema d = RandomTreeSchema(2 + static_cast<int>(rng.Below(4)), 3,
                                         rng).schema;
-    std::vector<Relation> states;
-    for (const RelationSchema& r : d.Relations()) {
-      Relation rel(r);
-      for (int k = 0; k < 6; ++k) {
-        std::vector<Value> row(static_cast<size_t>(rel.Arity()));
-        for (auto& v : row) v = static_cast<Value>(rng.Below(3));
-        rel.AddRow(std::move(row));
-      }
-      rel.Canonicalize();
-      states.push_back(rel);
-    }
+    std::vector<Relation> states = RandomStates(d, 6, 3, rng);
     auto reduced = ApplyFullReducer(d, states);
     ASSERT_TRUE(reduced.has_value());
     std::vector<Relation> fix = SemijoinFixpoint(d, states);
@@ -153,17 +124,7 @@ TEST_F(ReducerTest, FixpointNeverLosesJoinTuples) {
     DatabaseSchema d = RandomSchema(2 + static_cast<int>(rng.Below(4)),
                                     2 + static_cast<int>(rng.Below(4)),
                                     1 + static_cast<int>(rng.Below(3)), rng);
-    std::vector<Relation> states;
-    for (const RelationSchema& r : d.Relations()) {
-      Relation rel(r);
-      for (int k = 0; k < 5; ++k) {
-        std::vector<Value> row(static_cast<size_t>(rel.Arity()));
-        for (auto& v : row) v = static_cast<Value>(rng.Below(3));
-        rel.AddRow(std::move(row));
-      }
-      rel.Canonicalize();
-      states.push_back(rel);
-    }
+    std::vector<Relation> states = RandomStates(d, 5, 3, rng);
     Relation before = JoinAll(states);
     Relation after = JoinAll(SemijoinFixpoint(d, states));
     EXPECT_TRUE(before.EqualsAsSet(after)) << "trial " << trial;

@@ -81,6 +81,108 @@ TEST_F(RelationTest, NullaryRelation) {
   EXPECT_EQ(r.NumRows(), 1);
 }
 
+TEST_F(RelationTest, ArenaIsFlatAndContiguous) {
+  Relation r(ParseAttrSet(catalog_, "ab"));
+  r.AddRow({1, 2});
+  r.AddRow({3, 4});
+  ASSERT_EQ(r.Arena().size(), 4u);  // rows back to back, no per-row vectors
+  EXPECT_EQ(r.Arena(), (std::vector<Value>{1, 2, 3, 4}));
+  EXPECT_EQ(r.RowData(1), r.RowData(0) + r.Arity());
+}
+
+TEST_F(RelationTest, ReserveAndAppendRowWriteInPlace) {
+  Relation r(ParseAttrSet(catalog_, "abc"));
+  r.Reserve(100);
+  for (Value i = 0; i < 100; ++i) {
+    Value* row = r.AppendRow();
+    row[0] = i;
+    row[1] = i * 2;
+    row[2] = i * 3;
+  }
+  EXPECT_EQ(r.NumRows(), 100);
+  EXPECT_EQ(r.Row(42), (std::vector<Value>{42, 84, 126}));
+}
+
+TEST_F(RelationTest, AddRowMayAliasOwnArena) {
+  Relation r(ParseAttrSet(catalog_, "ab"));
+  r.AddRow({1, 2});
+  // Re-appending a row from the relation's own arena must survive the
+  // reallocations the appends trigger.
+  for (int i = 0; i < 40; ++i) {
+    r.AddRow(r.RowData(r.NumRows() - 1), static_cast<size_t>(r.Arity()));
+  }
+  EXPECT_EQ(r.NumRows(), 41);
+  for (RowRef row : r.Rows()) {
+    EXPECT_EQ(row, (std::vector<Value>{1, 2}));
+  }
+}
+
+TEST_F(RelationTest, RowRefComparesAndIterates) {
+  Relation r(ParseAttrSet(catalog_, "ab"));
+  r.AddRow({1, 2});
+  r.AddRow({1, 2});
+  r.AddRow({3, 4});
+  EXPECT_TRUE(r.Row(0) == r.Row(1));
+  EXPECT_TRUE(r.Row(0) != r.Row(2));
+  EXPECT_TRUE(r.Row(0) < r.Row(2));
+  Value sum = 0;
+  for (RowRef row : r.Rows()) {
+    for (Value v : row) sum += v;
+  }
+  EXPECT_EQ(sum, 13);
+  EXPECT_EQ(r.Row(2).ToVector(), (std::vector<Value>{3, 4}));
+}
+
+TEST_F(RelationTest, CanonicalizationIsLazy) {
+  Relation r(ParseAttrSet(catalog_, "a"));
+  EXPECT_TRUE(r.IsCanonical());  // empty relation is trivially canonical
+  r.AddRow({5});
+  r.AddRow({1});
+  r.AddRow({5});
+  EXPECT_FALSE(r.IsCanonical());
+  EXPECT_EQ(r.NumRows(), 3);  // bag count until canonicalized
+  r.Canonicalize();
+  EXPECT_TRUE(r.IsCanonical());
+  EXPECT_EQ(r.NumRows(), 2);
+  r.Canonicalize();  // idempotent
+  EXPECT_EQ(r.NumRows(), 2);
+}
+
+TEST_F(RelationTest, EqualsAsSetCanonicalizesOnDemand) {
+  AttrSet s = ParseAttrSet(catalog_, "ab");
+  Relation r1(s);
+  Relation r2(s);
+  r1.AddRow({1, 2});
+  r1.AddRow({3, 4});
+  r2.AddRow({3, 4});
+  r2.AddRow({1, 2});
+  r2.AddRow({3, 4});  // duplicate: still the same set
+  // No explicit Canonicalize() anywhere.
+  EXPECT_TRUE(r1.EqualsAsSet(r2));
+  EXPECT_TRUE(r1.IsCanonical());  // comparison canonicalized both sides
+  EXPECT_TRUE(r2.IsCanonical());
+  EXPECT_EQ(r2.NumRows(), 2);
+}
+
+TEST_F(RelationTest, CanonicalizeManyRowsSortsAndDedupes) {
+  Relation r(ParseAttrSet(catalog_, "ab"));
+  const Value n = 512;
+  r.Reserve(2 * n);
+  for (Value i = n - 1; i >= 0; --i) {  // descending, twice
+    Value* row = r.AppendRow();
+    row[0] = i % 7;
+    row[1] = i;
+    row = r.AppendRow();
+    row[0] = i % 7;
+    row[1] = i;
+  }
+  r.Canonicalize();
+  EXPECT_EQ(r.NumRows(), n);
+  for (int64_t i = 0; i + 1 < r.NumRows(); ++i) {
+    EXPECT_TRUE(r.Row(i) < r.Row(i + 1)) << "row " << i;
+  }
+}
+
 TEST_F(RelationTest, FormatShowsSchemaAndRows) {
   Relation r(ParseAttrSet(catalog_, "ab"));
   r.AddRow({7, 8});
