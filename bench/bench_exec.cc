@@ -1,0 +1,114 @@
+// Parallel execution runtime (exec/): parallel vs serial evaluation at
+// 1/2/4/8 threads. Arg(0) = thread count, so .../1 rows are the serial
+// engine and the speedup curve reads directly off the report.
+//
+//   * Path_Yannakakis-class workload: a 16-hop path query evaluated by the
+//     Yannakakis program — statement-level parallelism (independent subtree
+//     semijoins) plus morsel-level parallelism in each operator.
+//   * Star_Yannakakis: wide fan-out, scheduler-bound shape.
+//   * FullReducer: the 2(n−1)-semijoin reducer over a random tree schema.
+//   * FullJoin_Morsels: a join-dominated plan where intra-operator morsel
+//     parallelism is the only lever (the statement chain is serial).
+//
+// Times are wall-clock (UseRealTime): with worker threads, per-thread CPU
+// time would hide the speedup being measured.
+
+#include <benchmark/benchmark.h>
+
+#include "exec/physical_plan.h"
+#include "rel/reducer.h"
+#include "rel/solver.h"
+#include "rel/universal.h"
+#include "schema/generators.h"
+#include "util/rng.h"
+
+namespace gyo {
+namespace {
+
+// Key-like data (domain ≫ rows) keeps join growth factors near 1, matching
+// the bench_join_strategies methodology.
+std::vector<Relation> MakeUR(const DatabaseSchema& d, int rows,
+                             uint64_t seed) {
+  Rng rng(seed);
+  Relation universal = RandomUniversal(d.Universe(), rows, 16 * rows, rng);
+  return ProjectDatabase(universal, d);
+}
+
+exec::ExecContext Ctx(benchmark::State& state) {
+  exec::ExecContext ctx;
+  ctx.threads = static_cast<int>(state.range(0));
+  return ctx;
+}
+
+void ReportStats(benchmark::State& state, const Program& p,
+                 const std::vector<Relation>& states,
+                 const exec::ExecContext& ctx) {
+  Program::Stats stats;
+  exec::Execute(p, states, ctx, &stats);
+  state.counters["max_intermediate"] =
+      static_cast<double>(stats.max_intermediate_rows);
+  state.counters["result_rows"] = static_cast<double>(stats.result_rows);
+}
+
+void BM_Exec_PathYannakakis(benchmark::State& state) {
+  DatabaseSchema d = PathSchema(17);
+  AttrSet x{0, 16};
+  Program p = *YannakakisProgram(d, x);
+  std::vector<Relation> states = MakeUR(d, 8192, 17);
+  exec::ExecContext ctx = Ctx(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec::Run(p, states, ctx));
+  }
+  ReportStats(state, p, states, ctx);
+}
+BENCHMARK(BM_Exec_PathYannakakis)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_Exec_StarYannakakis(benchmark::State& state) {
+  DatabaseSchema d = StarSchema(12);
+  AttrSet x{0, 1};
+  Program p = *YannakakisProgram(d, x);
+  std::vector<Relation> states = MakeUR(d, 8192, 13);
+  exec::ExecContext ctx = Ctx(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec::Run(p, states, ctx));
+  }
+  ReportStats(state, p, states, ctx);
+}
+BENCHMARK(BM_Exec_StarYannakakis)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_Exec_FullReducer(benchmark::State& state) {
+  Rng schema_rng(5);
+  RandomTreeResult t = RandomTreeSchema(24, 4, schema_rng);
+  Rng state_rng(6);
+  std::vector<Relation> states = RandomStates(t.schema, 8192, 24, state_rng);
+  exec::ExecContext ctx = Ctx(state);
+  int64_t reduced_rows = 0;
+  for (auto _ : state) {
+    auto out = ApplyFullReducer(t.schema, states, ctx);
+    reduced_rows = (*out)[0].NumRows();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["reduced_rows_r0"] = static_cast<double>(reduced_rows);
+}
+BENCHMARK(BM_Exec_FullReducer)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_Exec_FullJoin_Morsels(benchmark::State& state) {
+  DatabaseSchema d = PathSchema(4);
+  AttrSet x{0, 3};
+  Program p = FullJoinProgram(d, x);
+  std::vector<Relation> states = MakeUR(d, 32768, 19);
+  exec::ExecContext ctx = Ctx(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec::Run(p, states, ctx));
+  }
+  ReportStats(state, p, states, ctx);
+}
+BENCHMARK(BM_Exec_FullJoin_Morsels)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace gyo

@@ -7,6 +7,12 @@
 //   gyo_cli gamma    "abc,ab,bc"           γ-acyclicity + witness
 //   gyo_cli treefy   "ab,bc,cd,da" K B     fixed treefication
 //   gyo_cli dot      "ab,bc,cd"            qual tree in Graphviz dot
+//   gyo_cli solve    "ab,bc,cd" ad         execute the solver programs on a
+//                                          random UR database
+//
+// A global "--threads N" flag routes execution (the solve command) through
+// the parallel exec runtime; every other command is schema-level analysis
+// and ignores it.
 //
 // Schemas use the paper's notation: relations separated by commas; either
 // one-letter attributes ("ab,bc") or space-separated names inside a
@@ -16,22 +22,28 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "exec/physical_plan.h"
 #include "gyo/acyclic.h"
 #include "gyo/gamma.h"
 #include "gyo/gyo.h"
 #include "gyo/qual_graph.h"
 #include "query/lossless.h"
 #include "query/treefication.h"
+#include "rel/solver.h"
+#include "rel/universal.h"
 #include "schema/catalog.h"
 #include "schema/parse.h"
 #include "tableau/canonical.h"
+#include "util/rng.h"
 
 namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: gyo_cli <classify|reduce|cc|lossless|gamma|treefy|dot>"
+               "usage: gyo_cli [--threads N] "
+               "<classify|reduce|cc|lossless|gamma|treefy|dot|solve>"
                " <schema> [args...]\n");
   return 2;
 }
@@ -124,6 +136,51 @@ int Treefy(gyo::Catalog& catalog, const gyo::DatabaseSchema& d, int k, int b) {
   return 1;
 }
 
+// Builds the §4/§6 solver programs for (d, x), executes them on a random UR
+// database through the exec runtime (ctx.threads workers), and cross-checks
+// every answer against the reference evaluator.
+int Solve(gyo::Catalog& catalog, const gyo::DatabaseSchema& d,
+          const char* target, const gyo::exec::ExecContext& ctx) {
+  gyo::AttrSet x = gyo::ParseAttrSet(catalog, target);
+  gyo::Rng rng(2026);
+  gyo::Relation universal = gyo::RandomUniversal(d.Universe(), 128, 8, rng);
+  std::vector<gyo::Relation> states = gyo::ProjectDatabase(universal, d);
+  gyo::Relation reference = gyo::EvaluateJoinQuery(d, x, states);
+  std::printf("solving (D, %s) on a random UR database, %d thread%s\n",
+              catalog.Format(x).c_str(), ctx.threads,
+              ctx.threads == 1 ? "" : "s");
+
+  struct Entry {
+    const char* name;
+    gyo::Program program;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"full join", gyo::FullJoinProgram(d, x)});
+  entries.push_back({"CC-pruned", gyo::CCPrunedProgram(d, x)});
+  if (auto yann = gyo::YannakakisProgram(d, x)) {
+    entries.push_back({"Yannakakis", *yann});
+  } else {
+    std::printf("  Yannakakis: n/a (cyclic schema)\n");
+  }
+
+  bool all_match = true;
+  for (const Entry& e : entries) {
+    gyo::exec::PhysicalPlan plan = gyo::exec::PhysicalPlan::Compile(e.program);
+    gyo::Program::Stats stats;
+    std::vector<gyo::Relation> out = plan.Execute(states, ctx, &stats);
+    bool match = out.back().EqualsAsSet(reference);
+    all_match = all_match && match;
+    std::printf(
+        "  %-10s %3d stmts, critical path %2d, max intermediate %5lld, "
+        "%lld tuples  %s\n",
+        e.name, e.program.NumStatements(), plan.CriticalPathLength(),
+        static_cast<long long>(stats.max_intermediate_rows),
+        static_cast<long long>(stats.result_rows),
+        match ? "[match]" : "[MISMATCH]");
+  }
+  return all_match ? 0 : 1;
+}
+
 int Dot(gyo::Catalog& catalog, const gyo::DatabaseSchema& d) {
   auto tree = gyo::BuildJoinTree(d);
   if (!tree.has_value()) {
@@ -137,18 +194,33 @@ int Dot(gyo::Catalog& catalog, const gyo::DatabaseSchema& d) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return Usage();
+  gyo::exec::ExecContext ctx;
+  std::vector<char*> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      ctx.threads = i + 1 < argc ? std::atoi(argv[++i]) : 0;
+      if (ctx.threads < 1) {
+        std::fprintf(stderr, "error: --threads wants a positive integer\n");
+        return 2;
+      }
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (args.size() < 2) return Usage();
   gyo::Catalog catalog;
-  gyo::DatabaseSchema d = gyo::ParseSchema(catalog, argv[2]);
-  const std::string cmd = argv[1];
+  gyo::DatabaseSchema d = gyo::ParseSchema(catalog, args[1]);
+  const std::string cmd = args[0];
+  const size_t n = args.size();
   if (cmd == "classify") return Classify(catalog, d);
-  if (cmd == "reduce") return Reduce(catalog, d, argc > 3 ? argv[3] : nullptr);
-  if (cmd == "cc" && argc > 3) return CanonicalCmd(catalog, d, argv[3]);
-  if (cmd == "lossless" && argc > 3) return Lossless(catalog, d, argv[3]);
+  if (cmd == "reduce") return Reduce(catalog, d, n > 2 ? args[2] : nullptr);
+  if (cmd == "cc" && n > 2) return CanonicalCmd(catalog, d, args[2]);
+  if (cmd == "lossless" && n > 2) return Lossless(catalog, d, args[2]);
   if (cmd == "gamma") return Gamma(catalog, d);
-  if (cmd == "treefy" && argc > 4) {
-    return Treefy(catalog, d, std::atoi(argv[3]), std::atoi(argv[4]));
+  if (cmd == "treefy" && n > 3) {
+    return Treefy(catalog, d, std::atoi(args[2]), std::atoi(args[3]));
   }
   if (cmd == "dot") return Dot(catalog, d);
+  if (cmd == "solve" && n > 2) return Solve(catalog, d, args[2], ctx);
   return Usage();
 }

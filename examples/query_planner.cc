@@ -11,10 +11,15 @@
 //
 //   $ ./query_planner                      # the paper's §6 example
 //   $ ./query_planner "ab,bc,cd" ad        # your own query
+//   $ ./query_planner "ab,bc,cd" ad --threads 4   # parallel exec runtime
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
+#include "exec/physical_plan.h"
 #include "gyo/acyclic.h"
 #include "query/query.h"
 #include "rel/ops.h"
@@ -27,12 +32,28 @@
 #include "util/rng.h"
 
 int main(int argc, char** argv) {
+  // Split off the optional "--threads N" flag; what remains are the
+  // positional schema/target arguments.
+  gyo::exec::ExecContext ctx;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      ctx.threads = i + 1 < argc ? std::atoi(argv[++i]) : 0;
+      if (ctx.threads < 1) {
+        std::fprintf(stderr, "error: --threads wants a positive integer\n");
+        return 2;
+      }
+      continue;
+    }
+    positional.push_back(argv[i]);
+  }
+
   gyo::Catalog catalog;
   gyo::DatabaseSchema d;
   gyo::AttrSet x;
-  if (argc >= 3) {
-    d = gyo::ParseSchema(catalog, argv[1]);
-    x = gyo::ParseAttrSet(catalog, argv[2]);
+  if (positional.size() >= 2) {
+    d = gyo::ParseSchema(catalog, positional[0]);
+    x = gyo::ParseAttrSet(catalog, positional[1]);
   } else {
     std::printf("== the paper's Section 6 example ==\n");
     d = gyo::fixtures::Sec6D(catalog);
@@ -81,15 +102,17 @@ int main(int argc, char** argv) {
     std::printf("Yannakakis program: n/a (cyclic schema)\n");
   }
 
-  // Step 3: execute on a random UR database and cross-check.
+  // Step 3: execute on a random UR database (through the exec runtime, on
+  // ctx.threads workers) and cross-check.
   gyo::Rng rng(2026);
   gyo::Relation universal = gyo::RandomUniversal(d.Universe(), 64, 6, rng);
   std::vector<gyo::Relation> states = gyo::ProjectDatabase(universal, d);
   gyo::Relation reference = gyo::EvaluateJoinQuery(d, x, states);
-  gyo::Relation via_full = full.Run(states);
-  gyo::Relation via_pruned = pruned.Run(states);
-  std::printf("\nexecution on a random UR database (|I| = %lld):\n",
-              static_cast<long long>(universal.NumRows()));
+  gyo::Relation via_full = gyo::exec::Run(full, states, ctx);
+  gyo::Relation via_pruned = gyo::exec::Run(pruned, states, ctx);
+  std::printf("\nexecution on a random UR database (|I| = %lld, %d thread%s):\n",
+              static_cast<long long>(universal.NumRows()), ctx.threads,
+              ctx.threads == 1 ? "" : "s");
   std::printf("  reference answer: %lld tuples\n",
               static_cast<long long>(reference.NumRows()));
   std::printf("  full join:        %lld tuples  %s\n",
@@ -99,7 +122,7 @@ int main(int argc, char** argv) {
               static_cast<long long>(via_pruned.NumRows()),
               via_pruned.EqualsAsSet(reference) ? "[match]" : "[MISMATCH]");
   if (yann.has_value()) {
-    gyo::Relation via_yann = yann->Run(states);
+    gyo::Relation via_yann = gyo::exec::Run(*yann, states, ctx);
     std::printf("  Yannakakis:       %lld tuples  %s\n",
                 static_cast<long long>(via_yann.NumRows()),
                 via_yann.EqualsAsSet(reference) ? "[match]" : "[MISMATCH]");

@@ -4,9 +4,11 @@
 # trajectory. Tunables:
 #   BENCH_MIN_TIME   --benchmark_min_time value   (default 0.01s; raise for
 #                    stable numbers, keep low for smoke runs)
-#   BENCH_OUT_DIR    where the JSON files land     (default build/release)
-#   BENCH_TARGETS    space-separated bench binaries (default: the three
-#                    join-heavy ones the storage engine is measured by)
+#   BENCH_OUT_DIR    where the JSON files land     (default build/release;
+#                    use bench/results to refresh the committed baselines)
+#   BENCH_TARGETS    space-separated bench binaries (default: the join-heavy
+#                    ones the storage engine is measured by plus bench_exec,
+#                    the parallel-runtime speedup curve)
 #   BENCH_CMAKE_ARGS extra configure args (e.g. -DGYO_BUILD_TESTS=OFF
 #                    -DGYO_BUILD_EXAMPLES=OFF for a bench-only build; note
 #                    they persist in build/release's CMake cache)
@@ -15,7 +17,7 @@ cd "$(dirname "$0")/.."
 
 min_time="${BENCH_MIN_TIME:-0.01s}"
 out_dir="${BENCH_OUT_DIR:-build/release}"
-targets="${BENCH_TARGETS:-bench_join_strategies bench_yannakakis bench_reducer}"
+targets="${BENCH_TARGETS:-bench_join_strategies bench_yannakakis bench_reducer bench_exec}"
 
 # shellcheck disable=SC2086  # word-splitting of the extra args is intended
 cmake --preset release -DGYO_FETCH_BENCHMARK=ON ${BENCH_CMAKE_ARGS:-}

@@ -1,0 +1,32 @@
+#ifndef GYO_EXEC_EXEC_CONTEXT_H_
+#define GYO_EXEC_EXEC_CONTEXT_H_
+
+#include <cstdint>
+
+namespace gyo {
+namespace exec {
+
+/// Runtime knobs for executing programs (and the reducer) in parallel.
+/// Default-constructed context is the serial engine: one thread, inline
+/// execution — Program::Execute runs with exactly these settings.
+struct ExecContext {
+  /// Worker threads (>= 1). 1 = serial inline execution, no pool spawned.
+  int threads = 1;
+
+  /// Probe rows per morsel in the parallel operator kernels. Operators whose
+  /// probe side fits in one morsel run serially inside their statement task
+  /// (statement-level parallelism still applies).
+  int64_t morsel_rows = 2048;
+
+  /// When true (default), parallel operators merge their per-morsel outputs
+  /// in morsel order, making every produced relation bit-identical — same
+  /// physical row order, same canonical flag — to a serial run. When false,
+  /// morsel outputs merge in completion order: same set of rows, unspecified
+  /// physical order (and Semijoin no longer propagates canonical form).
+  bool deterministic = true;
+};
+
+}  // namespace exec
+}  // namespace gyo
+
+#endif  // GYO_EXEC_EXEC_CONTEXT_H_

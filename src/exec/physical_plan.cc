@@ -1,0 +1,182 @@
+#include "exec/physical_plan.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "exec/task_scheduler.h"
+#include "rel/ops.h"
+#include "util/check.h"
+
+namespace gyo {
+namespace exec {
+
+namespace {
+
+// The dataflow analysis: statement k depends on statement j exactly when k
+// reads the relation j created.
+std::vector<std::vector<int>> ComputeDependencies(const Program& program) {
+  const int num_base = program.num_base();
+  std::vector<std::vector<int>> deps(
+      static_cast<size_t>(program.NumStatements()));
+  for (int k = 0; k < program.NumStatements(); ++k) {
+    const Program::Statement& s =
+        program.Statements()[static_cast<size_t>(k)];
+    std::vector<int>& d = deps[static_cast<size_t>(k)];
+    auto add_input = [&](int id) {
+      if (id < num_base) return;  // base relations are always ready
+      int producer = id - num_base;
+      if (std::find(d.begin(), d.end(), producer) == d.end()) {
+        d.push_back(producer);
+      }
+    };
+    add_input(s.lhs);
+    if (s.kind != Program::Statement::Kind::kProject) add_input(s.rhs);
+  }
+  return deps;
+}
+
+}  // namespace
+
+PhysicalPlan PhysicalPlan::Compile(const Program& program) {
+  return PhysicalPlan(program, ComputeDependencies(program));
+}
+
+int PhysicalPlan::CriticalPathLength() const {
+  // Statements only depend on earlier statements, so one forward sweep
+  // computes the longest chain.
+  std::vector<int> depth(deps_.size(), 1);
+  int best = 0;
+  for (size_t k = 0; k < deps_.size(); ++k) {
+    for (int d : deps_[k]) {
+      depth[k] = std::max(depth[k], depth[static_cast<size_t>(d)] + 1);
+    }
+    best = std::max(best, depth[k]);
+  }
+  return best;
+}
+
+int PhysicalPlan::NumSourceStatements() const {
+  int n = 0;
+  for (const std::vector<int>& d : deps_) {
+    if (d.empty()) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+// Shared execution body: used by PhysicalPlan::Execute (compiled plan) and
+// the free exec::Execute (borrows the caller's program — no Program copy on
+// the convenience path).
+std::vector<Relation> ExecuteImpl(const Program& program,
+                                  const std::vector<std::vector<int>>& deps,
+                                  const std::vector<Relation>& base,
+                                  const ExecContext& ctx,
+                                  Program::Stats* stats) {
+  const int num_base = program.num_base();
+  const int num_statements = program.NumStatements();
+  GYO_CHECK_MSG(static_cast<int>(base.size()) == num_base,
+                "base has %d relations, program expects %d",
+                static_cast<int>(base.size()), num_base);
+  GYO_CHECK_MSG(ctx.threads >= 1, "ExecContext.threads must be >= 1, got %d",
+                ctx.threads);
+  GYO_CHECK_MSG(ctx.morsel_rows >= 1,
+                "ExecContext.morsel_rows must be >= 1, got %lld",
+                static_cast<long long>(ctx.morsel_rows));
+
+  // Eager validation: derive the schema of every statement from the actual
+  // base relations, failing with the statement index before any data moves.
+  std::vector<AttrSet> base_schemas;
+  base_schemas.reserve(base.size());
+  for (const Relation& r : base) base_schemas.push_back(r.Schema());
+  std::vector<AttrSet> schemas =
+      program.ValidateAndDeriveSchemas(std::move(base_schemas));
+
+  // All relation states, base first. Statement slots start as empty
+  // relations over their derived schemas and are move-assigned by their
+  // task; the slots are disjoint, so no synchronization is needed beyond
+  // the task dependencies themselves.
+  std::vector<Relation> states;
+  states.reserve(static_cast<size_t>(num_base + num_statements));
+  for (const Relation& r : base) states.push_back(r);
+  for (int k = 0; k < num_statements; ++k) {
+    states.emplace_back(schemas[static_cast<size_t>(num_base + k)]);
+  }
+
+  TaskScheduler pool(ctx.threads);
+  OpExecOpts op_opts;
+  op_opts.scheduler = &pool;
+  op_opts.morsel_rows = ctx.morsel_rows;
+  op_opts.deterministic = ctx.deterministic;
+
+  // Per-task partial stats, written into disjoint slots and merged after the
+  // RunGraph barrier.
+  std::vector<int64_t> rows_produced(static_cast<size_t>(num_statements), 0);
+
+  TaskGraph graph;
+  for (int k = 0; k < num_statements; ++k) {
+    // Pointer, not reference: the task closures outlive this loop iteration
+    // (the statements vector itself is stable for the program's lifetime).
+    const Program::Statement* s =
+        &program.Statements()[static_cast<size_t>(k)];
+    const size_t slot = static_cast<size_t>(num_base + k);
+    graph.AddTask([&states, &rows_produced, &op_opts, s, slot, k] {
+      Relation& out = states[slot];
+      switch (s->kind) {
+        case Program::Statement::Kind::kJoin:
+          out = NaturalJoin(states[static_cast<size_t>(s->lhs)],
+                            states[static_cast<size_t>(s->rhs)], op_opts);
+          break;
+        case Program::Statement::Kind::kSemijoin:
+          out = Semijoin(states[static_cast<size_t>(s->lhs)],
+                         states[static_cast<size_t>(s->rhs)], op_opts);
+          break;
+        case Program::Statement::Kind::kProject:
+          out = Project(states[static_cast<size_t>(s->lhs)], s->target,
+                        op_opts);
+          break;
+      }
+      rows_produced[static_cast<size_t>(k)] = out.NumRows();
+    });
+  }
+  for (int k = 0; k < num_statements; ++k) {
+    for (int d : deps[static_cast<size_t>(k)]) graph.AddDependency(k, d);
+  }
+  pool.RunGraph(graph);
+
+  if (stats != nullptr) {
+    *stats = Program::Stats();
+    for (int64_t rows : rows_produced) {
+      stats->max_intermediate_rows =
+          std::max(stats->max_intermediate_rows, rows);
+      stats->total_rows_produced += rows;
+    }
+    if (num_statements > 0) {
+      stats->result_rows = rows_produced[static_cast<size_t>(num_statements - 1)];
+    }
+  }
+  return states;
+}
+
+}  // namespace
+
+std::vector<Relation> PhysicalPlan::Execute(const std::vector<Relation>& base,
+                                            const ExecContext& ctx,
+                                            Program::Stats* stats) const {
+  return ExecuteImpl(program_, deps_, base, ctx, stats);
+}
+
+std::vector<Relation> Execute(const Program& program,
+                              const std::vector<Relation>& base,
+                              const ExecContext& ctx, Program::Stats* stats) {
+  return ExecuteImpl(program, ComputeDependencies(program), base, ctx, stats);
+}
+
+Relation Run(const Program& program, const std::vector<Relation>& base,
+             const ExecContext& ctx) {
+  GYO_CHECK_MSG(program.NumStatements() > 0, "program has no statements");
+  return Execute(program, base, ctx).back();
+}
+
+}  // namespace exec
+}  // namespace gyo

@@ -1,0 +1,81 @@
+#ifndef GYO_EXEC_PHYSICAL_PLAN_H_
+#define GYO_EXEC_PHYSICAL_PLAN_H_
+
+#include <vector>
+
+#include "exec/exec_context.h"
+#include "rel/program.h"
+#include "rel/relation.h"
+
+namespace gyo {
+namespace exec {
+
+/// Compiles a Program into a dependency-counted task DAG by dataflow
+/// analysis of statement inputs: statement k depends on statement j exactly
+/// when k reads the relation j created (base relations impose no edges).
+/// Statements on disjoint subtrees of a qual-tree plan — the sibling
+/// semijoins of a full reducer's upward/downward passes, independent
+/// Yannakakis subtree joins — therefore become concurrent tasks, while the
+/// chain through any one relation stays ordered. Execution maps each
+/// statement to one TaskScheduler task whose operator kernel additionally
+/// splits large inputs into morsels on the same pool (see rel/ops.h).
+class PhysicalPlan {
+ public:
+  /// Runs the dataflow analysis. The program is copied into the plan.
+  static PhysicalPlan Compile(const Program& program);
+
+  const Program& program() const { return program_; }
+
+  /// Dependencies()[k] lists the statement indices whose results statement k
+  /// reads, in input order (lhs before rhs), base inputs omitted.
+  const std::vector<std::vector<int>>& Dependencies() const { return deps_; }
+
+  /// Longest statement dependency chain — the statement-level lower bound on
+  /// parallel makespan. 0 for an empty program.
+  int CriticalPathLength() const;
+
+  /// Statements with no statement dependencies (the initially-ready width).
+  int NumSourceStatements() const;
+
+  /// Executes the plan over `base`, returning all relation states (base
+  /// states followed by one per statement), exactly like Program::Execute.
+  /// Validates every statement eagerly (see ValidateAndDeriveSchemas) before
+  /// any operator runs. With ctx.threads == 1 this runs inline and serially;
+  /// with more threads, independent statements run concurrently and large
+  /// operators additionally parallelize over morsels. In deterministic mode
+  /// (ctx.deterministic, the default) the returned states are bit-identical
+  /// to the serial run's — same row order, same canonical flags — and so are
+  /// the reported Stats; otherwise row order within each state is
+  /// unspecified (Stats are unchanged either way: operator outputs are
+  /// duplicate-free, so the counters are set cardinalities).
+  std::vector<Relation> Execute(const std::vector<Relation>& base,
+                                const ExecContext& ctx,
+                                Program::Stats* stats = nullptr) const;
+
+ private:
+  PhysicalPlan(Program program, std::vector<std::vector<int>> deps)
+      : program_(std::move(program)), deps_(std::move(deps)) {}
+
+  Program program_;
+  std::vector<std::vector<int>> deps_;
+};
+
+/// Compile-and-execute convenience: what Program::Execute does, with an
+/// explicit context. Borrows `program` (no copy — only the dependency
+/// analysis is redone per call; use a PhysicalPlan to amortize even that
+/// across repeated executions). stats, when non-null, receives the same
+/// counters as Program::ExecuteWithStats.
+std::vector<Relation> Execute(const Program& program,
+                              const std::vector<Relation>& base,
+                              const ExecContext& ctx,
+                              Program::Stats* stats = nullptr);
+
+/// Parallel Program::Run: executes and returns just the final relation. The
+/// program must have at least one statement.
+Relation Run(const Program& program, const std::vector<Relation>& base,
+             const ExecContext& ctx);
+
+}  // namespace exec
+}  // namespace gyo
+
+#endif  // GYO_EXEC_PHYSICAL_PLAN_H_

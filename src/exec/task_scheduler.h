@@ -1,0 +1,107 @@
+#ifndef GYO_EXEC_TASK_SCHEDULER_H_
+#define GYO_EXEC_TASK_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gyo {
+namespace exec {
+
+/// A dependency-counting task DAG, built once and handed to
+/// TaskScheduler::RunGraph. Tasks are identified by the dense int returned
+/// from AddTask; AddDependency(a, b) orders b before a. The graph may be run
+/// once per construction (RunGraph consumes the dependency counters).
+class TaskGraph {
+ public:
+  using TaskFn = std::function<void()>;
+
+  /// Registers a task; returns its id (dense, starting at 0).
+  int AddTask(TaskFn fn);
+
+  /// Declares that `task` must not start before `dep` has finished.
+  /// Duplicate edges are allowed and counted once.
+  void AddDependency(int task, int dep);
+
+  int NumTasks() const { return static_cast<int>(tasks_.size()); }
+
+  /// Longest dependency chain, in tasks (0 for an empty graph) — the lower
+  /// bound on parallel makespan in task units.
+  int CriticalPathLength() const;
+
+ private:
+  friend class TaskScheduler;
+  struct Task {
+    TaskFn fn;
+    std::vector<int> successors;
+    int num_deps = 0;
+  };
+  std::vector<Task> tasks_;
+  std::vector<std::vector<int>> deps_;  // per task, for dedup + critical path
+};
+
+/// A fixed pool of worker threads executing dependency-ordered task DAGs and
+/// morsel-style parallel loops. This is the core of the exec subsystem: the
+/// PhysicalPlan runtime maps program statements onto RunGraph (statement-level
+/// parallelism) and the rel/ops kernels call ParallelFor from inside those
+/// tasks (intra-operator morsel parallelism); both draw from one work queue,
+/// so idle statement workers steal operator morsels and vice versa.
+///
+/// threads == 1 is the serial specialization: no worker threads are spawned
+/// and both modes execute inline on the calling thread in deterministic
+/// (FIFO / loop) order. Program::Execute runs on exactly this path.
+class TaskScheduler {
+ public:
+  /// Spawns `threads - 1` workers (the caller participates as the remaining
+  /// thread). `threads` must be >= 1.
+  explicit TaskScheduler(int threads);
+  ~TaskScheduler();
+
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+
+  int threads() const { return threads_; }
+
+  /// Runs every task of `graph` respecting its dependencies; blocks until
+  /// all have finished. The calling thread participates in execution. Must
+  /// not be called from inside a task. Each TaskGraph may be run once.
+  void RunGraph(TaskGraph& graph);
+
+  /// Runs body(chunk) for every chunk in [0, num_chunks), distributing
+  /// chunks over the pool via an atomic claim counter (morsel dispatch);
+  /// blocks until every chunk has run. The calling thread participates, so
+  /// completion never depends on worker availability — callable both from
+  /// outside the pool and from inside a RunGraph task. Chunk execution
+  /// order across threads is unspecified; with threads() == 1 the loop runs
+  /// inline in increasing chunk order.
+  void ParallelFor(int64_t num_chunks,
+                   const std::function<void(int64_t)>& body);
+
+ private:
+  using Job = std::function<void()>;
+  struct GraphRunState;  // shared state of one RunGraph invocation
+
+  void Enqueue(Job job);
+  bool PopJob(Job* out);
+  void WorkerLoop();
+  void EnqueueGraphTask(const std::shared_ptr<GraphRunState>& state, int id);
+  void RunGraphTask(const std::shared_ptr<GraphRunState>& state, int id);
+
+  const int threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace exec
+}  // namespace gyo
+
+#endif  // GYO_EXEC_TASK_SCHEDULER_H_

@@ -1,8 +1,11 @@
 #include "rel/ops.h"
 
+#include <algorithm>
 #include <cstring>
+#include <mutex>
 #include <vector>
 
+#include "exec/task_scheduler.h"
 #include "util/check.h"
 
 namespace gyo {
@@ -74,10 +77,13 @@ class SliceIndex {
   }
 
   // Registers row `row` of the relation under its key slice.
-  void Add(int64_t row) {
-    uint64_t h = HashSlice(rel_.RowData(row), cols_);
-    size_t b = static_cast<size_t>(h) & mask_;
-    entries_.push_back(Entry{h, row, heads_[b]});
+  void Add(int64_t row) { Add(row, HashSlice(rel_.RowData(row), cols_)); }
+
+  // Same, with the row's key hash already computed (the partitioned build
+  // path hashes every row once up front and reuses the values here).
+  void Add(int64_t row, uint64_t hash) {
+    size_t b = static_cast<size_t>(hash) & mask_;
+    entries_.push_back(Entry{hash, row, heads_[b]});
     heads_[b] = static_cast<int64_t>(entries_.size()) - 1;
   }
 
@@ -86,7 +92,14 @@ class SliceIndex {
   template <typename Fn>
   void ForEachMatch(const Value* probe, const std::vector<int>& probe_cols,
                     Fn&& fn) const {
-    uint64_t h = HashSlice(probe, probe_cols);
+    ForEachMatchHashed(probe, probe_cols, HashSlice(probe, probe_cols),
+                       static_cast<Fn&&>(fn));
+  }
+
+  template <typename Fn>
+  void ForEachMatchHashed(const Value* probe,
+                          const std::vector<int>& probe_cols, uint64_t h,
+                          Fn&& fn) const {
     for (int64_t e = heads_[static_cast<size_t>(h) & mask_]; e >= 0;
          e = entries_[static_cast<size_t>(e)].next) {
       const Entry& entry = entries_[static_cast<size_t>(e)];
@@ -99,7 +112,11 @@ class SliceIndex {
 
   // True iff some indexed row's key slice equals the probe slice.
   bool Contains(const Value* probe, const std::vector<int>& probe_cols) const {
-    uint64_t h = HashSlice(probe, probe_cols);
+    return ContainsHashed(probe, probe_cols, HashSlice(probe, probe_cols));
+  }
+
+  bool ContainsHashed(const Value* probe, const std::vector<int>& probe_cols,
+                      uint64_t h) const {
     for (int64_t e = heads_[static_cast<size_t>(h) & mask_]; e >= 0;
          e = entries_[static_cast<size_t>(e)].next) {
       const Entry& entry = entries_[static_cast<size_t>(e)];
@@ -124,9 +141,132 @@ class SliceIndex {
   size_t mask_;
 };
 
+// ---------------------------------------------------------------------------
+// Parallel kernel machinery (exec subsystem). The serial kernels below stay
+// the single-morsel form; these helpers add hash-partitioned builds and
+// morsel-driven probes when an OpExecOpts carries a multi-thread scheduler.
+
+// True when the probe side is worth splitting into morsels.
+inline bool RunParallel(const OpExecOpts& opts, int64_t probe_rows) {
+  return opts.scheduler != nullptr && opts.scheduler->threads() > 1 &&
+         probe_rows > opts.morsel_rows && opts.morsel_rows >= 1;
+}
+
+inline int64_t NumMorsels(int64_t rows, int64_t morsel_rows) {
+  return (rows + morsel_rows - 1) / morsel_rows;
+}
+
+// Build-side hash partitioning: partition p of 2^bits owns the rows whose
+// key hash has p in its top bits (bucket chains use the low bits, so the two
+// selections stay independent).
+inline int PartitionBits(int threads) {
+  int bits = 0;
+  while ((1 << bits) < threads && bits < 6) ++bits;
+  return bits;
+}
+
+inline size_t PartitionOf(uint64_t h, int bits) {
+  return bits == 0 ? 0 : static_cast<size_t>(h >> (64 - bits));
+}
+
+// A hash-partitioned SliceIndex over all rows of `rel`: every row's key is
+// hashed once (in parallel, morsel by morsel), then the 2^bits partition
+// indexes are built concurrently — partition tasks scan the shared hash
+// array and claim their own rows, so no locking is needed.
+class PartitionedSliceIndex {
+ public:
+  PartitionedSliceIndex(const Relation& rel, const std::vector<int>& cols,
+                        const OpExecOpts& opts)
+      : bits_(PartitionBits(opts.scheduler->threads())) {
+    const int64_t n = rel.NumRows();
+    // Local, not a member: both passes finish before the constructor
+    // returns, so the 8 bytes/row need not stay pinned through the probe.
+    std::vector<uint64_t> hashes(static_cast<size_t>(n));
+    const int64_t morsels = NumMorsels(n, opts.morsel_rows);
+    opts.scheduler->ParallelFor(morsels, [&](int64_t m) {
+      const int64_t lo = m * opts.morsel_rows;
+      const int64_t hi = std::min<int64_t>(n, lo + opts.morsel_rows);
+      for (int64_t i = lo; i < hi; ++i) {
+        hashes[static_cast<size_t>(i)] = HashSlice(rel.RowData(i), cols);
+      }
+    });
+    const int parts = 1 << bits_;
+    parts_.reserve(static_cast<size_t>(parts));
+    for (int p = 0; p < parts; ++p) {
+      parts_.emplace_back(rel, cols, n / parts + 1);
+    }
+    opts.scheduler->ParallelFor(parts, [&](int64_t p) {
+      SliceIndex& index = parts_[static_cast<size_t>(p)];
+      for (int64_t i = 0; i < n; ++i) {
+        if (PartitionOf(hashes[static_cast<size_t>(i)], bits_) ==
+            static_cast<size_t>(p)) {
+          index.Add(i, hashes[static_cast<size_t>(i)]);
+        }
+      }
+    });
+  }
+
+  // The partition index responsible for probe-key hash `h`.
+  const SliceIndex& ForHash(uint64_t h) const {
+    return parts_[PartitionOf(h, bits_)];
+  }
+
+ private:
+  int bits_;
+  std::vector<SliceIndex> parts_;
+};
+
+// Prefix sums of per-chunk output sizes in merge order: offsets[pos] is the
+// output row offset of the chunk at merge position pos, offsets.back() the
+// total. Shared by the join/semijoin compaction passes so the two merge
+// paths cannot diverge.
+template <typename RowsOf>
+std::vector<int64_t> MergeOffsets(const std::vector<int64_t>& order,
+                                  RowsOf&& rows_of) {
+  std::vector<int64_t> offsets(order.size() + 1, 0);
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    offsets[pos + 1] = offsets[pos] + rows_of(order[pos]);
+  }
+  return offsets;
+}
+
+// The order in which per-morsel outputs are compacted into the result arena:
+// morsel order when `deterministic` (bit-identical to the serial kernel),
+// completion order otherwise (same set, unspecified row order).
+class MergeOrder {
+ public:
+  MergeOrder(int64_t chunks, bool deterministic)
+      : deterministic_(deterministic) {
+    if (deterministic_) {
+      order_.resize(static_cast<size_t>(chunks));
+      for (int64_t c = 0; c < chunks; ++c) order_[static_cast<size_t>(c)] = c;
+    } else {
+      order_.reserve(static_cast<size_t>(chunks));
+    }
+  }
+
+  // Called by each morsel as it finishes.
+  void Record(int64_t chunk) {
+    if (deterministic_) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    order_.push_back(chunk);
+  }
+
+  const std::vector<int64_t>& order() const { return order_; }
+
+ private:
+  bool deterministic_;
+  std::mutex mu_;
+  std::vector<int64_t> order_;
+};
+
 }  // namespace
 
 Relation Project(const Relation& r, const AttrSet& x) {
+  return Project(r, x, OpExecOpts());
+}
+
+Relation Project(const Relation& r, const AttrSet& x, const OpExecOpts& opts) {
   GYO_CHECK_MSG(x.IsSubsetOf(r.Schema()), "projection target not in schema");
   Relation out(x);
   std::vector<int> cols;
@@ -146,22 +286,67 @@ Relation Project(const Relation& r, const AttrSet& x) {
     return out;
   }
 
-  // Dedupe while emitting: an incremental SliceIndex over the rows already
-  // written to the output arena. No sort — the result is duplicate-free but
-  // left non-canonical (sortedness is lazy).
-  SliceIndex seen(out, out_cols, n);
-  out.Reserve(n);
-  for (int64_t i = 0; i < n; ++i) {
-    const Value* src = r.RowData(i);
-    if (seen.Contains(src, cols)) continue;
-    Value* dst = out.AppendRow();
-    for (size_t k = 0; k < cols.size(); ++k) dst[k] = src[cols[k]];
-    seen.Add(out.NumRows() - 1);
+  if (!RunParallel(opts, n)) {
+    // Dedupe while emitting: an incremental SliceIndex over the rows already
+    // written to the output arena. No sort — the result is duplicate-free
+    // but left non-canonical (sortedness is lazy).
+    SliceIndex seen(out, out_cols, n);
+    out.Reserve(n);
+    for (int64_t i = 0; i < n; ++i) {
+      const Value* src = r.RowData(i);
+      if (seen.Contains(src, cols)) continue;
+      Value* dst = out.AppendRow();
+      for (size_t k = 0; k < cols.size(); ++k) dst[k] = src[cols[k]];
+      seen.Add(out.NumRows() - 1);
+    }
+    return out;
+  }
+
+  // Parallel form: every morsel projects + locally dedupes its row range
+  // into a private relation, then one sequential pass merges the local
+  // survivors (in merge order) through a global dedupe index. Keeping the
+  // cross-morsel dedupe sequential preserves first-occurrence order, which
+  // makes the deterministic mode bit-identical to the serial kernel.
+  const int64_t chunks = NumMorsels(n, opts.morsel_rows);
+  std::vector<Relation> locals(static_cast<size_t>(chunks), Relation(x));
+  MergeOrder merge(chunks, opts.deterministic);
+  opts.scheduler->ParallelFor(chunks, [&](int64_t c) {
+    const int64_t lo = c * opts.morsel_rows;
+    const int64_t hi = std::min<int64_t>(n, lo + opts.morsel_rows);
+    Relation& loc = locals[static_cast<size_t>(c)];
+    SliceIndex seen(loc, out_cols, hi - lo);
+    for (int64_t i = lo; i < hi; ++i) {
+      const Value* src = r.RowData(i);
+      if (seen.Contains(src, cols)) continue;
+      Value* dst = loc.AppendRow();
+      for (size_t k = 0; k < cols.size(); ++k) dst[k] = src[cols[k]];
+      seen.Add(loc.NumRows() - 1);
+    }
+    merge.Record(c);
+  });
+
+  int64_t survivors = 0;
+  for (const Relation& loc : locals) survivors += loc.NumRows();
+  SliceIndex seen(out, out_cols, survivors);
+  out.Reserve(survivors);
+  for (int64_t c : merge.order()) {
+    const Relation& loc = locals[static_cast<size_t>(c)];
+    for (int64_t j = 0; j < loc.NumRows(); ++j) {
+      const Value* src = loc.RowData(j);
+      if (seen.Contains(src, out_cols)) continue;
+      out.AddRow(src, static_cast<size_t>(out.Arity()));
+      seen.Add(out.NumRows() - 1);
+    }
   }
   return out;
 }
 
 Relation NaturalJoin(const Relation& r, const Relation& s) {
+  return NaturalJoin(r, s, OpExecOpts());
+}
+
+Relation NaturalJoin(const Relation& r, const Relation& s,
+                     const OpExecOpts& opts) {
   AttrSet common = r.Schema().Intersect(s.Schema());
   AttrSet result_schema = r.Schema().Union(s.Schema());
   Relation out(result_schema);
@@ -181,8 +366,6 @@ Relation NaturalJoin(const Relation& r, const Relation& s) {
   const std::vector<int>& probe_cols =
       (&build == &s) ? r_key_cols : s_key_cols;
 
-  SliceIndex index(build, build_cols);
-
   // Output column sources: for each result attribute, where to read it from.
   struct Source {
     bool from_probe;
@@ -197,26 +380,80 @@ Relation NaturalJoin(const Relation& r, const Relation& s) {
       sources.push_back(Source{false, build.ColIndex(a)});
     }
   }
+  const size_t arity = sources.size();
 
-  out.Reserve(probe.NumRows());
-  for (int64_t i = 0; i < probe.NumRows(); ++i) {
-    const Value* prow = probe.RowData(i);
-    index.ForEachMatch(prow, probe_cols, [&](int64_t j) {
-      const Value* brow = build.RowData(j);
-      Value* dst = out.AppendRow();
-      for (size_t k = 0; k < sources.size(); ++k) {
-        dst[k] = sources[k].from_probe ? prow[sources[k].col]
-                                       : brow[sources[k].col];
-      }
-    });
-  }
   // Distinct (probe, build) row pairs yield distinct output tuples (the
   // output determines both inputs), so duplicate-free inputs give a
-  // duplicate-free output; no dedupe or sort needed.
+  // duplicate-free output; no dedupe or sort is needed on either path.
+  if (!RunParallel(opts, probe.NumRows())) {
+    SliceIndex index(build, build_cols);
+    out.Reserve(probe.NumRows());
+    for (int64_t i = 0; i < probe.NumRows(); ++i) {
+      const Value* prow = probe.RowData(i);
+      index.ForEachMatch(prow, probe_cols, [&](int64_t j) {
+        const Value* brow = build.RowData(j);
+        Value* dst = out.AppendRow();
+        for (size_t k = 0; k < arity; ++k) {
+          dst[k] = sources[k].from_probe ? prow[sources[k].col]
+                                         : brow[sources[k].col];
+        }
+      });
+    }
+    return out;
+  }
+
+  // Parallel form: partitioned hash build, then a morsel-driven probe where
+  // every morsel emits into a thread-local buffer; the buffers are compacted
+  // into the output arena with one (parallel) memcpy pass at the end.
+  PartitionedSliceIndex index(build, build_cols, opts);
+  const int64_t n = probe.NumRows();
+  const int64_t chunks = NumMorsels(n, opts.morsel_rows);
+  std::vector<std::vector<Value>> buffers(static_cast<size_t>(chunks));
+  std::vector<int64_t> counts(static_cast<size_t>(chunks), 0);
+  MergeOrder merge(chunks, opts.deterministic);
+  opts.scheduler->ParallelFor(chunks, [&](int64_t c) {
+    const int64_t lo = c * opts.morsel_rows;
+    const int64_t hi = std::min<int64_t>(n, lo + opts.morsel_rows);
+    std::vector<Value>& buf = buffers[static_cast<size_t>(c)];
+    int64_t emitted = 0;
+    for (int64_t i = lo; i < hi; ++i) {
+      const Value* prow = probe.RowData(i);
+      uint64_t h = HashSlice(prow, probe_cols);
+      index.ForHash(h).ForEachMatchHashed(prow, probe_cols, h, [&](int64_t j) {
+        const Value* brow = build.RowData(j);
+        for (size_t k = 0; k < arity; ++k) {
+          buf.push_back(sources[k].from_probe ? prow[sources[k].col]
+                                              : brow[sources[k].col]);
+        }
+        ++emitted;
+      });
+    }
+    counts[static_cast<size_t>(c)] = emitted;
+    merge.Record(c);
+  });
+
+  std::vector<int64_t> offsets = MergeOffsets(
+      merge.order(),
+      [&](int64_t c) { return counts[static_cast<size_t>(c)]; });
+  Value* base = out.AppendRows(offsets.back());
+  if (arity > 0) {
+    opts.scheduler->ParallelFor(chunks, [&](int64_t pos) {
+      const std::vector<Value>& buf =
+          buffers[static_cast<size_t>(merge.order()[static_cast<size_t>(pos)])];
+      if (buf.empty()) return;
+      std::memcpy(base + static_cast<size_t>(offsets[static_cast<size_t>(pos)]) * arity,
+                  buf.data(), buf.size() * sizeof(Value));
+    });
+  }
   return out;
 }
 
 Relation Semijoin(const Relation& r, const Relation& s) {
+  return Semijoin(r, s, OpExecOpts());
+}
+
+Relation Semijoin(const Relation& r, const Relation& s,
+                  const OpExecOpts& opts) {
   AttrSet common = r.Schema().Intersect(s.Schema());
   Relation out(r.Schema());
   std::vector<int> r_cols;
@@ -225,27 +462,68 @@ Relation Semijoin(const Relation& r, const Relation& s) {
     r_cols.push_back(r.ColIndex(a));
     s_cols.push_back(s.ColIndex(a));
   });
-
-  SliceIndex index(s, s_cols);
-
-  // Selection pass: record matching row indices, then compact in one sweep.
-  std::vector<int64_t> selected;
-  for (int64_t i = 0; i < r.NumRows(); ++i) {
-    if (index.Contains(r.RowData(i), r_cols)) selected.push_back(i);
-  }
-
   const size_t stride = static_cast<size_t>(r.Arity());
-  out.Reserve(static_cast<int64_t>(selected.size()));
-  for (int64_t i : selected) {
-    if (stride == 0) {
-      out.AppendRow();
-      continue;
+
+  if (!RunParallel(opts, r.NumRows())) {
+    SliceIndex index(s, s_cols);
+
+    // Selection pass: record matching row indices, then compact in one sweep.
+    std::vector<int64_t> selected;
+    for (int64_t i = 0; i < r.NumRows(); ++i) {
+      if (index.Contains(r.RowData(i), r_cols)) selected.push_back(i);
     }
-    Value* dst = out.AppendRow();
-    std::memcpy(dst, r.RowData(i), stride * sizeof(Value));
+
+    out.Reserve(static_cast<int64_t>(selected.size()));
+    for (int64_t i : selected) {
+      if (stride == 0) {
+        out.AppendRow();
+        continue;
+      }
+      Value* dst = out.AppendRow();
+      std::memcpy(dst, r.RowData(i), stride * sizeof(Value));
+    }
+    // A subsequence of a canonical relation is still sorted and unique.
+    if (r.IsCanonical()) out.MarkCanonical();
+    return out;
   }
-  // A subsequence of a canonical relation is still sorted and unique.
-  if (r.IsCanonical()) out.MarkCanonical();
+
+  // Parallel form: partitioned build over s, morsel-driven membership probes
+  // over row ranges of r collecting per-morsel selection vectors, then one
+  // parallel memcpy compaction into the output arena.
+  PartitionedSliceIndex index(s, s_cols, opts);
+  const int64_t n = r.NumRows();
+  const int64_t chunks = NumMorsels(n, opts.morsel_rows);
+  std::vector<std::vector<int64_t>> selected(static_cast<size_t>(chunks));
+  MergeOrder merge(chunks, opts.deterministic);
+  opts.scheduler->ParallelFor(chunks, [&](int64_t c) {
+    const int64_t lo = c * opts.morsel_rows;
+    const int64_t hi = std::min<int64_t>(n, lo + opts.morsel_rows);
+    std::vector<int64_t>& sel = selected[static_cast<size_t>(c)];
+    for (int64_t i = lo; i < hi; ++i) {
+      const Value* prow = r.RowData(i);
+      uint64_t h = HashSlice(prow, r_cols);
+      if (index.ForHash(h).ContainsHashed(prow, r_cols, h)) sel.push_back(i);
+    }
+    merge.Record(c);
+  });
+
+  std::vector<int64_t> offsets = MergeOffsets(merge.order(), [&](int64_t c) {
+    return static_cast<int64_t>(selected[static_cast<size_t>(c)].size());
+  });
+  Value* base = out.AppendRows(offsets.back());
+  if (stride > 0) {
+    opts.scheduler->ParallelFor(chunks, [&](int64_t pos) {
+      const std::vector<int64_t>& sel =
+          selected[static_cast<size_t>(merge.order()[static_cast<size_t>(pos)])];
+      Value* dst = base + static_cast<size_t>(offsets[static_cast<size_t>(pos)]) * stride;
+      for (int64_t i : sel) {
+        std::memcpy(dst, r.RowData(i), stride * sizeof(Value));
+        dst += stride;
+      }
+    });
+  }
+  // Morsel-ordered compaction of a canonical input is still a subsequence.
+  if (opts.deterministic && r.IsCanonical()) out.MarkCanonical();
   return out;
 }
 

@@ -1,10 +1,16 @@
 #ifndef GYO_REL_OPS_H_
 #define GYO_REL_OPS_H_
 
+#include <cstdint>
+
 #include "rel/relation.h"
 #include "util/attr_set.h"
 
 namespace gyo {
+
+namespace exec {
+class TaskScheduler;
+}  // namespace exec
 
 /// Relational algebra operators (paper §2 notation).
 ///
@@ -16,18 +22,45 @@ namespace gyo {
 /// the exception: it selects a subsequence of its left input, so a canonical
 /// input yields a canonical output.
 
+/// Execution options threaded through the kernels by the exec runtime
+/// (exec/physical_plan.h). Default-constructed options run the serial
+/// engine. With a scheduler attached and a probe side larger than one
+/// morsel, the kernels switch to their parallel form: a hash-partitioned
+/// build (partitions built concurrently from a shared precomputed-hash
+/// array) plus a morsel-driven probe over row-range slices of the input
+/// arena, each morsel appending into a local buffer that a final compaction
+/// pass memcpys into the output arena.
+struct OpExecOpts {
+  /// Pool to fan morsels out on; nullptr (or a 1-thread pool) = serial.
+  exec::TaskScheduler* scheduler = nullptr;
+  /// Probe rows per morsel. Inputs of at most this many rows run serially.
+  int64_t morsel_rows = 2048;
+  /// When true, morsel outputs merge in morsel order and every result is
+  /// bit-identical (row order and canonical flag included) to the serial
+  /// kernel's. When false, morsels merge in completion order: the same set
+  /// of rows in unspecified physical order, and Semijoin does not propagate
+  /// canonical form.
+  bool deterministic = true;
+};
+
 /// π_X(r): projection onto X. Requires X ⊆ r.Schema(). Output deduplicated
 /// via hashing (unsorted).
 Relation Project(const Relation& r, const AttrSet& x);
+Relation Project(const Relation& r, const AttrSet& x, const OpExecOpts& opts);
 
 /// r ⋈ s: natural join (hash join keyed on in-place column slices of the
 /// common attributes; a Cartesian product when the schemas are disjoint).
 Relation NaturalJoin(const Relation& r, const Relation& s);
+Relation NaturalJoin(const Relation& r, const Relation& s,
+                     const OpExecOpts& opts);
 
 /// r ⋉ s: natural semijoin, π_R(r ⋈ s) computed without materializing the
 /// join (membership probes + one compaction pass over a selection vector).
-/// Canonical input r gives canonical output.
+/// Canonical input r gives canonical output (serial and deterministic
+/// parallel forms).
 Relation Semijoin(const Relation& r, const Relation& s);
+Relation Semijoin(const Relation& r, const Relation& s,
+                  const OpExecOpts& opts);
 
 /// ⋈ of a non-empty list of relations, left to right.
 Relation JoinAll(const std::vector<Relation>& relations);

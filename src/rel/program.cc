@@ -1,7 +1,9 @@
 #include "rel/program.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "exec/physical_plan.h"
 #include "rel/ops.h"
 #include "rel/universal.h"
 #include "util/check.h"
@@ -54,65 +56,66 @@ int Program::NumProjects() const {
   return n;
 }
 
-DatabaseSchema Program::DerivedSchema(const DatabaseSchema& base) const {
-  GYO_CHECK_MSG(base.NumRelations() == num_base_,
-                "base schema has %d relations, program expects %d",
-                base.NumRelations(), num_base_);
-  DatabaseSchema out = base;
-  for (const Statement& s : statements_) {
+std::vector<AttrSet> Program::ValidateAndDeriveSchemas(
+    std::vector<AttrSet> base_schemas) const {
+  GYO_CHECK_MSG(static_cast<int>(base_schemas.size()) == num_base_,
+                "base has %d relations, program expects %d",
+                static_cast<int>(base_schemas.size()), num_base_);
+  std::vector<AttrSet>& schemas = base_schemas;
+  schemas.reserve(static_cast<size_t>(NumRelations()));
+  for (size_t k = 0; k < statements_.size(); ++k) {
+    const Statement& s = statements_[k];
+    const int avail = num_base_ + static_cast<int>(k);
+    auto check_id = [&](int id, const char* role) {
+      GYO_CHECK_MSG(id >= 0 && id < avail,
+                    "statement %d: %s relation id R%d out of range "
+                    "(R0..R%d exist here)",
+                    static_cast<int>(k), role, id, avail - 1);
+    };
     switch (s.kind) {
       case Statement::Kind::kJoin:
-        out.Add(out[s.lhs].Union(out[s.rhs]));
+        check_id(s.lhs, "left join");
+        check_id(s.rhs, "right join");
+        schemas.push_back(schemas[static_cast<size_t>(s.lhs)].Union(
+            schemas[static_cast<size_t>(s.rhs)]));
         break;
       case Statement::Kind::kSemijoin:
-        out.Add(out[s.lhs]);
+        check_id(s.lhs, "left semijoin");
+        check_id(s.rhs, "right semijoin");
+        schemas.push_back(schemas[static_cast<size_t>(s.lhs)]);
         break;
-      case Statement::Kind::kProject:
-        GYO_CHECK_MSG(s.target.IsSubsetOf(out[s.lhs]),
-                      "projection target not within source schema");
-        out.Add(s.target);
+      case Statement::Kind::kProject: {
+        check_id(s.lhs, "projection source");
+        const AttrSet& src = schemas[static_cast<size_t>(s.lhs)];
+        if (!s.target.IsSubsetOf(src)) {
+          AttrSet missing = s.target.Minus(src);
+          GYO_CHECK_MSG(false,
+                        "statement %d: projection target not within source "
+                        "schema R%d (e.g. attribute %d is absent)",
+                        static_cast<int>(k), s.lhs, missing.Min());
+        }
+        schemas.push_back(s.target);
         break;
+      }
     }
   }
-  return out;
+  return schemas;
+}
+
+DatabaseSchema Program::DerivedSchema(const DatabaseSchema& base) const {
+  std::vector<AttrSet> base_schemas;
+  base_schemas.reserve(static_cast<size_t>(base.NumRelations()));
+  for (int i = 0; i < base.NumRelations(); ++i) base_schemas.push_back(base[i]);
+  return DatabaseSchema(ValidateAndDeriveSchemas(std::move(base_schemas)));
 }
 
 std::vector<Relation> Program::Execute(const std::vector<Relation>& base) const {
-  GYO_CHECK(static_cast<int>(base.size()) == num_base_);
-  std::vector<Relation> states = base;
-  states.reserve(static_cast<size_t>(NumRelations()));
-  for (const Statement& s : statements_) {
-    switch (s.kind) {
-      case Statement::Kind::kJoin:
-        states.push_back(NaturalJoin(states[static_cast<size_t>(s.lhs)],
-                                     states[static_cast<size_t>(s.rhs)]));
-        break;
-      case Statement::Kind::kSemijoin:
-        states.push_back(Semijoin(states[static_cast<size_t>(s.lhs)],
-                                  states[static_cast<size_t>(s.rhs)]));
-        break;
-      case Statement::Kind::kProject:
-        states.push_back(Project(states[static_cast<size_t>(s.lhs)], s.target));
-        break;
-    }
-  }
-  return states;
+  return exec::Execute(*this, base, exec::ExecContext());
 }
 
 std::vector<Relation> Program::ExecuteWithStats(
     const std::vector<Relation>& base, Stats* stats) const {
-  std::vector<Relation> states = Execute(base);
-  if (stats != nullptr) {
-    *stats = Stats();
-    for (size_t i = static_cast<size_t>(num_base_); i < states.size(); ++i) {
-      int64_t rows = states[i].NumRows();
-      stats->max_intermediate_rows = std::max(stats->max_intermediate_rows,
-                                              rows);
-      stats->total_rows_produced += rows;
-    }
-    if (!statements_.empty()) stats->result_rows = states.back().NumRows();
-  }
-  return states;
+  return exec::Execute(*this, base, exec::ExecContext(), stats);
 }
 
 Relation Program::Run(const std::vector<Relation>& base) const {

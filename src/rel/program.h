@@ -52,8 +52,21 @@ class Program {
   /// (e.g. projecting attributes a source lacks).
   DatabaseSchema DerivedSchema(const DatabaseSchema& base) const;
 
+  /// Eagerly validates every statement against `base_schemas` (the schemas
+  /// of the base relations, in order): relation ids must be in range and a
+  /// projection target must be a subset of its source schema. Dies with an
+  /// error naming the offending statement index otherwise. Returns the full
+  /// derived schema list — base schemas followed by one per statement (the
+  /// sequence DerivedSchema wraps in a DatabaseSchema). Both DerivedSchema
+  /// and the execution paths run this before touching any data, so a
+  /// malformed program fails up front instead of dying mid-execution.
+  std::vector<AttrSet> ValidateAndDeriveSchemas(
+      std::vector<AttrSet> base_schemas) const;
+
   /// P(D): executes the program, returning all relation states (base states
   /// followed by created ones). The result of the program is the last state.
+  /// This is the serial (threads = 1) specialization of the exec runtime —
+  /// see exec/physical_plan.h for the parallel entry points.
   std::vector<Relation> Execute(const std::vector<Relation>& base) const;
 
   /// Machine-independent execution cost metrics (§4/§6: the point of

@@ -1,7 +1,11 @@
 #include "rel/reducer.h"
 
+#include <utility>
+
+#include "exec/physical_plan.h"
 #include "gyo/qual_graph.h"
 #include "rel/ops.h"
+#include "rel/program.h"
 #include "util/check.h"
 
 namespace gyo {
@@ -20,21 +24,42 @@ bool IsGloballyConsistent(const DatabaseSchema& d,
 
 std::optional<std::vector<Relation>> ApplyFullReducer(
     const DatabaseSchema& d, const std::vector<Relation>& states) {
+  return ApplyFullReducer(d, states, exec::ExecContext());
+}
+
+std::optional<std::vector<Relation>> ApplyFullReducer(
+    const DatabaseSchema& d, const std::vector<Relation>& states,
+    const exec::ExecContext& ctx) {
   GYO_CHECK(static_cast<int>(states.size()) == d.NumRelations());
   std::optional<QualGraph> tree = BuildJoinTree(d);
   if (!tree.has_value()) return std::nullopt;
-  std::vector<Relation> out = states;
+
+  // Compile the two passes into a semijoin program. Each semijoin reads the
+  // *current* id of its nodes, so the per-node chains carry the data
+  // dependencies and semijoins on disjoint subtrees come out independent —
+  // the exec dataflow DAG then runs those concurrently.
+  const int n = d.NumRelations();
+  Program p(n);
+  std::vector<int> ids(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) ids[static_cast<size_t>(i)] = i;
   // Upward pass: children (removed first) reduce their parents...
   for (const auto& [child, parent] : tree->edges) {
-    out[static_cast<size_t>(parent)] =
-        Semijoin(out[static_cast<size_t>(parent)],
-                 out[static_cast<size_t>(child)]);
+    ids[static_cast<size_t>(parent)] =
+        p.AddSemijoin(ids[static_cast<size_t>(parent)],
+                      ids[static_cast<size_t>(child)]);
   }
   // ...then the downward pass propagates the root's state back out.
   for (auto it = tree->edges.rbegin(); it != tree->edges.rend(); ++it) {
-    out[static_cast<size_t>(it->first)] = Semijoin(
-        out[static_cast<size_t>(it->first)],
-        out[static_cast<size_t>(it->second)]);
+    ids[static_cast<size_t>(it->first)] = p.AddSemijoin(
+        ids[static_cast<size_t>(it->first)],
+        ids[static_cast<size_t>(it->second)]);
+  }
+
+  std::vector<Relation> all = exec::Execute(p, states, ctx);
+  std::vector<Relation> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(std::move(all[static_cast<size_t>(ids[static_cast<size_t>(i)])]));
   }
   return out;
 }

@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "exec/exec_context.h"
 #include "rel/relation.h"
 #include "schema/schema.h"
 
@@ -30,6 +31,16 @@ bool IsGloballyConsistent(const DatabaseSchema& d,
 /// `d` is a cyclic schema.
 std::optional<std::vector<Relation>> ApplyFullReducer(
     const DatabaseSchema& d, const std::vector<Relation>& states);
+
+/// Parallel form: the same 2(n−1) semijoins, compiled into a semijoin
+/// Program and run on the exec runtime, where the dataflow DAG lets
+/// independent subtree semijoins of the upward/downward passes run
+/// concurrently (and each large semijoin split into morsels). With the
+/// default context this is exactly the serial reducer; in deterministic mode
+/// the reduced states are bit-identical to it at any thread count.
+std::optional<std::vector<Relation>> ApplyFullReducer(
+    const DatabaseSchema& d, const std::vector<Relation>& states,
+    const exec::ExecContext& ctx);
 
 /// Applies pairwise semijoins Ri ⋉ Rj until no relation shrinks — the best
 /// any semijoin program can achieve. Returns the fixpoint states and, via

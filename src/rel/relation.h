@@ -110,6 +110,20 @@ class Relation {
     return data_.data() + data_.size() - stride_;
   }
 
+  /// Appends `rows` uninitialized rows and returns a pointer to the first of
+  /// their rows*Arity() slots, for bulk in-place writing (the parallel
+  /// kernels compact per-morsel buffers into disjoint ranges of this block
+  /// concurrently). Invalidated like AppendRow. Only dereference the result
+  /// when rows*Arity() > 0.
+  Value* AppendRows(int64_t rows) {
+    GYO_DCHECK(rows >= 0);
+    const size_t added = static_cast<size_t>(rows) * stride_;
+    data_.resize(data_.size() + added);
+    num_rows_ += rows;
+    if (rows > 0) canonical_ = false;
+    return data_.data() + data_.size() - added;
+  }
+
   /// Appends a copy of the `Arity()` values starting at `src`. `src` may
   /// point into this relation's own arena (e.g. re-appending one of its own
   /// rows): the offset is captured before AppendRow() can reallocate.

@@ -1,0 +1,356 @@
+// Exec runtime: PhysicalPlan dataflow compilation, parallel-vs-serial
+// equivalence over random schemas/states for every solver strategy at 1–8
+// threads, parallel operator kernels (morsel probe + partitioned build),
+// the parallel full reducer, and the eager Program validation errors.
+
+#include "exec/physical_plan.h"
+
+#include <memory>
+#include <vector>
+
+#include "exec/task_scheduler.h"
+#include "gtest/gtest.h"
+#include "rel/ops.h"
+#include "rel/program.h"
+#include "rel/reducer.h"
+#include "rel/solver.h"
+#include "rel/universal.h"
+#include "schema/generators.h"
+#include "util/rng.h"
+
+namespace gyo {
+namespace {
+
+std::vector<Relation> MakeUR(const DatabaseSchema& d, int rows, int domain,
+                             uint64_t seed) {
+  Rng rng(seed);
+  Relation universal = RandomUniversal(d.Universe(), rows, domain, rng);
+  return ProjectDatabase(universal, d);
+}
+
+// Bit-level equality: same rows in the same physical order with the same
+// canonical flag — the deterministic-mode contract, stronger than
+// EqualsAsSet.
+void ExpectBitIdentical(const std::vector<Relation>& a,
+                        const std::vector<Relation>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(a[i].Schema() == b[i].Schema()) << "state " << i;
+    EXPECT_EQ(a[i].NumRows(), b[i].NumRows()) << "state " << i;
+    EXPECT_EQ(a[i].IsCanonical(), b[i].IsCanonical()) << "state " << i;
+    EXPECT_EQ(a[i].Arena(), b[i].Arena()) << "state " << i;
+  }
+}
+
+// Every program strategy the solver offers for (d, x); skips the tree-only
+// ones on cyclic schemas.
+std::vector<Program> AllStrategyPrograms(const DatabaseSchema& d,
+                                         const AttrSet& x) {
+  std::vector<Program> programs;
+  programs.push_back(FullJoinProgram(d, x));
+  programs.push_back(CCPrunedProgram(d, x));
+  for (bool full_reduce : {false, true}) {
+    for (bool early_project : {false, true}) {
+      YannakakisOptions options;
+      options.full_reduce = full_reduce;
+      options.early_project = early_project;
+      if (auto p = YannakakisProgram(d, x, options)) programs.push_back(*p);
+    }
+  }
+  // Tree projection through the schema's own relations as bags (valid when
+  // d is a tree schema and x fits in one relation).
+  if (auto p = TreeProjectionProgram(d, x, d)) programs.push_back(*p);
+  return programs;
+}
+
+TEST(PhysicalPlanTest, DataflowDependencies) {
+  Program p(3);
+  int j = p.AddJoin(0, 1);            // statement 0: R3
+  int pr = p.AddProject(j, AttrSet{0});  // statement 1: R4 reads R3
+  p.AddSemijoin(2, pr);               // statement 2: R5 reads R2 (base), R4
+  exec::PhysicalPlan plan = exec::PhysicalPlan::Compile(p);
+  ASSERT_EQ(plan.Dependencies().size(), 3u);
+  EXPECT_TRUE(plan.Dependencies()[0].empty());
+  EXPECT_EQ(plan.Dependencies()[1], std::vector<int>({0}));
+  EXPECT_EQ(plan.Dependencies()[2], std::vector<int>({1}));
+  EXPECT_EQ(plan.CriticalPathLength(), 3);
+  EXPECT_EQ(plan.NumSourceStatements(), 1);
+}
+
+TEST(PhysicalPlanTest, FullReducerPlanHasStatementParallelism) {
+  // A star's upward semijoin pass is n independent leaf->center reductions
+  // chained on the center, but the downward pass fans out: the plan must be
+  // strictly shallower than the statement count... the center chain keeps
+  // the upward pass serial, while all downward semijoins depend only on the
+  // final center, so the critical path is (leaves) + 1 + ... < 2*leaves for
+  // leaves > 1.
+  DatabaseSchema d = StarSchema(6);
+  auto p = YannakakisProgram(d, AttrSet{0, 1});
+  ASSERT_TRUE(p.has_value());
+  exec::PhysicalPlan plan = exec::PhysicalPlan::Compile(*p);
+  EXPECT_LT(plan.CriticalPathLength(), p->NumStatements());
+}
+
+TEST(PhysicalPlanTest, IndependentSubplansAreParallelSources) {
+  // Two joins over disjoint base relations fan in to a third: the dataflow
+  // analysis must leave both initially ready and halve the critical path.
+  Program p(4);
+  int a = p.AddJoin(0, 1);
+  int b = p.AddJoin(2, 3);
+  p.AddJoin(a, b);
+  exec::PhysicalPlan plan = exec::PhysicalPlan::Compile(p);
+  EXPECT_EQ(plan.NumSourceStatements(), 2);
+  EXPECT_EQ(plan.CriticalPathLength(), 2);
+  EXPECT_EQ(plan.Dependencies()[2], std::vector<int>({0, 1}));
+}
+
+TEST(ExecTest, MatchesSerialOnAllStrategiesAndThreadCounts) {
+  Rng rng(42);
+  for (int trial = 0; trial < 4; ++trial) {
+    // Key-like domains (domain ≫ rows) keep the FullJoin strategy's
+    // intermediate growth factor near 1 — dense domains make an 8-relation
+    // full join explode combinatorially. Trial 0 is a deliberately small
+    // dense case (4 relations) so heavy per-join match fan-out is still
+    // covered.
+    const int num_relations = trial == 0 ? 4 : 6 + trial;
+    const int domain = trial == 0 ? 8 : 16 * 60;
+    RandomTreeResult t = RandomTreeSchema(num_relations, 3, rng);
+    const DatabaseSchema& d = t.schema;
+    // Target inside one relation so every strategy (incl. tree projection
+    // over d's own bags) applies.
+    AttrSet x = d[static_cast<int>(rng.Below(
+        static_cast<uint64_t>(d.NumRelations())))];
+    std::vector<Relation> states = MakeUR(d, 60, domain, 1000 + trial);
+    for (const Program& p : AllStrategyPrograms(d, x)) {
+      Program::Stats serial_stats;
+      std::vector<Relation> serial = p.ExecuteWithStats(states, &serial_stats);
+      for (int threads : {2, 4, 8}) {
+        exec::ExecContext ctx;
+        ctx.threads = threads;
+        ctx.morsel_rows = 16;  // force morsel splitting on small data
+        Program::Stats par_stats;
+        std::vector<Relation> parallel =
+            exec::Execute(p, states, ctx, &par_stats);
+        ExpectBitIdentical(serial, parallel);
+        EXPECT_EQ(serial_stats.max_intermediate_rows,
+                  par_stats.max_intermediate_rows);
+        EXPECT_EQ(serial_stats.total_rows_produced,
+                  par_stats.total_rows_produced);
+        EXPECT_EQ(serial_stats.result_rows, par_stats.result_rows);
+      }
+    }
+  }
+}
+
+TEST(ExecTest, NonDeterministicModeMatchesAsSets) {
+  // A path query with key-like data: every strategy applies except tree
+  // projection (the endpoints target spans two relations), and the full
+  // join stays near-linear while still splitting into many 8-row morsels.
+  DatabaseSchema d = PathSchema(8);
+  AttrSet x{0, 7};
+  std::vector<Relation> states = MakeUR(d, 200, 16 * 200, 99);
+  for (const Program& p : AllStrategyPrograms(d, x)) {
+    std::vector<Relation> serial = p.Execute(states);
+    exec::ExecContext ctx;
+    ctx.threads = 4;
+    ctx.morsel_rows = 8;
+    ctx.deterministic = false;
+    std::vector<Relation> parallel = exec::Execute(p, states, ctx);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_TRUE(serial[i].EqualsAsSet(parallel[i])) << "state " << i;
+    }
+  }
+}
+
+TEST(ExecTest, RunReturnsFinalRelation) {
+  DatabaseSchema d = PathSchema(5);
+  AttrSet x{0, 4};
+  Program p = *YannakakisProgram(d, x);
+  std::vector<Relation> states = MakeUR(d, 50, 4, 3);
+  exec::ExecContext ctx;
+  ctx.threads = 3;
+  Relation via_exec = exec::Run(p, states, ctx);
+  Relation reference = EvaluateJoinQuery(d, x, states);
+  EXPECT_TRUE(via_exec.EqualsAsSet(reference));
+}
+
+// --- Parallel operator kernels, driven directly. ---
+
+class ParallelOpsTest : public ::testing::Test {
+ protected:
+  // Two relations sharing attribute 1, large enough to split into many
+  // morsels at morsel_rows = 32.
+  void SetUp() override {
+    Rng rng(11);
+    r_ = std::make_unique<Relation>(AttrSet{0, 1});
+    s_ = std::make_unique<Relation>(AttrSet{1, 2});
+    for (int i = 0; i < 700; ++i) {
+      r_->AddRow({static_cast<Value>(rng.Below(50)),
+                  static_cast<Value>(rng.Below(40))});
+      s_->AddRow({static_cast<Value>(rng.Below(40)),
+                  static_cast<Value>(rng.Below(50))});
+    }
+    r_->Canonicalize();
+    s_->Canonicalize();
+  }
+
+  OpExecOpts ParallelOpts(exec::TaskScheduler* pool) {
+    OpExecOpts opts;
+    opts.scheduler = pool;
+    opts.morsel_rows = 32;
+    return opts;
+  }
+
+  std::unique_ptr<Relation> r_;
+  std::unique_ptr<Relation> s_;
+};
+
+TEST_F(ParallelOpsTest, JoinMatchesSerialBitForBit) {
+  Relation serial = NaturalJoin(*r_, *s_);
+  for (int threads : {2, 4, 8}) {
+    exec::TaskScheduler pool(threads);
+    Relation parallel = NaturalJoin(*r_, *s_, ParallelOpts(&pool));
+    EXPECT_EQ(serial.NumRows(), parallel.NumRows());
+    EXPECT_EQ(serial.Arena(), parallel.Arena()) << "threads=" << threads;
+  }
+}
+
+TEST_F(ParallelOpsTest, SemijoinMatchesSerialAndStaysCanonical) {
+  Relation serial = Semijoin(*r_, *s_);
+  EXPECT_TRUE(serial.IsCanonical());  // canonical input propagates
+  for (int threads : {2, 4, 8}) {
+    exec::TaskScheduler pool(threads);
+    Relation parallel = Semijoin(*r_, *s_, ParallelOpts(&pool));
+    EXPECT_TRUE(parallel.IsCanonical());
+    EXPECT_EQ(serial.Arena(), parallel.Arena()) << "threads=" << threads;
+  }
+}
+
+TEST_F(ParallelOpsTest, ProjectMatchesSerialBitForBit) {
+  Relation serial = Project(*r_, AttrSet{1});
+  for (int threads : {2, 4, 8}) {
+    exec::TaskScheduler pool(threads);
+    Relation parallel = Project(*r_, AttrSet{1}, ParallelOpts(&pool));
+    EXPECT_EQ(serial.NumRows(), parallel.NumRows());
+    EXPECT_EQ(serial.Arena(), parallel.Arena()) << "threads=" << threads;
+  }
+}
+
+TEST_F(ParallelOpsTest, NonDeterministicResultsEqualAsSets) {
+  exec::TaskScheduler pool(4);
+  OpExecOpts opts = ParallelOpts(&pool);
+  opts.deterministic = false;
+  Relation join = NaturalJoin(*r_, *s_, opts);
+  EXPECT_TRUE(join.EqualsAsSet(NaturalJoin(*r_, *s_)));
+  Relation semi = Semijoin(*r_, *s_, opts);
+  EXPECT_TRUE(semi.EqualsAsSet(Semijoin(*r_, *s_)));
+  Relation proj = Project(*r_, AttrSet{1}, opts);
+  EXPECT_TRUE(proj.EqualsAsSet(Project(*r_, AttrSet{1})));
+}
+
+TEST_F(ParallelOpsTest, DisjointSchemasCartesianProduct) {
+  Relation a(AttrSet{0});
+  Relation b(AttrSet{1});
+  for (Value v = 0; v < 90; ++v) a.AddRow({v});
+  for (Value v = 0; v < 7; ++v) b.AddRow({v});
+  a.Canonicalize();
+  b.Canonicalize();
+  Relation serial = NaturalJoin(a, b);
+  exec::TaskScheduler pool(4);
+  OpExecOpts opts = ParallelOpts(&pool);
+  opts.morsel_rows = 16;
+  Relation parallel = NaturalJoin(a, b, opts);
+  EXPECT_EQ(parallel.NumRows(), 90 * 7);
+  EXPECT_EQ(serial.Arena(), parallel.Arena());
+}
+
+TEST_F(ParallelOpsTest, EmptyInputsStayEmpty) {
+  Relation empty(AttrSet{1, 2});
+  exec::TaskScheduler pool(4);
+  OpExecOpts opts = ParallelOpts(&pool);
+  EXPECT_EQ(NaturalJoin(*r_, empty, opts).NumRows(), 0);
+  EXPECT_EQ(Semijoin(*r_, empty, opts).NumRows(), 0);
+}
+
+// --- Parallel full reducer. ---
+
+TEST(ExecReducerTest, ParallelFullReducerMatchesSerial) {
+  Rng rng(21);
+  for (int trial = 0; trial < 3; ++trial) {
+    RandomTreeResult t = RandomTreeSchema(8, 3, rng);
+    Rng state_rng(500 + trial);
+    std::vector<Relation> states = RandomStates(t.schema, 120, 4, state_rng);
+    auto serial = ApplyFullReducer(t.schema, states);
+    ASSERT_TRUE(serial.has_value());
+    for (int threads : {2, 4, 8}) {
+      exec::ExecContext ctx;
+      ctx.threads = threads;
+      ctx.morsel_rows = 16;
+      auto parallel = ApplyFullReducer(t.schema, states, ctx);
+      ASSERT_TRUE(parallel.has_value());
+      ASSERT_EQ(serial->size(), parallel->size());
+      for (size_t i = 0; i < serial->size(); ++i) {
+        EXPECT_EQ((*serial)[i].Arena(), (*parallel)[i].Arena())
+            << "state " << i << " threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(ExecReducerTest, ParallelReducerRejectsCyclicSchemas) {
+  DatabaseSchema d = Aring(5);
+  Rng rng(3);
+  std::vector<Relation> states = RandomStates(d, 20, 3, rng);
+  exec::ExecContext ctx;
+  ctx.threads = 4;
+  EXPECT_FALSE(ApplyFullReducer(d, states, ctx).has_value());
+}
+
+// --- Eager validation (satellite): malformed statements must fail up front
+// with an error naming the statement index. ---
+
+using ProgramValidationDeathTest = ::testing::Test;
+
+TEST(ProgramValidationDeathTest, ProjectingAbsentAttributeNamesStatement) {
+  Program p(2);
+  p.AddJoin(0, 1);              // statement 0, fine
+  p.AddProject(2, AttrSet{9});  // statement 1: attribute 9 exists nowhere
+  std::vector<Relation> base = {Relation(AttrSet{0, 1}),
+                                Relation(AttrSet{1, 2})};
+  EXPECT_DEATH(p.Execute(base), "statement 1");
+  DatabaseSchema d{AttrSet{0, 1}, AttrSet{1, 2}};
+  EXPECT_DEATH(p.DerivedSchema(d), "statement 1");
+}
+
+TEST(ProgramValidationDeathTest, ValidationRunsBeforeExecution) {
+  // The first statement is executable, the second malformed: eager
+  // validation must reject the program without running statement 0 (the
+  // error names statement 1, not a mid-execution operator failure).
+  Program p(1);
+  p.AddProject(0, AttrSet{0});
+  p.AddProject(1, AttrSet{7});
+  std::vector<Relation> base = {Relation(AttrSet{0, 1})};
+  EXPECT_DEATH(p.Execute(base), "statement 1: projection target");
+}
+
+TEST(ProgramValidationDeathTest, BaseArityMismatchDies) {
+  Program p(2);
+  p.AddJoin(0, 1);
+  std::vector<Relation> base = {Relation(AttrSet{0, 1})};
+  EXPECT_DEATH(p.Execute(base), "base has 1 relations, program expects 2");
+}
+
+TEST(ProgramValidationDeathTest, ValidateReturnsDerivedSchemas) {
+  Program p(2);
+  int j = p.AddJoin(0, 1);
+  p.AddProject(j, AttrSet{0, 2});
+  std::vector<AttrSet> schemas = p.ValidateAndDeriveSchemas(
+      {AttrSet{0, 1}, AttrSet{1, 2}});
+  ASSERT_EQ(schemas.size(), 4u);
+  EXPECT_TRUE(schemas[2] == (AttrSet{0, 1, 2}));
+  EXPECT_TRUE(schemas[3] == (AttrSet{0, 2}));
+}
+
+}  // namespace
+}  // namespace gyo
