@@ -1,0 +1,67 @@
+#ifndef GYO_EXAMPLES_EXEC_FLAGS_H_
+#define GYO_EXAMPLES_EXEC_FLAGS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "exec/exec_context.h"
+#include "exec/executor_pool.h"
+
+/// \file
+/// The execution flags shared by the demo CLIs (gyo_cli, query_planner):
+/// --threads N and --max-concurrent-queries M, plus the GYO_EXEC_THREADS
+/// fallback and the ConfigureGlobal call that sizes the process-wide
+/// ExecutorPool. One implementation so the two binaries cannot drift.
+
+namespace gyo_examples {
+
+enum class FlagParse { kNotAFlag, kParsed, kError };
+
+/// Tries to consume an execution flag at argv[*i], advancing *i past its
+/// value. Returns kNotAFlag for positional arguments, kParsed on success,
+/// and kError (after printing to stderr) for a bad value.
+inline FlagParse ParseExecFlag(int argc, char** argv, int* i,
+                               gyo::exec::ExecContext* ctx,
+                               gyo::exec::ExecutorPool::Options* pool_options) {
+  if (std::strcmp(argv[*i], "--threads") == 0) {
+    ctx->threads = *i + 1 < argc ? std::atoi(argv[++*i]) : 0;
+    if (ctx->threads < 1) {
+      std::fprintf(stderr, "error: --threads wants a positive integer\n");
+      return FlagParse::kError;
+    }
+    pool_options->threads = ctx->threads;
+    return FlagParse::kParsed;
+  }
+  if (std::strcmp(argv[*i], "--max-concurrent-queries") == 0) {
+    pool_options->max_concurrent_queries =
+        *i + 1 < argc ? std::atoi(argv[++*i]) : 0;
+    if (pool_options->max_concurrent_queries < 1) {
+      std::fprintf(
+          stderr,
+          "error: --max-concurrent-queries wants a positive integer\n");
+      return FlagParse::kError;
+    }
+    return FlagParse::kParsed;
+  }
+  return FlagParse::kNotAFlag;
+}
+
+/// Applies the GYO_EXEC_THREADS fallback — without --threads, the
+/// environment variable alone enables parallelism (width resolved via
+/// ResolveThreads) — and sizes the process-wide pool from the flags before
+/// any query touches it (parallel execution admits queries into
+/// ExecutorPool::Global()).
+inline void ConfigureExecFromFlags(
+    gyo::exec::ExecContext* ctx,
+    const gyo::exec::ExecutorPool::Options& pool_options) {
+  if (pool_options.threads == 0 &&
+      std::getenv("GYO_EXEC_THREADS") != nullptr) {
+    ctx->threads = gyo::exec::ExecutorPool::ResolveThreads(0);
+  }
+  gyo::exec::ExecutorPool::ConfigureGlobal(pool_options);
+}
+
+}  // namespace gyo_examples
+
+#endif  // GYO_EXAMPLES_EXEC_FLAGS_H_

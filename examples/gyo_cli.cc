@@ -11,8 +11,11 @@
 //                                          random UR database
 //
 // A global "--threads N" flag routes execution (the solve command) through
-// the parallel exec runtime; every other command is schema-level analysis
-// and ignores it.
+// the parallel exec runtime; "--max-concurrent-queries M" additionally caps
+// how many queries the process-wide ExecutorPool admits at once (both flags
+// configure the shared pool before its lazy creation; the GYO_EXEC_THREADS
+// environment variable sizes the pool when --threads is absent). Every
+// other command is schema-level analysis and ignores them.
 //
 // Schemas use the paper's notation: relations separated by commas; either
 // one-letter attributes ("ab,bc") or space-separated names inside a
@@ -24,7 +27,9 @@
 #include <string>
 #include <vector>
 
+#include "exec/executor_pool.h"
 #include "exec/physical_plan.h"
+#include "exec_flags.h"
 #include "gyo/acyclic.h"
 #include "gyo/gamma.h"
 #include "gyo/gyo.h"
@@ -42,7 +47,7 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: gyo_cli [--threads N] "
+               "usage: gyo_cli [--threads N] [--max-concurrent-queries M] "
                "<classify|reduce|cc|lossless|gamma|treefy|dot|solve>"
                " <schema> [args...]\n");
   return 2;
@@ -167,7 +172,10 @@ int Solve(gyo::Catalog& catalog, const gyo::DatabaseSchema& d,
   for (const Entry& e : entries) {
     gyo::exec::PhysicalPlan plan = gyo::exec::PhysicalPlan::Compile(e.program);
     gyo::Program::Stats stats;
-    std::vector<gyo::Relation> out = plan.Execute(states, ctx, &stats);
+    gyo::exec::QueryStats query_stats;
+    gyo::exec::ExecContext query_ctx = ctx;
+    query_ctx.query_stats = &query_stats;
+    std::vector<gyo::Relation> out = plan.Execute(states, query_ctx, &stats);
     bool match = out.back().EqualsAsSet(reference);
     all_match = all_match && match;
     std::printf(
@@ -177,6 +185,15 @@ int Solve(gyo::Catalog& catalog, const gyo::DatabaseSchema& d,
         static_cast<long long>(stats.max_intermediate_rows),
         static_cast<long long>(stats.result_rows),
         match ? "[match]" : "[MISMATCH]");
+    if (ctx.threads != 1) {
+      std::printf(
+          "             pool: %.2f ms queued, %.2f ms running, %lld tasks, "
+          "%lld morsels\n",
+          query_stats.queue_wait_seconds * 1e3,
+          query_stats.run_time_seconds * 1e3,
+          static_cast<long long>(query_stats.tasks),
+          static_cast<long long>(query_stats.morsels));
+    }
   }
   return all_match ? 0 : 1;
 }
@@ -195,18 +212,16 @@ int Dot(gyo::Catalog& catalog, const gyo::DatabaseSchema& d) {
 
 int main(int argc, char** argv) {
   gyo::exec::ExecContext ctx;
+  gyo::exec::ExecutorPool::Options pool_options;
   std::vector<char*> args;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0) {
-      ctx.threads = i + 1 < argc ? std::atoi(argv[++i]) : 0;
-      if (ctx.threads < 1) {
-        std::fprintf(stderr, "error: --threads wants a positive integer\n");
-        return 2;
-      }
-      continue;
-    }
+    gyo_examples::FlagParse parsed =
+        gyo_examples::ParseExecFlag(argc, argv, &i, &ctx, &pool_options);
+    if (parsed == gyo_examples::FlagParse::kError) return 2;
+    if (parsed == gyo_examples::FlagParse::kParsed) continue;
     args.push_back(argv[i]);
   }
+  gyo_examples::ConfigureExecFromFlags(&ctx, pool_options);
   if (args.size() < 2) return Usage();
   gyo::Catalog catalog;
   gyo::DatabaseSchema d = gyo::ParseSchema(catalog, args[1]);

@@ -12,6 +12,10 @@
 //   $ ./query_planner                      # the paper's §6 example
 //   $ ./query_planner "ab,bc,cd" ad        # your own query
 //   $ ./query_planner "ab,bc,cd" ad --threads 4   # parallel exec runtime
+//
+// With --threads N the programs run through the process-wide ExecutorPool
+// (sized N here; GYO_EXEC_THREADS sizes it when the flag is absent), and
+// --max-concurrent-queries M caps how many queries the pool admits at once.
 
 #include <cstdio>
 #include <cstdlib>
@@ -19,7 +23,9 @@
 #include <string>
 #include <vector>
 
+#include "exec/executor_pool.h"
 #include "exec/physical_plan.h"
+#include "exec_flags.h"
 #include "gyo/acyclic.h"
 #include "query/query.h"
 #include "rel/ops.h"
@@ -32,21 +38,19 @@
 #include "util/rng.h"
 
 int main(int argc, char** argv) {
-  // Split off the optional "--threads N" flag; what remains are the
-  // positional schema/target arguments.
+  // Split off the optional "--threads N" / "--max-concurrent-queries M"
+  // flags; what remains are the positional schema/target arguments.
   gyo::exec::ExecContext ctx;
+  gyo::exec::ExecutorPool::Options pool_options;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0) {
-      ctx.threads = i + 1 < argc ? std::atoi(argv[++i]) : 0;
-      if (ctx.threads < 1) {
-        std::fprintf(stderr, "error: --threads wants a positive integer\n");
-        return 2;
-      }
-      continue;
-    }
+    gyo_examples::FlagParse parsed =
+        gyo_examples::ParseExecFlag(argc, argv, &i, &ctx, &pool_options);
+    if (parsed == gyo_examples::FlagParse::kError) return 2;
+    if (parsed == gyo_examples::FlagParse::kParsed) continue;
     positional.push_back(argv[i]);
   }
+  gyo_examples::ConfigureExecFromFlags(&ctx, pool_options);
 
   gyo::Catalog catalog;
   gyo::DatabaseSchema d;

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Diffs Google Benchmark correctness counters against committed baselines.
+
+The benchmarks attach correctness counters — result cardinalities and
+intermediate-size stats — to every run (e.g. ``result_rows``,
+``max_intermediate``, ``reduced_rows_r0``). Unlike timings, these are
+machine-independent: they are seeded row counts, identical on every host and
+at every thread count (deterministic execution mode). A drift therefore
+means an operator or program now computes a different answer, which is a
+correctness regression no matter how fast it runs.
+
+Usage:
+    check_bench_counters.py [--baseline bench/results] [--fresh build/release]
+
+For every ``BENCH_*.json`` in the baseline directory, the same-named file
+must exist in the fresh directory, every baseline benchmark must appear in
+the fresh run, and every checked counter must match exactly. Extra
+benchmarks or files in the fresh run are reported but do not fail (new
+benchmarks land before their baseline is committed). Exit status: 0 clean,
+1 drift/missing data, 2 usage error.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Counters treated as correctness-bearing. Everything else a benchmark
+# reports (times, throughput, morsel tallies that depend on pool width) is
+# ignored here.
+CHECKED_COUNTERS = ("result_rows", "max_intermediate", "queries")
+CHECKED_PREFIXES = ("reduced_rows",)
+
+
+def checked_counter(name: str) -> bool:
+    return name in CHECKED_COUNTERS or name.startswith(CHECKED_PREFIXES)
+
+
+def load_benchmarks(path: Path) -> dict:
+    """Maps benchmark name -> {counter: value} for one benchmark JSON file."""
+    with path.open() as f:
+        report = json.load(f)
+    out = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue  # aggregates repeat the per-iteration counters
+        name = bench["name"]
+        out[name] = {
+            key: value
+            for key, value in bench.items()
+            if checked_counter(key) and isinstance(value, (int, float))
+        }
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default="bench/results", type=Path,
+                        help="directory of committed BENCH_*.json baselines")
+    parser.add_argument("--fresh", default="build/release", type=Path,
+                        help="directory of freshly produced BENCH_*.json")
+    args = parser.parse_args()
+
+    baseline_files = sorted(args.baseline.glob("BENCH_*.json"))
+    if not baseline_files:
+        print(f"error: no BENCH_*.json baselines under {args.baseline}",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    checked = 0
+    for baseline_path in baseline_files:
+        fresh_path = args.fresh / baseline_path.name
+        if not fresh_path.exists():
+            failures.append(f"{baseline_path.name}: missing from {args.fresh} "
+                            "(bench binary not run?)")
+            continue
+        baseline = load_benchmarks(baseline_path)
+        fresh = load_benchmarks(fresh_path)
+        for bench_name, counters in sorted(baseline.items()):
+            if bench_name not in fresh:
+                failures.append(f"{baseline_path.name}: benchmark "
+                                f"'{bench_name}' missing from fresh run")
+                continue
+            for counter, want in sorted(counters.items()):
+                got = fresh[bench_name].get(counter)
+                checked += 1
+                if got is None:
+                    failures.append(
+                        f"{baseline_path.name}: {bench_name}: counter "
+                        f"'{counter}' missing from fresh run")
+                elif got != want:
+                    failures.append(
+                        f"{baseline_path.name}: {bench_name}: {counter} "
+                        f"drifted: baseline {want:g}, fresh {got:g}")
+        for bench_name in sorted(set(fresh) - set(baseline)):
+            print(f"note: {baseline_path.name}: new benchmark "
+                  f"'{bench_name}' has no baseline yet")
+
+    if failures:
+        print(f"bench-check: {len(failures)} counter problem(s):",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        print("If the change is intentional, refresh the baselines with\n"
+              "  BENCH_OUT_DIR=bench/results ./scripts/run_benches.sh",
+              file=sys.stderr)
+        return 1
+    print(f"bench-check: {checked} counters match across "
+          f"{len(baseline_files)} baseline file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,8 +19,11 @@ min_time="${BENCH_MIN_TIME:-0.01s}"
 out_dir="${BENCH_OUT_DIR:-build/release}"
 targets="${BENCH_TARGETS:-bench_join_strategies bench_yannakakis bench_reducer bench_exec}"
 
+# GYO_BUILD_BENCHMARKS=ON is forced (after the extra args) so a cached
+# bench-off configuration can't silently leave stale binaries running.
 # shellcheck disable=SC2086  # word-splitting of the extra args is intended
-cmake --preset release -DGYO_FETCH_BENCHMARK=ON ${BENCH_CMAKE_ARGS:-}
+cmake --preset release -DGYO_FETCH_BENCHMARK=ON ${BENCH_CMAKE_ARGS:-} \
+      -DGYO_BUILD_BENCHMARKS=ON
 cmake --build --preset release -j"$(nproc)"
 
 mkdir -p "${out_dir}"

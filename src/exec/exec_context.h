@@ -6,24 +6,65 @@
 namespace gyo {
 namespace exec {
 
+class ExecutorPool;
+
+/// Per-query execution metrics reported by the admission-controlled runtime
+/// (see exec/executor_pool.h). All durations are seconds.
+struct QueryStats {
+  /// Time spent queued in the admission controller before the query was
+  /// allowed to run (0 when a slot was free, and always 0 for serial
+  /// threads == 1 execution, which bypasses admission).
+  double queue_wait_seconds = 0.0;
+
+  /// Wall time from admission to completion of the last statement.
+  double run_time_seconds = 0.0;
+
+  /// Statement tasks executed for this query (one per program statement).
+  int64_t tasks = 0;
+
+  /// Data morsels dispatched by this query's operator kernels (hash-build
+  /// and probe passes). 0 when every operator ran serially — inputs smaller
+  /// than one morsel, or a single-thread pool.
+  int64_t morsels = 0;
+};
+
 /// Runtime knobs for executing programs (and the reducer) in parallel.
 /// Default-constructed context is the serial engine: one thread, inline
 /// execution — Program::Execute runs with exactly these settings.
 struct ExecContext {
-  /// Worker threads (>= 1). 1 = serial inline execution, no pool spawned.
+  /// Worker threads (>= 1). 1 = serial inline execution on the calling
+  /// thread: no pool, no admission control. Any other value routes the query
+  /// through an ExecutorPool (see `pool`), whose fixed pool width — not this
+  /// field — determines the actual parallelism.
   int threads = 1;
 
-  /// Probe rows per morsel in the parallel operator kernels. Operators whose
-  /// probe side fits in one morsel run serially inside their statement task
-  /// (statement-level parallelism still applies).
-  int64_t morsel_rows = 2048;
+  /// Probe rows per morsel in the parallel operator kernels. 0 (the default)
+  /// auto-tunes per operator from the probe relation's arity so one morsel's
+  /// values stay ~L2-resident (see AutoMorselRows in rel/ops.h). Operators
+  /// whose probe side fits in one morsel run serially inside their statement
+  /// task (statement-level parallelism still applies).
+  int64_t morsel_rows = 0;
 
   /// When true (default), parallel operators merge their per-morsel outputs
   /// in morsel order, making every produced relation bit-identical — same
-  /// physical row order, same canonical flag — to a serial run. When false,
-  /// morsel outputs merge in completion order: same set of rows, unspecified
+  /// physical row order, same canonical flag — to a serial run. This holds
+  /// per query even when many queries share one pool. When false, morsel
+  /// outputs merge in completion order: same set of rows, unspecified
   /// physical order (and Semijoin no longer propagates canonical form).
   bool deterministic = true;
+
+  /// Pool to run on when threads != 1. nullptr = the lazily-initialized
+  /// process-wide ExecutorPool::Global() (sized by GYO_EXEC_THREADS or
+  /// hardware_concurrency; see executor_pool.h).
+  ExecutorPool* pool = nullptr;
+
+  /// Admission fairness class: the controller round-robins free slots across
+  /// submitter ids, so one hot submitter cannot starve the others. 0 (the
+  /// default) lumps every caller into one FIFO class.
+  uint64_t submitter = 0;
+
+  /// When non-null, receives this query's QueryStats on completion.
+  QueryStats* query_stats = nullptr;
 };
 
 }  // namespace exec

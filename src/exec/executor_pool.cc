@@ -1,0 +1,159 @@
+#include "exec/executor_pool.h"
+
+#include <cstdlib>
+#include <thread>
+
+#include "util/check.h"
+
+namespace gyo {
+namespace exec {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start,
+                    std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+// Global-pool registration. A plain pointer guarded by a function-local
+// mutex: the pool itself is leaked on purpose (see Global() contract) so a
+// query running on a detached thread at exit never races a static
+// destructor.
+std::mutex& GlobalMu() {
+  static std::mutex mu;
+  return mu;
+}
+
+ExecutorPool*& GlobalSlot() {
+  static ExecutorPool* pool = nullptr;
+  return pool;
+}
+
+ExecutorPool::Options& PendingGlobalOptions() {
+  static ExecutorPool::Options options;
+  return options;
+}
+
+}  // namespace
+
+int ExecutorPool::ResolveThreads(int requested) {
+  if (requested >= 1) return requested;
+  if (const char* env = std::getenv("GYO_EXEC_THREADS")) {
+    const int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+ExecutorPool::ExecutorPool(const Options& options)
+    : scheduler_(ResolveThreads(options.threads)),
+      max_concurrent_(options.max_concurrent_queries >= 1
+                          ? options.max_concurrent_queries
+                          : scheduler_.threads()) {}
+
+ExecutorPool::~ExecutorPool() {
+  std::lock_guard<std::mutex> lock(mu_);
+  GYO_CHECK_MSG(running_ == 0 && num_waiting_ == 0,
+                "ExecutorPool destroyed with %d running and %d waiting "
+                "queries", running_, num_waiting_);
+}
+
+ExecutorPool& ExecutorPool::Global() {
+  std::lock_guard<std::mutex> lock(GlobalMu());
+  ExecutorPool*& slot = GlobalSlot();
+  if (slot == nullptr) slot = new ExecutorPool(PendingGlobalOptions());
+  return *slot;
+}
+
+void ExecutorPool::ConfigureGlobal(const Options& options) {
+  std::lock_guard<std::mutex> lock(GlobalMu());
+  GYO_CHECK_MSG(GlobalSlot() == nullptr,
+                "ConfigureGlobal called after the global pool was created");
+  PendingGlobalOptions() = options;
+}
+
+int ExecutorPool::running_queries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+int ExecutorPool::waiting_queries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_waiting_;
+}
+
+ExecutorPool::Admission ExecutorPool::Admit(uint64_t submitter) {
+  const auto enqueued_at = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> lock(mu_);
+  // Fast path only when nobody is queued: a free slot must not let a
+  // latecomer jump the round-robin ring.
+  if (running_ < max_concurrent_ && num_waiting_ == 0) {
+    ++running_;
+    lock.unlock();
+    return Admission(this, 0.0, std::chrono::steady_clock::now());
+  }
+
+  Waiter w;
+  std::deque<Waiter*>& q = waiting_[submitter];
+  if (q.empty()) rr_ring_.push_back(submitter);
+  q.push_back(&w);
+  ++num_waiting_;
+  w.cv.wait(lock, [&] { return w.admitted; });  // Release() did the counts
+  lock.unlock();
+  const auto admitted_at = std::chrono::steady_clock::now();
+  return Admission(this, SecondsSince(enqueued_at, admitted_at), admitted_at);
+}
+
+void ExecutorPool::Release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --running_;
+  // Serve the next waiter round-robin across submitters. Invariant: the
+  // ring holds exactly the submitters with a non-empty queue (Admit pushes
+  // on the empty -> non-empty transition, the erase below drops a submitter
+  // the moment its queue drains), so a drain-and-requeue cycle cannot
+  // accumulate duplicate ring entries and the ring/map stay bounded by the
+  // number of distinct waiting submitters. The notify happens under mu_:
+  // the Waiter lives on the admitted caller's stack and dies as soon as
+  // that caller observes admitted == true, so signaling after unlocking
+  // could dereference a dead waiter.
+  if (rr_ring_.empty()) return;
+  if (rr_pos_ >= rr_ring_.size()) rr_pos_ = 0;
+  const uint64_t submitter = rr_ring_[rr_pos_];
+  std::deque<Waiter*>& q = waiting_[submitter];
+  Waiter* next = q.front();
+  q.pop_front();
+  if (q.empty()) {
+    waiting_.erase(submitter);
+    // The erase slides the next submitter into rr_pos_, so no advance.
+    rr_ring_.erase(rr_ring_.begin() + static_cast<std::ptrdiff_t>(rr_pos_));
+  } else {
+    ++rr_pos_;  // the next release serves the next submitter
+  }
+  --num_waiting_;
+  ++running_;
+  next->admitted = true;
+  next->cv.notify_one();
+}
+
+QueryStats ExecutorPool::Admission::Finish() {
+  if (!finished_) {
+    finished_ = true;
+    run_time_seconds_ =
+        SecondsSince(admitted_at_, std::chrono::steady_clock::now());
+  }
+  QueryStats stats;
+  stats.queue_wait_seconds = queue_wait_seconds_;
+  stats.run_time_seconds = run_time_seconds_;
+  stats.tasks = tasks_.load(std::memory_order_relaxed);
+  stats.morsels = morsels_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+ExecutorPool::Admission::~Admission() {
+  Finish();
+  pool_->Release();
+}
+
+}  // namespace exec
+}  // namespace gyo

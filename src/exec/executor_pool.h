@@ -1,0 +1,152 @@
+#ifndef GYO_EXEC_EXECUTOR_POOL_H_
+#define GYO_EXEC_EXECUTOR_POOL_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/exec_context.h"
+#include "exec/task_scheduler.h"
+
+namespace gyo {
+namespace exec {
+
+/// A process-wide shared TaskScheduler fronted by an admission controller —
+/// the layer that turns the one-query exec runtime into a multi-tenant
+/// engine. Every parallel query (exec::Execute with threads != 1) draws from
+/// one fixed pool of workers instead of spinning up and tearing down its own
+/// scheduler, so N concurrent queries on an M-core machine run on M threads
+/// total rather than N*M.
+///
+/// Admission control caps the number of *concurrently running* queries at
+/// max_concurrent_queries(); excess queries wait in per-submitter FIFO
+/// queues served round-robin across submitters, so one hot caller cannot
+/// starve the rest. A query holds its slot only while running — waiting
+/// queries hold nothing, so admission cannot deadlock.
+///
+/// The scheduler runs every admitted query's task graph concurrently
+/// (graph-scoped dependency counters; see TaskScheduler::RunGraph), with
+/// plan-level priorities so critical-path statements dispatch first. Each
+/// admitted query's caller thread participates in execution, so up to
+/// max_concurrent_queries() caller threads add themselves to the pool's
+/// threads() workers while their queries are in flight.
+class ExecutorPool {
+ public:
+  struct Options {
+    /// Worker threads. 0 (default) resolves via ResolveThreads: the
+    /// GYO_EXEC_THREADS environment variable if set, else
+    /// hardware_concurrency.
+    int threads = 0;
+
+    /// Admission cap on concurrently running queries. 0 (default) = the
+    /// resolved thread count (one average thread per admitted query).
+    int max_concurrent_queries = 0;
+  };
+
+  ExecutorPool() : ExecutorPool(Options()) {}
+  explicit ExecutorPool(const Options& options);
+
+  /// Joins the workers. Every Admission must have been destroyed first.
+  ~ExecutorPool();
+
+  ExecutorPool(const ExecutorPool&) = delete;
+  ExecutorPool& operator=(const ExecutorPool&) = delete;
+
+  /// The lazily-initialized process-wide pool, created on first use with
+  /// the options from ConfigureGlobal (or defaults). Never destroyed —
+  /// intentionally leaked so queries on detached threads cannot race static
+  /// destruction.
+  static ExecutorPool& Global();
+
+  /// Sets the options Global() will be built with. Must be called before
+  /// the first Global() call; dies afterwards (the pool cannot be resized
+  /// once workers exist). CLIs call this from flag parsing
+  /// (--threads / --max-concurrent-queries).
+  static void ConfigureGlobal(const Options& options);
+
+  /// Thread-count resolution: `requested` if >= 1, else GYO_EXEC_THREADS
+  /// (when set to a positive integer), else hardware_concurrency, else 1.
+  static int ResolveThreads(int requested);
+
+  int threads() const { return scheduler_.threads(); }
+  int max_concurrent_queries() const { return max_concurrent_; }
+  TaskScheduler& scheduler() { return scheduler_; }
+
+  /// Queries currently holding an admission slot / waiting for one.
+  int running_queries() const;
+  int waiting_queries() const;
+
+  /// An admission slot, held for the lifetime of one query (RAII: the
+  /// destructor releases the slot and wakes the next waiter). Also the
+  /// query's stats accumulator: the exec runtime adds task/morsel counts
+  /// while running and snapshots the result via Finish().
+  class Admission {
+   public:
+    ~Admission();
+    Admission(const Admission&) = delete;
+    Admission& operator=(const Admission&) = delete;
+
+    TaskScheduler& scheduler() const { return pool_->scheduler_; }
+
+    void AddTasks(int64_t n) {
+      tasks_.fetch_add(n, std::memory_order_relaxed);
+    }
+    /// Incremented by the operator kernels via OpExecOpts::morsel_counter.
+    std::atomic<int64_t>& morsel_counter() { return morsels_; }
+
+    /// Records the query as finished (run_time stops here; idempotent) and
+    /// returns the stats snapshot.
+    QueryStats Finish();
+
+   private:
+    friend class ExecutorPool;
+    Admission(ExecutorPool* pool, double queue_wait_seconds,
+              std::chrono::steady_clock::time_point admitted_at)
+        : pool_(pool),
+          queue_wait_seconds_(queue_wait_seconds),
+          admitted_at_(admitted_at) {}
+
+    ExecutorPool* pool_;
+    double queue_wait_seconds_;
+    std::chrono::steady_clock::time_point admitted_at_;
+    std::atomic<int64_t> tasks_{0};
+    std::atomic<int64_t> morsels_{0};
+    bool finished_ = false;
+    double run_time_seconds_ = 0.0;
+  };
+
+  /// Blocks until the admission controller grants a slot (immediately when
+  /// running_queries() < max_concurrent_queries() and nothing is queued).
+  /// `submitter` is the fairness class (see ExecContext::submitter).
+  Admission Admit(uint64_t submitter = 0);
+
+ private:
+  struct Waiter {
+    std::condition_variable cv;
+    bool admitted = false;
+  };
+
+  void Release();
+
+  TaskScheduler scheduler_;
+  const int max_concurrent_;
+
+  mutable std::mutex mu_;
+  int running_ = 0;
+  int num_waiting_ = 0;
+  // Per-submitter FIFO queues plus the round-robin ring of submitters that
+  // currently have waiters; rr_pos_ points at the next submitter to serve.
+  std::unordered_map<uint64_t, std::deque<Waiter*>> waiting_;
+  std::vector<uint64_t> rr_ring_;
+  size_t rr_pos_ = 0;
+};
+
+}  // namespace exec
+}  // namespace gyo
+
+#endif  // GYO_EXEC_EXECUTOR_POOL_H_

@@ -1,8 +1,10 @@
 #include "exec/physical_plan.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
+#include "exec/executor_pool.h"
 #include "exec/task_scheduler.h"
 #include "rel/ops.h"
 #include "util/check.h"
@@ -65,6 +67,64 @@ int PhysicalPlan::NumSourceStatements() const {
 
 namespace {
 
+// Builds and runs the statement task graph on `scheduler`. Each statement
+// gets a plan-level priority — the length of its longest downstream
+// dependency chain — so critical-path statements dispatch first when many
+// statements (or many queries) compete for the pool.
+void RunStatements(const Program& program,
+                   const std::vector<std::vector<int>>& deps,
+                   std::vector<Relation>& states, TaskScheduler& scheduler,
+                   const OpExecOpts& op_opts,
+                   std::vector<int64_t>& rows_produced) {
+  const int num_base = program.num_base();
+  const int num_statements = program.NumStatements();
+
+  // Tail critical path: priority[k] = longest chain from statement k to any
+  // sink, in statements. Statements only depend on earlier ones, so one
+  // reverse sweep suffices.
+  std::vector<int> priority(static_cast<size_t>(num_statements), 1);
+  for (int k = num_statements - 1; k >= 0; --k) {
+    for (int d : deps[static_cast<size_t>(k)]) {
+      priority[static_cast<size_t>(d)] =
+          std::max(priority[static_cast<size_t>(d)],
+                   priority[static_cast<size_t>(k)] + 1);
+    }
+  }
+
+  TaskGraph graph;
+  for (int k = 0; k < num_statements; ++k) {
+    // Pointer, not reference: the task closures outlive this loop iteration
+    // (the statements vector itself is stable for the program's lifetime).
+    const Program::Statement* s =
+        &program.Statements()[static_cast<size_t>(k)];
+    const size_t slot = static_cast<size_t>(num_base + k);
+    graph.AddTask(
+        [&states, &rows_produced, &op_opts, s, slot, k] {
+          Relation& out = states[slot];
+          switch (s->kind) {
+            case Program::Statement::Kind::kJoin:
+              out = NaturalJoin(states[static_cast<size_t>(s->lhs)],
+                                states[static_cast<size_t>(s->rhs)], op_opts);
+              break;
+            case Program::Statement::Kind::kSemijoin:
+              out = Semijoin(states[static_cast<size_t>(s->lhs)],
+                             states[static_cast<size_t>(s->rhs)], op_opts);
+              break;
+            case Program::Statement::Kind::kProject:
+              out = Project(states[static_cast<size_t>(s->lhs)], s->target,
+                            op_opts);
+              break;
+          }
+          rows_produced[static_cast<size_t>(k)] = out.NumRows();
+        },
+        priority[static_cast<size_t>(k)]);
+  }
+  for (int k = 0; k < num_statements; ++k) {
+    for (int d : deps[static_cast<size_t>(k)]) graph.AddDependency(k, d);
+  }
+  scheduler.RunGraph(graph);
+}
+
 // Shared execution body: used by PhysicalPlan::Execute (compiled plan) and
 // the free exec::Execute (borrows the caller's program — no Program copy on
 // the convenience path).
@@ -80,8 +140,8 @@ std::vector<Relation> ExecuteImpl(const Program& program,
                 static_cast<int>(base.size()), num_base);
   GYO_CHECK_MSG(ctx.threads >= 1, "ExecContext.threads must be >= 1, got %d",
                 ctx.threads);
-  GYO_CHECK_MSG(ctx.morsel_rows >= 1,
-                "ExecContext.morsel_rows must be >= 1, got %lld",
+  GYO_CHECK_MSG(ctx.morsel_rows >= 0,
+                "ExecContext.morsel_rows must be >= 0, got %lld",
                 static_cast<long long>(ctx.morsel_rows));
 
   // Eager validation: derive the schema of every statement from the actual
@@ -103,9 +163,7 @@ std::vector<Relation> ExecuteImpl(const Program& program,
     states.emplace_back(schemas[static_cast<size_t>(num_base + k)]);
   }
 
-  TaskScheduler pool(ctx.threads);
   OpExecOpts op_opts;
-  op_opts.scheduler = &pool;
   op_opts.morsel_rows = ctx.morsel_rows;
   op_opts.deterministic = ctx.deterministic;
 
@@ -113,36 +171,35 @@ std::vector<Relation> ExecuteImpl(const Program& program,
   // RunGraph barrier.
   std::vector<int64_t> rows_produced(static_cast<size_t>(num_statements), 0);
 
-  TaskGraph graph;
-  for (int k = 0; k < num_statements; ++k) {
-    // Pointer, not reference: the task closures outlive this loop iteration
-    // (the statements vector itself is stable for the program's lifetime).
-    const Program::Statement* s =
-        &program.Statements()[static_cast<size_t>(k)];
-    const size_t slot = static_cast<size_t>(num_base + k);
-    graph.AddTask([&states, &rows_produced, &op_opts, s, slot, k] {
-      Relation& out = states[slot];
-      switch (s->kind) {
-        case Program::Statement::Kind::kJoin:
-          out = NaturalJoin(states[static_cast<size_t>(s->lhs)],
-                            states[static_cast<size_t>(s->rhs)], op_opts);
-          break;
-        case Program::Statement::Kind::kSemijoin:
-          out = Semijoin(states[static_cast<size_t>(s->lhs)],
-                         states[static_cast<size_t>(s->rhs)], op_opts);
-          break;
-        case Program::Statement::Kind::kProject:
-          out = Project(states[static_cast<size_t>(s->lhs)], s->target,
-                        op_opts);
-          break;
-      }
-      rows_produced[static_cast<size_t>(k)] = out.NumRows();
-    });
+  if (ctx.threads == 1) {
+    // Serial specialization (Program::Execute's path): inline execution on
+    // the calling thread, no shared pool, no admission control.
+    const auto started = std::chrono::steady_clock::now();
+    TaskScheduler serial(1);
+    op_opts.scheduler = &serial;
+    RunStatements(program, deps, states, serial, op_opts, rows_produced);
+    if (ctx.query_stats != nullptr) {
+      *ctx.query_stats = QueryStats();
+      ctx.query_stats->run_time_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        started)
+              .count();
+      ctx.query_stats->tasks = num_statements;
+    }
+  } else {
+    // Multi-tenant path: admission into the shared pool (ctx.pool, or the
+    // process-wide one), then the query's graph runs on the pool's workers
+    // concurrently with other admitted queries.
+    ExecutorPool& pool =
+        ctx.pool != nullptr ? *ctx.pool : ExecutorPool::Global();
+    ExecutorPool::Admission admission = pool.Admit(ctx.submitter);
+    op_opts.scheduler = &admission.scheduler();
+    op_opts.morsel_counter = &admission.morsel_counter();
+    RunStatements(program, deps, states, admission.scheduler(), op_opts,
+                  rows_produced);
+    admission.AddTasks(num_statements);
+    if (ctx.query_stats != nullptr) *ctx.query_stats = admission.Finish();
   }
-  for (int k = 0; k < num_statements; ++k) {
-    for (int d : deps[static_cast<size_t>(k)]) graph.AddDependency(k, d);
-  }
-  pool.RunGraph(graph);
 
   if (stats != nullptr) {
     *stats = Program::Stats();

@@ -41,13 +41,18 @@ class PhysicalPlan {
   /// states followed by one per statement), exactly like Program::Execute.
   /// Validates every statement eagerly (see ValidateAndDeriveSchemas) before
   /// any operator runs. With ctx.threads == 1 this runs inline and serially;
-  /// with more threads, independent statements run concurrently and large
-  /// operators additionally parallelize over morsels. In deterministic mode
+  /// with any other value the query is admitted into the shared
+  /// ExecutorPool (ctx.pool, defaulting to the process-wide one): admission
+  /// caps concurrent queries, the pool's workers run independent statements
+  /// concurrently — critical-path statements first — and large operators
+  /// additionally parallelize over morsels. In deterministic mode
   /// (ctx.deterministic, the default) the returned states are bit-identical
   /// to the serial run's — same row order, same canonical flags — and so are
-  /// the reported Stats; otherwise row order within each state is
-  /// unspecified (Stats are unchanged either way: operator outputs are
-  /// duplicate-free, so the counters are set cardinalities).
+  /// the reported Stats, regardless of pool size or concurrent queries;
+  /// otherwise row order within each state is unspecified (Stats are
+  /// unchanged either way: operator outputs are duplicate-free, so the
+  /// counters are set cardinalities). ctx.query_stats, when non-null,
+  /// receives the per-query admission/runtime metrics.
   std::vector<Relation> Execute(const std::vector<Relation>& base,
                                 const ExecContext& ctx,
                                 Program::Stats* stats = nullptr) const;

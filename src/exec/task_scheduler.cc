@@ -2,14 +2,24 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 
 #include "util/check.h"
 
 namespace gyo {
 namespace exec {
 
-int TaskGraph::AddTask(TaskFn fn) {
-  tasks_.push_back(Task{std::move(fn), {}, 0});
+namespace {
+
+// ParallelFor morsels dispatch above every graph-task priority: finishing an
+// operator already in flight shortens the makespan more than starting a new
+// statement.
+constexpr int kMorselPriority = std::numeric_limits<int>::max();
+
+}  // namespace
+
+int TaskGraph::AddTask(TaskFn fn, int priority) {
+  tasks_.push_back(Task{std::move(fn), {}, 0, priority});
   deps_.emplace_back();
   return static_cast<int>(tasks_.size()) - 1;
 }
@@ -54,7 +64,10 @@ int TaskGraph::CriticalPathLength() const {
 
 // Shared state of one RunGraph invocation. Jobs capture it by shared_ptr so
 // a worker finishing the final task can still use the mutex/cv safely while
-// the caller's RunGraph frame unwinds.
+// the caller's RunGraph frame unwinds. Every concurrent RunGraph invocation
+// owns one of these, which is what keeps independent graphs independent:
+// dependency counters and the completion signal are graph-scoped, only the
+// job queue is shared.
 struct TaskScheduler::GraphRunState {
   TaskGraph* graph = nullptr;
   // Cached graph->NumTasks(): the final done increment releases the caller
@@ -85,19 +98,30 @@ TaskScheduler::~TaskScheduler() {
   for (std::thread& w : workers_) w.join();
 }
 
-void TaskScheduler::Enqueue(Job job) {
+void TaskScheduler::Enqueue(int priority, Job job) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(job));
+    queue_[priority].push_back(std::move(job));
+    ++queued_jobs_;
   }
   queue_cv_.notify_one();
 }
 
+// The one queue-discipline implementation: front of the highest-priority
+// bucket, erasing drained buckets so begin() stays the top priority.
+TaskScheduler::Job TaskScheduler::PopLockedJob() {
+  std::deque<Job>& bucket = queue_.begin()->second;
+  Job job = std::move(bucket.front());
+  bucket.pop_front();
+  if (bucket.empty()) queue_.erase(queue_.begin());
+  --queued_jobs_;
+  return job;
+}
+
 bool TaskScheduler::PopJob(Job* out) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (queue_.empty()) return false;
-  *out = std::move(queue_.front());
-  queue_.pop_front();
+  if (queued_jobs_ == 0) return false;
+  *out = PopLockedJob();
   return true;
 }
 
@@ -106,10 +130,9 @@ void TaskScheduler::WorkerLoop() {
     Job job;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and fully drained
-      job = std::move(queue_.front());
-      queue_.pop_front();
+      queue_cv_.wait(lock, [this] { return stopping_ || queued_jobs_ > 0; });
+      if (queued_jobs_ == 0) return;  // stopping_ and fully drained
+      job = PopLockedJob();
     }
     job();
   }
@@ -117,7 +140,9 @@ void TaskScheduler::WorkerLoop() {
 
 void TaskScheduler::EnqueueGraphTask(
     const std::shared_ptr<GraphRunState>& state, int id) {
-  Enqueue([this, state, id] { RunGraphTask(state, id); });
+  const int priority =
+      state->graph->tasks_[static_cast<size_t>(id)].priority;
+  Enqueue(priority, [this, state, id] { RunGraphTask(state, id); });
 }
 
 // Executes task `id`: run its fn, release successors whose dependency count
@@ -176,19 +201,21 @@ void TaskScheduler::RunGraph(TaskGraph& graph) {
   }
 
   // Seed the initially-ready tasks in id order (deterministic execution
-  // order for the threads == 1 inline drain). This must test the static
-  // num_deps, not the live pending counters: a worker may already be
-  // cascading through earlier seeds, and a task it just released would read
-  // as pending == 0 here and get enqueued twice.
+  // order for the threads == 1 inline drain: priority bucket first, then
+  // seed order). This must test the static num_deps, not the live pending
+  // counters: a worker may already be cascading through earlier seeds, and a
+  // task it just released would read as pending == 0 here and get enqueued
+  // twice.
   for (int i = 0; i < n; ++i) {
     if (graph.tasks_[static_cast<size_t>(i)].num_deps == 0) {
       EnqueueGraphTask(state, i);
     }
   }
 
-  // The caller participates: drain jobs (graph tasks and any ParallelFor
-  // morsels they spawn) until every task has finished; sleep briefly only
-  // when the queue is empty but tasks are still in flight on workers.
+  // The caller participates: drain jobs (this graph's tasks, other graphs'
+  // tasks, and any ParallelFor morsels) until every task of *this* graph has
+  // finished; sleep briefly only when the queue is empty but tasks are still
+  // in flight on other threads.
   for (;;) {
     if (state->done.load(std::memory_order_acquire) == n) break;
     Job job;
@@ -247,7 +274,7 @@ void TaskScheduler::ParallelFor(int64_t num_chunks,
       std::min<int64_t>(static_cast<int64_t>(threads_) - 1, num_chunks - 1);
   for (int64_t h = 0; h < helpers; ++h) {
     std::shared_ptr<PFState> st = state;
-    Enqueue([st, claim_loop] { claim_loop(st.get()); });
+    Enqueue(kMorselPriority, [st, claim_loop] { claim_loop(st.get()); });
   }
 
   claim_loop(state.get());

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -22,8 +23,11 @@ class TaskGraph {
  public:
   using TaskFn = std::function<void()>;
 
-  /// Registers a task; returns its id (dense, starting at 0).
-  int AddTask(TaskFn fn);
+  /// Registers a task; returns its id (dense, starting at 0). Higher
+  /// `priority` tasks dispatch before lower ones whenever both are ready
+  /// (ties drain FIFO); the physical plan uses this to run critical-path
+  /// statements first. Priority never overrides a dependency.
+  int AddTask(TaskFn fn, int priority = 0);
 
   /// Declares that `task` must not start before `dep` has finished.
   /// Duplicate edges are allowed and counted once.
@@ -41,6 +45,7 @@ class TaskGraph {
     TaskFn fn;
     std::vector<int> successors;
     int num_deps = 0;
+    int priority = 0;
   };
   std::vector<Task> tasks_;
   std::vector<std::vector<int>> deps_;  // per task, for dedup + critical path
@@ -53,9 +58,22 @@ class TaskGraph {
 /// tasks (intra-operator morsel parallelism); both draw from one work queue,
 /// so idle statement workers steal operator morsels and vice versa.
 ///
+/// The queue is priority-ordered: ready work dispatches highest priority
+/// first, FIFO within a priority class. Graph tasks carry their
+/// TaskGraph::AddTask priority; ParallelFor morsels run above every graph
+/// priority, so in-flight operators finish before new statements start.
+///
+/// Multiple independent TaskGraphs may be in flight at once: RunGraph may be
+/// called concurrently from any number of external threads (one per query in
+/// the ExecutorPool). Each invocation carries its own graph-scoped dependency
+/// counters and completion signal, while all tasks and morsels drain from the
+/// shared queue — every caller participates in execution, so a graph always
+/// completes even when all workers are busy with other graphs.
+///
 /// threads == 1 is the serial specialization: no worker threads are spawned
 /// and both modes execute inline on the calling thread in deterministic
-/// (FIFO / loop) order. Program::Execute runs on exactly this path.
+/// (priority bucket, then FIFO / loop) order. Program::Execute runs on
+/// exactly this path.
 class TaskScheduler {
  public:
   /// Spawns `threads - 1` workers (the caller participates as the remaining
@@ -70,7 +88,9 @@ class TaskScheduler {
 
   /// Runs every task of `graph` respecting its dependencies; blocks until
   /// all have finished. The calling thread participates in execution. Must
-  /// not be called from inside a task. Each TaskGraph may be run once.
+  /// not be called from inside a task, but may be called concurrently from
+  /// any number of distinct external threads. Each TaskGraph may be run
+  /// once.
   void RunGraph(TaskGraph& graph);
 
   /// Runs body(chunk) for every chunk in [0, num_chunks), distributing
@@ -87,8 +107,9 @@ class TaskScheduler {
   using Job = std::function<void()>;
   struct GraphRunState;  // shared state of one RunGraph invocation
 
-  void Enqueue(Job job);
+  void Enqueue(int priority, Job job);
   bool PopJob(Job* out);
+  Job PopLockedJob();  // mu_ must be held and queued_jobs_ > 0
   void WorkerLoop();
   void EnqueueGraphTask(const std::shared_ptr<GraphRunState>& state, int id);
   void RunGraphTask(const std::shared_ptr<GraphRunState>& state, int id);
@@ -97,7 +118,10 @@ class TaskScheduler {
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable queue_cv_;
-  std::deque<Job> queue_;
+  // Priority buckets, highest first; each bucket drains FIFO. Emptied
+  // buckets are erased so begin() is always the top priority.
+  std::map<int, std::deque<Job>, std::greater<int>> queue_;
+  int64_t queued_jobs_ = 0;
   bool stopping_ = false;
 };
 

@@ -146,7 +146,27 @@ class SliceIndex {
 // the single-morsel form; these helpers add hash-partitioned builds and
 // morsel-driven probes when an OpExecOpts carries a multi-thread scheduler.
 
-// True when the probe side is worth splitting into morsels.
+// Copies `opts` with morsel_rows resolved: the caller's explicit value, or
+// the L2-targeting auto-tune for `probe_arity` when left at 0. Every kernel
+// resolves once up front and threads the resolved options through.
+inline OpExecOpts ResolveMorselRows(const OpExecOpts& opts, int probe_arity) {
+  OpExecOpts resolved = opts;
+  if (resolved.morsel_rows <= 0) {
+    resolved.morsel_rows = AutoMorselRows(probe_arity);
+  }
+  return resolved;
+}
+
+// Feeds the per-query morsel counter (QueryStats::morsels) when one is
+// attached.
+inline void CountMorsels(const OpExecOpts& opts, int64_t n) {
+  if (opts.morsel_counter != nullptr) {
+    opts.morsel_counter->fetch_add(n, std::memory_order_relaxed);
+  }
+}
+
+// True when the probe side is worth splitting into morsels. `opts` must be
+// resolved (morsel_rows >= 1).
 inline bool RunParallel(const OpExecOpts& opts, int64_t probe_rows) {
   return opts.scheduler != nullptr && opts.scheduler->threads() > 1 &&
          probe_rows > opts.morsel_rows && opts.morsel_rows >= 1;
@@ -183,6 +203,7 @@ class PartitionedSliceIndex {
     // returns, so the 8 bytes/row need not stay pinned through the probe.
     std::vector<uint64_t> hashes(static_cast<size_t>(n));
     const int64_t morsels = NumMorsels(n, opts.morsel_rows);
+    CountMorsels(opts, morsels);
     opts.scheduler->ParallelFor(morsels, [&](int64_t m) {
       const int64_t lo = m * opts.morsel_rows;
       const int64_t hi = std::min<int64_t>(n, lo + opts.morsel_rows);
@@ -266,7 +287,9 @@ Relation Project(const Relation& r, const AttrSet& x) {
   return Project(r, x, OpExecOpts());
 }
 
-Relation Project(const Relation& r, const AttrSet& x, const OpExecOpts& opts) {
+Relation Project(const Relation& r, const AttrSet& x,
+                 const OpExecOpts& caller_opts) {
+  const OpExecOpts opts = ResolveMorselRows(caller_opts, r.Arity());
   GYO_CHECK_MSG(x.IsSubsetOf(r.Schema()), "projection target not in schema");
   Relation out(x);
   std::vector<int> cols;
@@ -308,6 +331,7 @@ Relation Project(const Relation& r, const AttrSet& x, const OpExecOpts& opts) {
   // cross-morsel dedupe sequential preserves first-occurrence order, which
   // makes the deterministic mode bit-identical to the serial kernel.
   const int64_t chunks = NumMorsels(n, opts.morsel_rows);
+  CountMorsels(opts, chunks);
   std::vector<Relation> locals(static_cast<size_t>(chunks), Relation(x));
   MergeOrder merge(chunks, opts.deterministic);
   opts.scheduler->ParallelFor(chunks, [&](int64_t c) {
@@ -346,7 +370,11 @@ Relation NaturalJoin(const Relation& r, const Relation& s) {
 }
 
 Relation NaturalJoin(const Relation& r, const Relation& s,
-                     const OpExecOpts& opts) {
+                     const OpExecOpts& caller_opts) {
+  // The probe side is the larger input (chosen below); auto-tune for the
+  // wider of the two arities, the conservative cache-residency choice.
+  const OpExecOpts opts =
+      ResolveMorselRows(caller_opts, std::max(r.Arity(), s.Arity()));
   AttrSet common = r.Schema().Intersect(s.Schema());
   AttrSet result_schema = r.Schema().Union(s.Schema());
   Relation out(result_schema);
@@ -408,6 +436,7 @@ Relation NaturalJoin(const Relation& r, const Relation& s,
   PartitionedSliceIndex index(build, build_cols, opts);
   const int64_t n = probe.NumRows();
   const int64_t chunks = NumMorsels(n, opts.morsel_rows);
+  CountMorsels(opts, chunks);
   std::vector<std::vector<Value>> buffers(static_cast<size_t>(chunks));
   std::vector<int64_t> counts(static_cast<size_t>(chunks), 0);
   MergeOrder merge(chunks, opts.deterministic);
@@ -453,7 +482,8 @@ Relation Semijoin(const Relation& r, const Relation& s) {
 }
 
 Relation Semijoin(const Relation& r, const Relation& s,
-                  const OpExecOpts& opts) {
+                  const OpExecOpts& caller_opts) {
+  const OpExecOpts opts = ResolveMorselRows(caller_opts, r.Arity());
   AttrSet common = r.Schema().Intersect(s.Schema());
   Relation out(r.Schema());
   std::vector<int> r_cols;
@@ -493,6 +523,7 @@ Relation Semijoin(const Relation& r, const Relation& s,
   PartitionedSliceIndex index(s, s_cols, opts);
   const int64_t n = r.NumRows();
   const int64_t chunks = NumMorsels(n, opts.morsel_rows);
+  CountMorsels(opts, chunks);
   std::vector<std::vector<int64_t>> selected(static_cast<size_t>(chunks));
   MergeOrder merge(chunks, opts.deterministic);
   opts.scheduler->ParallelFor(chunks, [&](int64_t c) {

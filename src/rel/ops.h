@@ -1,6 +1,8 @@
 #ifndef GYO_REL_OPS_H_
 #define GYO_REL_OPS_H_
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 
 #include "rel/relation.h"
@@ -34,14 +36,38 @@ struct OpExecOpts {
   /// Pool to fan morsels out on; nullptr (or a 1-thread pool) = serial.
   exec::TaskScheduler* scheduler = nullptr;
   /// Probe rows per morsel. Inputs of at most this many rows run serially.
-  int64_t morsel_rows = 2048;
+  /// 0 (the default) auto-tunes per kernel from the probe relation's arity
+  /// via AutoMorselRows below.
+  int64_t morsel_rows = 0;
   /// When true, morsel outputs merge in morsel order and every result is
   /// bit-identical (row order and canonical flag included) to the serial
   /// kernel's. When false, morsels merge in completion order: the same set
   /// of rows in unspecified physical order, and Semijoin does not propagate
   /// canonical form.
   bool deterministic = true;
+  /// When non-null, the kernels add every data morsel they dispatch
+  /// (hash-build and probe passes) — the ExecutorPool's per-query
+  /// QueryStats::morsels feed.
+  std::atomic<int64_t>* morsel_counter = nullptr;
 };
+
+/// Morsel-size auto-tuning (used when OpExecOpts/ExecContext leave
+/// morsel_rows at 0): rows per morsel for a relation of `arity`, sized so
+/// one morsel's values span ~kMorselTargetBytes — a quarter of a typical
+/// 1 MiB per-core L2, leaving headroom for the build side and the morsel's
+/// output buffer — clamped to [kMinMorselRows, kMaxMorselRows] so tiny
+/// arities don't defeat dispatch amortization and huge ones still split.
+constexpr int64_t kMorselTargetBytes = 256 * 1024;
+constexpr int64_t kMinMorselRows = 256;
+constexpr int64_t kMaxMorselRows = 1 << 16;
+
+constexpr int64_t AutoMorselRows(int arity) {
+  return std::max(kMinMorselRows,
+                  std::min(kMaxMorselRows,
+                           kMorselTargetBytes /
+                               (static_cast<int64_t>(arity < 1 ? 1 : arity) *
+                                static_cast<int64_t>(sizeof(Value)))));
+}
 
 /// π_X(r): projection onto X. Requires X ⊆ r.Schema(). Output deduplicated
 /// via hashing (unsorted).

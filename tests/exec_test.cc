@@ -2,12 +2,17 @@
 // equivalence over random schemas/states for every solver strategy at 1–8
 // threads, parallel operator kernels (morsel probe + partitioned build),
 // the parallel full reducer, and the eager Program validation errors.
+//
+// Parallel contexts pin an explicit ExecutorPool of the tested width (rather
+// than borrowing the process-wide pool, which sizes itself to the host) so
+// the multi-thread paths are exercised even on single-core CI runners.
 
 #include "exec/physical_plan.h"
 
 #include <memory>
 #include <vector>
 
+#include "exec/executor_pool.h"
 #include "exec/task_scheduler.h"
 #include "gtest/gtest.h"
 #include "rel/ops.h"
@@ -41,6 +46,23 @@ void ExpectBitIdentical(const std::vector<Relation>& a,
     EXPECT_EQ(a[i].Arena(), b[i].Arena()) << "state " << i;
   }
 }
+
+// An ExecContext bound to a fresh pool of exactly `threads` workers.
+// The pool must outlive every Execute call made with the context.
+struct PooledCtx {
+  explicit PooledCtx(int threads)
+      : pool(MakeOptions(threads)) {
+    ctx.threads = threads;
+    ctx.pool = &pool;
+  }
+  static exec::ExecutorPool::Options MakeOptions(int threads) {
+    exec::ExecutorPool::Options options;
+    options.threads = threads;
+    return options;
+  }
+  exec::ExecutorPool pool;
+  exec::ExecContext ctx;
+};
 
 // Every program strategy the solver offers for (d, x); skips the tree-only
 // ones on cyclic schemas.
@@ -125,12 +147,11 @@ TEST(ExecTest, MatchesSerialOnAllStrategiesAndThreadCounts) {
       Program::Stats serial_stats;
       std::vector<Relation> serial = p.ExecuteWithStats(states, &serial_stats);
       for (int threads : {2, 4, 8}) {
-        exec::ExecContext ctx;
-        ctx.threads = threads;
-        ctx.morsel_rows = 16;  // force morsel splitting on small data
+        PooledCtx pooled(threads);
+        pooled.ctx.morsel_rows = 16;  // force morsel splitting on small data
         Program::Stats par_stats;
         std::vector<Relation> parallel =
-            exec::Execute(p, states, ctx, &par_stats);
+            exec::Execute(p, states, pooled.ctx, &par_stats);
         ExpectBitIdentical(serial, parallel);
         EXPECT_EQ(serial_stats.max_intermediate_rows,
                   par_stats.max_intermediate_rows);
@@ -151,11 +172,10 @@ TEST(ExecTest, NonDeterministicModeMatchesAsSets) {
   std::vector<Relation> states = MakeUR(d, 200, 16 * 200, 99);
   for (const Program& p : AllStrategyPrograms(d, x)) {
     std::vector<Relation> serial = p.Execute(states);
-    exec::ExecContext ctx;
-    ctx.threads = 4;
-    ctx.morsel_rows = 8;
-    ctx.deterministic = false;
-    std::vector<Relation> parallel = exec::Execute(p, states, ctx);
+    PooledCtx pooled(4);
+    pooled.ctx.morsel_rows = 8;
+    pooled.ctx.deterministic = false;
+    std::vector<Relation> parallel = exec::Execute(p, states, pooled.ctx);
     ASSERT_EQ(serial.size(), parallel.size());
     for (size_t i = 0; i < serial.size(); ++i) {
       EXPECT_TRUE(serial[i].EqualsAsSet(parallel[i])) << "state " << i;
@@ -168,9 +188,8 @@ TEST(ExecTest, RunReturnsFinalRelation) {
   AttrSet x{0, 4};
   Program p = *YannakakisProgram(d, x);
   std::vector<Relation> states = MakeUR(d, 50, 4, 3);
-  exec::ExecContext ctx;
-  ctx.threads = 3;
-  Relation via_exec = exec::Run(p, states, ctx);
+  PooledCtx pooled(3);
+  Relation via_exec = exec::Run(p, states, pooled.ctx);
   Relation reference = EvaluateJoinQuery(d, x, states);
   EXPECT_TRUE(via_exec.EqualsAsSet(reference));
 }
@@ -284,10 +303,9 @@ TEST(ExecReducerTest, ParallelFullReducerMatchesSerial) {
     auto serial = ApplyFullReducer(t.schema, states);
     ASSERT_TRUE(serial.has_value());
     for (int threads : {2, 4, 8}) {
-      exec::ExecContext ctx;
-      ctx.threads = threads;
-      ctx.morsel_rows = 16;
-      auto parallel = ApplyFullReducer(t.schema, states, ctx);
+      PooledCtx pooled(threads);
+      pooled.ctx.morsel_rows = 16;
+      auto parallel = ApplyFullReducer(t.schema, states, pooled.ctx);
       ASSERT_TRUE(parallel.has_value());
       ASSERT_EQ(serial->size(), parallel->size());
       for (size_t i = 0; i < serial->size(); ++i) {
@@ -302,9 +320,8 @@ TEST(ExecReducerTest, ParallelReducerRejectsCyclicSchemas) {
   DatabaseSchema d = Aring(5);
   Rng rng(3);
   std::vector<Relation> states = RandomStates(d, 20, 3, rng);
-  exec::ExecContext ctx;
-  ctx.threads = 4;
-  EXPECT_FALSE(ApplyFullReducer(d, states, ctx).has_value());
+  PooledCtx pooled(4);
+  EXPECT_FALSE(ApplyFullReducer(d, states, pooled.ctx).has_value());
 }
 
 // --- Eager validation (satellite): malformed statements must fail up front

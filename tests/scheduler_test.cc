@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -192,6 +193,69 @@ TEST(TaskSchedulerTest, ParallelForZeroAndOneChunk) {
     ++ran;
   });
   EXPECT_EQ(ran, 1);
+}
+
+TEST(TaskSchedulerTest, HigherPriorityTasksDispatchFirst) {
+  // One thread, all tasks independent: the drain order is priority buckets
+  // (highest first), FIFO within a bucket — the plan-level scheduling
+  // contract (critical-path statements run before off-path ones).
+  TaskScheduler pool(1);
+  TaskGraph g;
+  std::vector<int> order;
+  g.AddTask([&order] { order.push_back(0); }, 0);
+  g.AddTask([&order] { order.push_back(1); }, 5);
+  g.AddTask([&order] { order.push_back(2); }, 1);
+  g.AddTask([&order] { order.push_back(3); }, 5);
+  pool.RunGraph(g);
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2, 0}));
+}
+
+TEST(TaskSchedulerTest, PriorityNeverOverridesDependencies) {
+  // A low-priority task gates a high-priority one; the gate must still run
+  // first at every thread count.
+  for (int threads : {1, 4}) {
+    TaskScheduler pool(threads);
+    TaskGraph g;
+    std::atomic<bool> gate_done{false};
+    std::atomic<bool> violation{false};
+    int gate = g.AddTask([&] { gate_done.store(true); }, 0);
+    int urgent = g.AddTask(
+        [&] {
+          if (!gate_done.load()) violation.store(true);
+        },
+        100);
+    g.AddDependency(urgent, gate);
+    pool.RunGraph(g);
+    EXPECT_FALSE(violation.load()) << "threads=" << threads;
+  }
+}
+
+TEST(TaskSchedulerTest, IndependentGraphsRunConcurrently) {
+  // Two external threads run separate graphs on one scheduler at the same
+  // time — the multi-query shape the ExecutorPool drives. Graph-scoped
+  // dependency counting must keep them independent and both must finish.
+  TaskScheduler pool(4);
+  constexpr int kRounds = 10;
+  constexpr int kTasksPerGraph = 100;
+  for (int round = 0; round < kRounds; ++round) {
+    std::atomic<int> ran_a{0};
+    std::atomic<int> ran_b{0};
+    auto run_chain = [&pool](std::atomic<int>& ran) {
+      TaskGraph g;
+      int prev = -1;
+      for (int i = 0; i < kTasksPerGraph; ++i) {
+        int t = g.AddTask([&ran] { ran.fetch_add(1); }, i % 3);
+        if (prev >= 0) g.AddDependency(t, prev);
+        prev = t;
+      }
+      pool.RunGraph(g);
+    };
+    std::thread other([&] { run_chain(ran_b); });
+    run_chain(ran_a);
+    other.join();
+    ASSERT_EQ(ran_a.load(), kTasksPerGraph) << "round " << round;
+    ASSERT_EQ(ran_b.load(), kTasksPerGraph) << "round " << round;
+  }
 }
 
 TEST(TaskSchedulerTest, GraphsRunBackToBack) {
