@@ -28,6 +28,7 @@
 
 #include "exec/executor_pool.h"
 #include "exec/physical_plan.h"
+#include "mem_counters.h"
 #include "rel/reducer.h"
 #include "rel/solver.h"
 #include "rel/universal.h"
@@ -62,12 +63,16 @@ struct BenchPool {
 
 void ReportStats(benchmark::State& state, const Program& p,
                  const std::vector<Relation>& states,
-                 const exec::ExecContext& ctx) {
+                 const exec::ExecContext& caller_ctx) {
   Program::Stats stats;
+  exec::QueryStats query_stats;
+  exec::ExecContext ctx = caller_ctx;
+  ctx.query_stats = &query_stats;
   exec::Execute(p, states, ctx, &stats);
   state.counters["max_intermediate"] =
       static_cast<double>(stats.max_intermediate_rows);
   state.counters["result_rows"] = static_cast<double>(stats.result_rows);
+  gyo_bench::ReportMemCounters(state, query_stats);
 }
 
 void BM_Exec_PathYannakakis(benchmark::State& state) {
@@ -102,6 +107,8 @@ void BM_Exec_FullReducer(benchmark::State& state) {
   Rng state_rng(6);
   std::vector<Relation> states = RandomStates(t.schema, 8192, 24, state_rng);
   BenchPool bench(state);
+  exec::QueryStats query_stats;
+  bench.ctx.query_stats = &query_stats;
   int64_t reduced_rows = 0;
   for (auto _ : state) {
     auto out = ApplyFullReducer(t.schema, states, bench.ctx);
@@ -109,6 +116,7 @@ void BM_Exec_FullReducer(benchmark::State& state) {
     benchmark::DoNotOptimize(out);
   }
   state.counters["reduced_rows_r0"] = static_cast<double>(reduced_rows);
+  gyo_bench::ReportMemCounters(state, query_stats);
 }
 BENCHMARK(BM_Exec_FullReducer)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 

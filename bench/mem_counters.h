@@ -1,0 +1,50 @@
+#ifndef GYO_BENCH_MEM_COUNTERS_H_
+#define GYO_BENCH_MEM_COUNTERS_H_
+
+#include <benchmark/benchmark.h>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "exec/exec_context.h"
+
+namespace gyo_bench {
+
+/// Process peak RSS in MiB (0 where getrusage is unavailable). Monotone
+/// over the process lifetime, so it upper-bounds — not isolates — one
+/// benchmark's footprint; useful as a coarse leak/regression tripwire next
+/// to the exact per-query peak_state_bytes counter.
+inline double PeakRssMb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // Linux: KiB
+#endif
+#else
+  return 0.0;
+#endif
+}
+
+/// Attaches the memory counters to `state`: the query's exact peak of live
+/// relation-state bytes and the retired-state count (from QueryStats), plus
+/// the process peak RSS. peak_state_bytes and peak_rss_mb are
+/// machine/schedule-dependent and deliberately NOT pinned by
+/// scripts/check_bench_counters.py — they are for reading trends.
+/// retired_states is pure dataflow structure (every consumed, non-retained
+/// state is freed exactly once), so the bench-check pins it.
+inline void ReportMemCounters(benchmark::State& state,
+                              const gyo::exec::QueryStats& query_stats) {
+  state.counters["peak_state_bytes"] =
+      static_cast<double>(query_stats.peak_state_bytes);
+  state.counters["retired_states"] =
+      static_cast<double>(query_stats.retired_states);
+  state.counters["peak_rss_mb"] = PeakRssMb();
+}
+
+}  // namespace gyo_bench
+
+#endif  // GYO_BENCH_MEM_COUNTERS_H_

@@ -62,6 +62,23 @@ inline void ConfigureExecFromFlags(
   gyo::exec::ExecutorPool::ConfigureGlobal(pool_options);
 }
 
+/// Prints the process-wide pool's shape and admission queue state,
+/// including this context's own fairness class (the queue-depth observable
+/// behind backpressure: ExecutorPool::waiting_queries(submitter)). Only
+/// meaningful on the parallel path — callers skip it when ctx.threads == 1
+/// (serial execution never touches the pool).
+inline void PrintPoolStatus(const gyo::exec::ExecContext& ctx) {
+  gyo::exec::ExecutorPool& pool =
+      ctx.pool != nullptr ? *ctx.pool : gyo::exec::ExecutorPool::Global();
+  std::printf(
+      "pool status: %d threads, %d max concurrent queries, %d running, "
+      "%d waiting (submitter %llu: %d queued)\n",
+      pool.threads(), pool.max_concurrent_queries(), pool.running_queries(),
+      pool.waiting_queries(),
+      static_cast<unsigned long long>(ctx.submitter),
+      pool.waiting_queries(ctx.submitter));
+}
+
 }  // namespace gyo_examples
 
 #endif  // GYO_EXAMPLES_EXEC_FLAGS_H_

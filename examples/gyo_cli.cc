@@ -188,13 +188,16 @@ int Solve(gyo::Catalog& catalog, const gyo::DatabaseSchema& d,
     if (ctx.threads != 1) {
       std::printf(
           "             pool: %.2f ms queued, %.2f ms running, %lld tasks, "
-          "%lld morsels\n",
+          "%lld morsels, peak state %lld KiB, %lld states retired\n",
           query_stats.queue_wait_seconds * 1e3,
           query_stats.run_time_seconds * 1e3,
           static_cast<long long>(query_stats.tasks),
-          static_cast<long long>(query_stats.morsels));
+          static_cast<long long>(query_stats.morsels),
+          static_cast<long long>(query_stats.peak_state_bytes / 1024),
+          static_cast<long long>(query_stats.retired_states));
     }
   }
+  if (ctx.threads != 1) gyo_examples::PrintPoolStatus(ctx);
   return all_match ? 0 : 1;
 }
 

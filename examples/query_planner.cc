@@ -131,5 +131,6 @@ int main(int argc, char** argv) {
                 static_cast<long long>(via_yann.NumRows()),
                 via_yann.EqualsAsSet(reference) ? "[match]" : "[MISMATCH]");
   }
+  if (ctx.threads != 1) gyo_examples::PrintPoolStatus(ctx);
   return 0;
 }

@@ -26,10 +26,16 @@ import sys
 from pathlib import Path
 
 # Counters treated as correctness-bearing. Everything else a benchmark
-# reports (times, throughput, morsel tallies that depend on pool width) is
-# ignored here.
-CHECKED_COUNTERS = ("result_rows", "max_intermediate", "queries")
-CHECKED_PREFIXES = ("reduced_rows",)
+# reports (times, throughput, morsel tallies that depend on pool width, and
+# the memory counters peak_state_bytes / peak_rss_mb, which depend on task
+# scheduling and the host) is ignored here. effective_steps (the fixpoint's
+# shrinking-semijoin count), fixpoint_rows_* (fixpoint cardinalities), and
+# retired_states (dataflow retirement count: every consumed, non-retained
+# state is freed exactly once) are deterministic at every thread count, so
+# they are pinned alongside the result cardinalities.
+CHECKED_COUNTERS = ("result_rows", "max_intermediate", "queries",
+                    "effective_steps", "retired_states")
+CHECKED_PREFIXES = ("reduced_rows", "fixpoint_rows")
 
 
 def checked_counter(name: str) -> bool:

@@ -1,7 +1,20 @@
 #!/usr/bin/env bash
 # Builds the Release preset and runs the join-heavy benchmarks, emitting one
 # BENCH_<name>.json per binary (Google Benchmark JSON) for the perf
-# trajectory. Tunables:
+# trajectory.
+#
+# Usage: run_benches.sh [--filter REGEX]
+#   --filter REGEX   passed through as --benchmark_filter to every bench
+#                    binary, so one bench family can be re-recorded without
+#                    running the full suite. CAUTION when writing into
+#                    bench/results: a filtered run overwrites each target's
+#                    whole JSON with only the filtered subset, so combine it
+#                    with BENCH_TARGETS to touch only the intended file(s),
+#                    and only use filters that keep every baselined
+#                    benchmark of those files (check_bench_counters.py fails
+#                    on benchmarks missing from a fresh run either way).
+#
+# Tunables:
 #   BENCH_MIN_TIME   --benchmark_min_time value   (default 0.01s; raise for
 #                    stable numbers, keep low for smoke runs)
 #   BENCH_OUT_DIR    where the JSON files land     (default build/release;
@@ -14,6 +27,21 @@
 #                    they persist in build/release's CMake cache)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+filter=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --filter)
+      [[ $# -ge 2 ]] || { echo "error: --filter wants a regex" >&2; exit 2; }
+      filter="$2"
+      shift 2
+      ;;
+    *)
+      echo "error: unknown argument '$1' (usage: run_benches.sh [--filter REGEX])" >&2
+      exit 2
+      ;;
+  esac
+done
 
 min_time="${BENCH_MIN_TIME:-0.01s}"
 out_dir="${BENCH_OUT_DIR:-build/release}"
@@ -44,6 +72,7 @@ for bench in ${targets}; do
     mt="${min_time%s}"
   fi
   "${bin}" --benchmark_min_time="${mt}" \
+           ${filter:+--benchmark_filter="${filter}"} \
            --benchmark_out="${out}" --benchmark_out_format=json
 done
 echo "wrote $(ls ${out_dir}/BENCH_*.json | wc -l) BENCH_*.json file(s) to ${out_dir}"

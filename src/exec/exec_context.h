@@ -2,6 +2,7 @@
 #define GYO_EXEC_EXEC_CONTEXT_H_
 
 #include <cstdint>
+#include <vector>
 
 namespace gyo {
 namespace exec {
@@ -26,6 +27,17 @@ struct QueryStats {
   /// and probe passes). 0 when every operator ran serially — inputs smaller
   /// than one morsel, or a single-thread pool.
   int64_t morsels = 0;
+
+  /// Peak bytes of live relation-state arenas (base copies + statement
+  /// results) during this query's execution. With state retirement (see
+  /// ExecContext::retire_consumed) states are freed as their last reader
+  /// finishes, so this tracks the live frontier rather than the total
+  /// footprint. Note: at threads != 1 the exact peak depends on task
+  /// completion order, so it is reproducible only up to scheduling.
+  int64_t peak_state_bytes = 0;
+
+  /// Relation states freed by retirement (0 unless retire_consumed).
+  int64_t retired_states = 0;
 };
 
 /// Runtime knobs for executing programs (and the reducer) in parallel.
@@ -62,6 +74,25 @@ struct ExecContext {
   /// submitter ids, so one hot submitter cannot starve the others. 0 (the
   /// default) lumps every caller into one FIFO class.
   uint64_t submitter = 0;
+
+  /// State retirement: when true, every relation state (base copy or
+  /// statement result) that is read by at least one statement is freed —
+  /// replaced by an empty relation over its schema — the moment its last
+  /// reading statement finishes (the reader counts come from PhysicalPlan's
+  /// compile-time dataflow analysis). Sink states (read by no statement)
+  /// always survive. Freed slots come back as empty relations in the
+  /// returned state vector, so only enable this when the caller consumes
+  /// sinks and/or retained slots — the compiled full reducer does exactly
+  /// that, which brings its peak memory back near the serial reducer's
+  /// instead of holding all 2(n−1) intermediate semijoin states alive.
+  bool retire_consumed = false;
+
+  /// Relation ids (program numbering: base 0..num_base-1, then statement
+  /// results) exempt from retirement — states the caller reads afterwards
+  /// even though some statement also consumes them. Ignored unless
+  /// retire_consumed. The full reducer retains each node's final state
+  /// (e.g. the root's, which the downward pass consumes).
+  const std::vector<int>* retain_states = nullptr;
 
   /// When non-null, receives this query's QueryStats on completion.
   QueryStats* query_stats = nullptr;

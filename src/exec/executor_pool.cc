@@ -83,6 +83,12 @@ int ExecutorPool::waiting_queries() const {
   return num_waiting_;
 }
 
+int ExecutorPool::waiting_queries(uint64_t submitter) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = waiting_.find(submitter);
+  return it == waiting_.end() ? 0 : static_cast<int>(it->second.size());
+}
+
 ExecutorPool::Admission ExecutorPool::Admit(uint64_t submitter) {
   const auto enqueued_at = std::chrono::steady_clock::now();
   std::unique_lock<std::mutex> lock(mu_);

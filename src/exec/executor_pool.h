@@ -81,6 +81,12 @@ class ExecutorPool {
   int running_queries() const;
   int waiting_queries() const;
 
+  /// Queue depth of one fairness class: queries from `submitter` currently
+  /// waiting for a slot. This is the observable a backpressure policy needs
+  /// — shed or reject a tenant whose backlog exceeds a bound instead of
+  /// queueing without limit (the CLIs surface it in their pool stats).
+  int waiting_queries(uint64_t submitter) const;
+
   /// An admission slot, held for the lifetime of one query (RAII: the
   /// destructor releases the slot and wakes the next waiter). Also the
   /// query's stats accumulator: the exec runtime adds task/morsel counts

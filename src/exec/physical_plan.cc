@@ -1,7 +1,9 @@
 #include "exec/physical_plan.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <memory>
 #include <utility>
 
 #include "exec/executor_pool.h"
@@ -14,6 +16,17 @@ namespace exec {
 
 namespace {
 
+// Invokes fn(id) once per distinct relation id statement `s` reads (a
+// project reads only its lhs; a join/semijoin reading the same relation on
+// both sides reads it once).
+template <typename Fn>
+void ForEachInput(const Program::Statement& s, Fn&& fn) {
+  fn(s.lhs);
+  if (s.kind != Program::Statement::Kind::kProject && s.rhs != s.lhs) {
+    fn(s.rhs);
+  }
+}
+
 // The dataflow analysis: statement k depends on statement j exactly when k
 // reads the relation j created.
 std::vector<std::vector<int>> ComputeDependencies(const Program& program) {
@@ -24,23 +37,34 @@ std::vector<std::vector<int>> ComputeDependencies(const Program& program) {
     const Program::Statement& s =
         program.Statements()[static_cast<size_t>(k)];
     std::vector<int>& d = deps[static_cast<size_t>(k)];
-    auto add_input = [&](int id) {
+    ForEachInput(s, [&](int id) {
       if (id < num_base) return;  // base relations are always ready
       int producer = id - num_base;
       if (std::find(d.begin(), d.end(), producer) == d.end()) {
         d.push_back(producer);
       }
-    };
-    add_input(s.lhs);
-    if (s.kind != Program::Statement::Kind::kProject) add_input(s.rhs);
+    });
   }
   return deps;
+}
+
+// The last-reader analysis behind state retirement: how many statements
+// read each relation slot. Zero marks a sink (never retired); at run time
+// the counts seed per-slot countdowns and the statement that drops a
+// countdown to zero frees the slot.
+std::vector<int> ComputeReaderCounts(const Program& program) {
+  std::vector<int> counts(static_cast<size_t>(program.NumRelations()), 0);
+  for (const Program::Statement& s : program.Statements()) {
+    ForEachInput(s, [&](int id) { ++counts[static_cast<size_t>(id)]; });
+  }
+  return counts;
 }
 
 }  // namespace
 
 PhysicalPlan PhysicalPlan::Compile(const Program& program) {
-  return PhysicalPlan(program, ComputeDependencies(program));
+  return PhysicalPlan(program, ComputeDependencies(program),
+                      ComputeReaderCounts(program));
 }
 
 int PhysicalPlan::CriticalPathLength() const {
@@ -67,6 +91,89 @@ int PhysicalPlan::NumSourceStatements() const {
 
 namespace {
 
+// Live relation-state accounting plus the retirement countdowns, shared by
+// every statement task of one query. All counters are atomics: statement
+// tasks for one query run concurrently on the pool.
+class StateTracker {
+ public:
+  // `reader_counts` comes from the compile-time analysis; `retain` lists
+  // slot ids exempt from retirement (may be null).
+  StateTracker(std::vector<Relation>& states, bool retire,
+               const std::vector<int>& reader_counts,
+               const std::vector<int>* retain)
+      : states_(states), retire_(retire) {
+    int64_t base_bytes = 0;
+    for (const Relation& r : states_) base_bytes += BytesOf(r);
+    live_bytes_.store(base_bytes, std::memory_order_relaxed);
+    peak_bytes_.store(base_bytes, std::memory_order_relaxed);
+    if (!retire_) return;
+    const size_t slots = reader_counts.size();
+    remaining_ = std::make_unique<std::atomic<int>[]>(slots);
+    for (size_t i = 0; i < slots; ++i) {
+      remaining_[i].store(reader_counts[i], std::memory_order_relaxed);
+    }
+    retained_.assign(slots, 0);
+    if (retain != nullptr) {
+      for (int id : *retain) {
+        GYO_CHECK_MSG(id >= 0 && static_cast<size_t>(id) < slots,
+                      "retain_states id %d out of range", id);
+        retained_[static_cast<size_t>(id)] = 1;
+      }
+    }
+  }
+
+  static int64_t BytesOf(const Relation& r) {
+    return static_cast<int64_t>(r.Arena().size() * sizeof(Value));
+  }
+
+  // Called by a statement task right after it stored its output.
+  void RecordProduced(const Relation& out) { AddBytes(BytesOf(out)); }
+
+  // Called by statement `s`'s task after it finished: decrements the
+  // remaining-reader countdown of every slot the statement read, and frees
+  // a slot whose countdown this task dropped to zero. Safe without a lock:
+  // the freeing task IS the slot's last reader — every other reader's
+  // fetch_sub (an acq_rel RMW) already happened, so their reads of the slot
+  // happen-before the free.
+  void RecordRetired(const Program::Statement& s) {
+    if (!retire_) return;
+    ForEachInput(s, [&](int id) {
+      const size_t slot = static_cast<size_t>(id);
+      if (remaining_[slot].fetch_sub(1, std::memory_order_acq_rel) != 1) {
+        return;
+      }
+      if (retained_[slot]) return;
+      const int64_t freed = BytesOf(states_[slot]);
+      states_[slot] = Relation(states_[slot].Schema());
+      live_bytes_.fetch_sub(freed, std::memory_order_relaxed);
+      retired_.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+
+  int64_t peak_bytes() const {
+    return peak_bytes_.load(std::memory_order_relaxed);
+  }
+  int64_t retired() const { return retired_.load(std::memory_order_relaxed); }
+
+ private:
+  void AddBytes(int64_t bytes) {
+    const int64_t now =
+        live_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    int64_t peak = peak_bytes_.load(std::memory_order_relaxed);
+    while (now > peak && !peak_bytes_.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::vector<Relation>& states_;
+  const bool retire_;
+  std::unique_ptr<std::atomic<int>[]> remaining_;
+  std::vector<char> retained_;
+  std::atomic<int64_t> live_bytes_{0};
+  std::atomic<int64_t> peak_bytes_{0};
+  std::atomic<int64_t> retired_{0};
+};
+
 // Builds and runs the statement task graph on `scheduler`. Each statement
 // gets a plan-level priority — the length of its longest downstream
 // dependency chain — so critical-path statements dispatch first when many
@@ -75,7 +182,8 @@ void RunStatements(const Program& program,
                    const std::vector<std::vector<int>>& deps,
                    std::vector<Relation>& states, TaskScheduler& scheduler,
                    const OpExecOpts& op_opts,
-                   std::vector<int64_t>& rows_produced) {
+                   std::vector<int64_t>& rows_produced,
+                   StateTracker& tracker) {
   const int num_base = program.num_base();
   const int num_statements = program.NumStatements();
 
@@ -99,7 +207,7 @@ void RunStatements(const Program& program,
         &program.Statements()[static_cast<size_t>(k)];
     const size_t slot = static_cast<size_t>(num_base + k);
     graph.AddTask(
-        [&states, &rows_produced, &op_opts, s, slot, k] {
+        [&states, &rows_produced, &op_opts, &tracker, s, slot, k] {
           Relation& out = states[slot];
           switch (s->kind) {
             case Program::Statement::Kind::kJoin:
@@ -116,6 +224,8 @@ void RunStatements(const Program& program,
               break;
           }
           rows_produced[static_cast<size_t>(k)] = out.NumRows();
+          tracker.RecordProduced(out);
+          tracker.RecordRetired(*s);
         },
         priority[static_cast<size_t>(k)]);
   }
@@ -130,6 +240,7 @@ void RunStatements(const Program& program,
 // the convenience path).
 std::vector<Relation> ExecuteImpl(const Program& program,
                                   const std::vector<std::vector<int>>& deps,
+                                  const std::vector<int>& reader_counts,
                                   const std::vector<Relation>& base,
                                   const ExecContext& ctx,
                                   Program::Stats* stats) {
@@ -170,6 +281,8 @@ std::vector<Relation> ExecuteImpl(const Program& program,
   // Per-task partial stats, written into disjoint slots and merged after the
   // RunGraph barrier.
   std::vector<int64_t> rows_produced(static_cast<size_t>(num_statements), 0);
+  StateTracker tracker(states, ctx.retire_consumed, reader_counts,
+                       ctx.retain_states);
 
   if (ctx.threads == 1) {
     // Serial specialization (Program::Execute's path): inline execution on
@@ -177,7 +290,8 @@ std::vector<Relation> ExecuteImpl(const Program& program,
     const auto started = std::chrono::steady_clock::now();
     TaskScheduler serial(1);
     op_opts.scheduler = &serial;
-    RunStatements(program, deps, states, serial, op_opts, rows_produced);
+    RunStatements(program, deps, states, serial, op_opts, rows_produced,
+                  tracker);
     if (ctx.query_stats != nullptr) {
       *ctx.query_stats = QueryStats();
       ctx.query_stats->run_time_seconds =
@@ -196,9 +310,13 @@ std::vector<Relation> ExecuteImpl(const Program& program,
     op_opts.scheduler = &admission.scheduler();
     op_opts.morsel_counter = &admission.morsel_counter();
     RunStatements(program, deps, states, admission.scheduler(), op_opts,
-                  rows_produced);
+                  rows_produced, tracker);
     admission.AddTasks(num_statements);
     if (ctx.query_stats != nullptr) *ctx.query_stats = admission.Finish();
+  }
+  if (ctx.query_stats != nullptr) {
+    ctx.query_stats->peak_state_bytes = tracker.peak_bytes();
+    ctx.query_stats->retired_states = tracker.retired();
   }
 
   if (stats != nullptr) {
@@ -220,13 +338,14 @@ std::vector<Relation> ExecuteImpl(const Program& program,
 std::vector<Relation> PhysicalPlan::Execute(const std::vector<Relation>& base,
                                             const ExecContext& ctx,
                                             Program::Stats* stats) const {
-  return ExecuteImpl(program_, deps_, base, ctx, stats);
+  return ExecuteImpl(program_, deps_, reader_counts_, base, ctx, stats);
 }
 
 std::vector<Relation> Execute(const Program& program,
                               const std::vector<Relation>& base,
                               const ExecContext& ctx, Program::Stats* stats) {
-  return ExecuteImpl(program, ComputeDependencies(program), base, ctx, stats);
+  return ExecuteImpl(program, ComputeDependencies(program),
+                     ComputeReaderCounts(program), base, ctx, stats);
 }
 
 Relation Run(const Program& program, const std::vector<Relation>& base,

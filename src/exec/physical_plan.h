@@ -30,6 +30,16 @@ class PhysicalPlan {
   /// reads, in input order (lhs before rhs), base inputs omitted.
   const std::vector<std::vector<int>>& Dependencies() const { return deps_; }
 
+  /// ReaderCounts()[id] is the number of statements reading relation `id`
+  /// (program numbering: base relations first, then statement results; a
+  /// statement reading the same relation twice counts once). This is the
+  /// compile-time last-reader analysis behind state retirement
+  /// (ExecContext::retire_consumed): at run time each finishing statement
+  /// decrements its inputs' remaining-reader counters, and the statement
+  /// that drops a counter to zero — the state's final consumer — frees it.
+  /// States with count 0 are sinks and are never retired.
+  const std::vector<int>& ReaderCounts() const { return reader_counts_; }
+
   /// Longest statement dependency chain — the statement-level lower bound on
   /// parallel makespan. 0 for an empty program.
   int CriticalPathLength() const;
@@ -58,11 +68,15 @@ class PhysicalPlan {
                                 Program::Stats* stats = nullptr) const;
 
  private:
-  PhysicalPlan(Program program, std::vector<std::vector<int>> deps)
-      : program_(std::move(program)), deps_(std::move(deps)) {}
+  PhysicalPlan(Program program, std::vector<std::vector<int>> deps,
+               std::vector<int> reader_counts)
+      : program_(std::move(program)),
+        deps_(std::move(deps)),
+        reader_counts_(std::move(reader_counts)) {}
 
   Program program_;
   std::vector<std::vector<int>> deps_;
+  std::vector<int> reader_counts_;
 };
 
 /// Compile-and-execute convenience: what Program::Execute does, with an

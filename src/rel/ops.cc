@@ -176,53 +176,102 @@ inline int64_t NumMorsels(int64_t rows, int64_t morsel_rows) {
   return (rows + morsel_rows - 1) / morsel_rows;
 }
 
-// Build-side hash partitioning: partition p of 2^bits owns the rows whose
-// key hash has p in its top bits (bucket chains use the low bits, so the two
-// selections stay independent).
-inline int PartitionBits(int threads) {
-  int bits = 0;
-  while ((1 << bits) < threads && bits < 6) ++bits;
-  return bits;
-}
-
-inline size_t PartitionOf(uint64_t h, int bits) {
-  return bits == 0 ? 0 : static_cast<size_t>(h >> (64 - bits));
-}
-
-// A hash-partitioned SliceIndex over all rows of `rel`: every row's key is
-// hashed once (in parallel, morsel by morsel), then the 2^bits partition
-// indexes are built concurrently — partition tasks scan the shared hash
-// array and claim their own rows, so no locking is needed.
-class PartitionedSliceIndex {
- public:
-  PartitionedSliceIndex(const Relation& rel, const std::vector<int>& cols,
-                        const OpExecOpts& opts)
-      : bits_(PartitionBits(opts.scheduler->threads())) {
+// Radix scatter of `rel`'s row ids into 2^bits hash partitions, O(n) total:
+//
+//   1. counting pass (parallel over morsels): hash every row's `cols` slice
+//      and tally a per-morsel × per-partition histogram — disjoint writes,
+//      no locking;
+//   2. prefix-sum layout (serial, morsels × parts entries): assign every
+//      (morsel, partition) bucket a contiguous range of a partition-major
+//      row-id array;
+//   3. scatter pass (parallel over morsels): each morsel writes its row ids
+//      into its own precomputed ranges — cache-friendly contiguous writes.
+//
+// Within each partition the buckets are laid out in morsel order, so a
+// partition's slice lists its rows in increasing global row order — the
+// exact order the old claim-by-scan build inserted them in, which keeps
+// bucket-chain traversal (and thus deterministic-mode output) bit-identical.
+// The row hashes are computed once here and reused by both the partition
+// build and Project's partitioned dedupe.
+struct RadixScatter {
+  RadixScatter(const Relation& rel, const std::vector<int>& cols,
+               const OpExecOpts& opts)
+      : bits(PartitionBits(opts.scheduler->threads())) {
     const int64_t n = rel.NumRows();
-    // Local, not a member: both passes finish before the constructor
-    // returns, so the 8 bytes/row need not stay pinned through the probe.
-    std::vector<uint64_t> hashes(static_cast<size_t>(n));
+    const int64_t parts = int64_t{1} << bits;
     const int64_t morsels = NumMorsels(n, opts.morsel_rows);
-    CountMorsels(opts, morsels);
+    CountMorsels(opts, 2 * morsels);  // the counting and scatter passes
+    hashes.resize(static_cast<size_t>(n));
+    std::vector<int64_t> counts(static_cast<size_t>(morsels * parts), 0);
     opts.scheduler->ParallelFor(morsels, [&](int64_t m) {
       const int64_t lo = m * opts.morsel_rows;
       const int64_t hi = std::min<int64_t>(n, lo + opts.morsel_rows);
+      int64_t* mine = counts.data() + static_cast<size_t>(m * parts);
       for (int64_t i = lo; i < hi; ++i) {
-        hashes[static_cast<size_t>(i)] = HashSlice(rel.RowData(i), cols);
+        const uint64_t h = HashSlice(rel.RowData(i), cols);
+        hashes[static_cast<size_t>(i)] = h;
+        ++mine[PartitionOf(h, bits)];
       }
     });
-    const int parts = 1 << bits_;
+    std::vector<int64_t> cursors(static_cast<size_t>(morsels * parts));
+    part_begin.resize(static_cast<size_t>(parts) + 1);
+    int64_t off = 0;
+    for (int64_t p = 0; p < parts; ++p) {
+      part_begin[static_cast<size_t>(p)] = off;
+      for (int64_t m = 0; m < morsels; ++m) {
+        cursors[static_cast<size_t>(m * parts + p)] = off;
+        off += counts[static_cast<size_t>(m * parts + p)];
+      }
+    }
+    part_begin[static_cast<size_t>(parts)] = off;
+    row_ids.resize(static_cast<size_t>(n));
+    opts.scheduler->ParallelFor(morsels, [&](int64_t m) {
+      const int64_t lo = m * opts.morsel_rows;
+      const int64_t hi = std::min<int64_t>(n, lo + opts.morsel_rows);
+      int64_t* mine = cursors.data() + static_cast<size_t>(m * parts);
+      for (int64_t i = lo; i < hi; ++i) {
+        const size_t p = PartitionOf(hashes[static_cast<size_t>(i)], bits);
+        row_ids[static_cast<size_t>(mine[p]++)] = i;
+      }
+    });
+  }
+
+  int num_partitions() const { return 1 << bits; }
+
+  const int bits;
+  std::vector<uint64_t> hashes;    // per row id, the `cols` slice hash
+  std::vector<int64_t> row_ids;    // partition-major, row order within each
+  std::vector<int64_t> part_begin; // partition p owns [begin[p], begin[p+1])
+};
+
+// A hash-partitioned SliceIndex over all rows of `rel`: a RadixScatter lays
+// every row id into its partition's contiguous slice, then the partition
+// indexes are built concurrently, each consuming only its own rows — build
+// work stays O(n) regardless of the partition count (the old claim-by-scan
+// build was parts × n).
+class PartitionedSliceIndex {
+ public:
+  PartitionedSliceIndex(const Relation& rel, const std::vector<int>& cols,
+                        const OpExecOpts& opts) {
+    // Scatter state is local: the build finishes before the constructor
+    // returns, so the ~16 bytes/row need not stay pinned through the probe.
+    RadixScatter scatter(rel, cols, opts);
+    bits_ = scatter.bits;
+    const int parts = scatter.num_partitions();
     parts_.reserve(static_cast<size_t>(parts));
     for (int p = 0; p < parts; ++p) {
-      parts_.emplace_back(rel, cols, n / parts + 1);
+      parts_.emplace_back(
+          rel, cols,
+          scatter.part_begin[static_cast<size_t>(p) + 1] -
+              scatter.part_begin[static_cast<size_t>(p)]);
     }
     opts.scheduler->ParallelFor(parts, [&](int64_t p) {
       SliceIndex& index = parts_[static_cast<size_t>(p)];
-      for (int64_t i = 0; i < n; ++i) {
-        if (PartitionOf(hashes[static_cast<size_t>(i)], bits_) ==
-            static_cast<size_t>(p)) {
-          index.Add(i, hashes[static_cast<size_t>(i)]);
-        }
+      const int64_t hi = scatter.part_begin[static_cast<size_t>(p) + 1];
+      for (int64_t k = scatter.part_begin[static_cast<size_t>(p)]; k < hi;
+           ++k) {
+        const int64_t row = scatter.row_ids[static_cast<size_t>(k)];
+        index.Add(row, scatter.hashes[static_cast<size_t>(row)]);
       }
     });
   }
@@ -325,43 +374,63 @@ Relation Project(const Relation& r, const AttrSet& x,
     return out;
   }
 
-  // Parallel form: every morsel projects + locally dedupes its row range
-  // into a private relation, then one sequential pass merges the local
-  // survivors (in merge order) through a global dedupe index. Keeping the
-  // cross-morsel dedupe sequential preserves first-occurrence order, which
-  // makes the deterministic mode bit-identical to the serial kernel.
+  // Parallel form: a partitioned (by key hash) cross-morsel dedupe on the
+  // radix-scatter structure — no sequential merge pass at all. All
+  // duplicates of a key land in the same hash partition, and each
+  // partition's row-id slice preserves global row order, so a
+  // within-partition first occurrence IS the global first occurrence. The
+  // partition tasks dedupe concurrently into a shared per-row survivor
+  // bitmap (disjoint bytes — every row belongs to exactly one partition),
+  // then a morsel-parallel compaction emits the survivors in row order:
+  // always bit-identical to the serial kernel, deterministic mode or not.
+  RadixScatter scatter(r, cols, opts);
+  const int parts = scatter.num_partitions();
+  std::vector<uint8_t> survives(static_cast<size_t>(n), 0);
+  opts.scheduler->ParallelFor(parts, [&](int64_t p) {
+    const int64_t lo = scatter.part_begin[static_cast<size_t>(p)];
+    const int64_t hi = scatter.part_begin[static_cast<size_t>(p) + 1];
+    SliceIndex seen(r, cols, hi - lo);
+    for (int64_t k = lo; k < hi; ++k) {
+      const int64_t i = scatter.row_ids[static_cast<size_t>(k)];
+      const uint64_t h = scatter.hashes[static_cast<size_t>(i)];
+      if (seen.ContainsHashed(r.RowData(i), cols, h)) continue;
+      seen.Add(i, h);
+      survives[static_cast<size_t>(i)] = 1;
+    }
+  });
+
+  // Compaction: per-morsel survivor counts, prefix sum, then parallel
+  // writes into disjoint ranges of the output arena, in row order. Two
+  // morsel passes, counted like RadixScatter's.
   const int64_t chunks = NumMorsels(n, opts.morsel_rows);
-  CountMorsels(opts, chunks);
-  std::vector<Relation> locals(static_cast<size_t>(chunks), Relation(x));
-  MergeOrder merge(chunks, opts.deterministic);
+  CountMorsels(opts, 2 * chunks);
+  std::vector<int64_t> counts(static_cast<size_t>(chunks), 0);
   opts.scheduler->ParallelFor(chunks, [&](int64_t c) {
     const int64_t lo = c * opts.morsel_rows;
     const int64_t hi = std::min<int64_t>(n, lo + opts.morsel_rows);
-    Relation& loc = locals[static_cast<size_t>(c)];
-    SliceIndex seen(loc, out_cols, hi - lo);
-    for (int64_t i = lo; i < hi; ++i) {
-      const Value* src = r.RowData(i);
-      if (seen.Contains(src, cols)) continue;
-      Value* dst = loc.AppendRow();
-      for (size_t k = 0; k < cols.size(); ++k) dst[k] = src[cols[k]];
-      seen.Add(loc.NumRows() - 1);
-    }
-    merge.Record(c);
+    int64_t count = 0;
+    for (int64_t i = lo; i < hi; ++i) count += survives[static_cast<size_t>(i)];
+    counts[static_cast<size_t>(c)] = count;
   });
-
-  int64_t survivors = 0;
-  for (const Relation& loc : locals) survivors += loc.NumRows();
-  SliceIndex seen(out, out_cols, survivors);
-  out.Reserve(survivors);
-  for (int64_t c : merge.order()) {
-    const Relation& loc = locals[static_cast<size_t>(c)];
-    for (int64_t j = 0; j < loc.NumRows(); ++j) {
-      const Value* src = loc.RowData(j);
-      if (seen.Contains(src, out_cols)) continue;
-      out.AddRow(src, static_cast<size_t>(out.Arity()));
-      seen.Add(out.NumRows() - 1);
-    }
+  std::vector<int64_t> offsets(static_cast<size_t>(chunks) + 1, 0);
+  for (int64_t c = 0; c < chunks; ++c) {
+    offsets[static_cast<size_t>(c) + 1] =
+        offsets[static_cast<size_t>(c)] + counts[static_cast<size_t>(c)];
   }
+  const size_t arity = cols.size();
+  Value* base = out.AppendRows(offsets.back());
+  opts.scheduler->ParallelFor(chunks, [&](int64_t c) {
+    const int64_t lo = c * opts.morsel_rows;
+    const int64_t hi = std::min<int64_t>(n, lo + opts.morsel_rows);
+    Value* dst = base + static_cast<size_t>(offsets[static_cast<size_t>(c)]) *
+                            arity;
+    for (int64_t i = lo; i < hi; ++i) {
+      if (!survives[static_cast<size_t>(i)]) continue;
+      const Value* src = r.RowData(i);
+      for (size_t k = 0; k < arity; ++k) dst[k] = src[cols[k]];
+      dst += arity;
+    }
+  });
   return out;
 }
 

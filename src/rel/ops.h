@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 
 #include "rel/relation.h"
@@ -27,11 +28,14 @@ class TaskScheduler;
 /// Execution options threaded through the kernels by the exec runtime
 /// (exec/physical_plan.h). Default-constructed options run the serial
 /// engine. With a scheduler attached and a probe side larger than one
-/// morsel, the kernels switch to their parallel form: a hash-partitioned
-/// build (partitions built concurrently from a shared precomputed-hash
-/// array) plus a morsel-driven probe over row-range slices of the input
-/// arena, each morsel appending into a local buffer that a final compaction
-/// pass memcpys into the output arena.
+/// morsel, the kernels switch to their parallel form: a radix-scatter
+/// partitioned build (one counting pass + prefix-sum layout + one scatter
+/// pass lay every row id into its hash partition's contiguous region, then
+/// the partitions build concurrently from their own rows — O(n) total work)
+/// plus a morsel-driven probe over row-range slices of the input arena,
+/// each morsel appending into a local buffer that a final compaction pass
+/// memcpys into the output arena. Project reuses the same scatter structure
+/// for a partitioned cross-morsel dedupe (see ops.cc).
 struct OpExecOpts {
   /// Pool to fan morsels out on; nullptr (or a 1-thread pool) = serial.
   exec::TaskScheduler* scheduler = nullptr;
@@ -67,6 +71,26 @@ constexpr int64_t AutoMorselRows(int arity) {
                            kMorselTargetBytes /
                                (static_cast<int64_t>(arity < 1 ? 1 : arity) *
                                 static_cast<int64_t>(sizeof(Value)))));
+}
+
+/// Build-side hash partitioning: the parallel kernels split a hash build
+/// into 2^PartitionBits(threads) partitions, where partition p owns the rows
+/// whose key hash has p in its top bits (bucket chains use the low bits, so
+/// the two selections stay independent). Clamped to [0, kMaxPartitionBits]:
+/// threads <= 1 (including 0 and negative values from misconfigured
+/// callers) means one partition, and huge thread counts stop at 64
+/// partitions — beyond that the per-partition task bookkeeping outweighs
+/// the extra build parallelism.
+constexpr int kMaxPartitionBits = 6;
+
+constexpr int PartitionBits(int threads) {
+  int bits = 0;
+  while ((1 << bits) < threads && bits < kMaxPartitionBits) ++bits;
+  return bits;
+}
+
+constexpr size_t PartitionOf(uint64_t h, int bits) {
+  return bits == 0 ? 0 : static_cast<size_t>(h >> (64 - bits));
 }
 
 /// π_X(r): projection onto X. Requires X ⊆ r.Schema(). Output deduplicated

@@ -1,11 +1,12 @@
 #include "rel/reducer.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "exec/physical_plan.h"
-#include "gyo/qual_graph.h"
 #include "rel/ops.h"
 #include "rel/program.h"
+#include "rel/solver.h"
 #include "util/check.h"
 
 namespace gyo {
@@ -31,31 +32,25 @@ std::optional<std::vector<Relation>> ApplyFullReducer(
     const DatabaseSchema& d, const std::vector<Relation>& states,
     const exec::ExecContext& ctx) {
   GYO_CHECK(static_cast<int>(states.size()) == d.NumRelations());
-  std::optional<QualGraph> tree = BuildJoinTree(d);
-  if (!tree.has_value()) return std::nullopt;
-
-  // Compile the two passes into a semijoin program. Each semijoin reads the
-  // *current* id of its nodes, so the per-node chains carry the data
-  // dependencies and semijoins on disjoint subtrees come out independent —
-  // the exec dataflow DAG then runs those concurrently.
+  // The two semijoin passes, compiled as a program (see FullReducerProgram
+  // in rel/solver.h): per-node chains carry the data dependencies, so
+  // semijoins on disjoint subtrees run concurrently on the exec DAG.
+  std::optional<FullReducerPlan> plan = FullReducerProgram(d);
+  if (!plan.has_value()) return std::nullopt;
   const int n = d.NumRelations();
-  Program p(n);
-  std::vector<int> ids(static_cast<size_t>(n));
-  for (int i = 0; i < n; ++i) ids[static_cast<size_t>(i)] = i;
-  // Upward pass: children (removed first) reduce their parents...
-  for (const auto& [child, parent] : tree->edges) {
-    ids[static_cast<size_t>(parent)] =
-        p.AddSemijoin(ids[static_cast<size_t>(parent)],
-                      ids[static_cast<size_t>(child)]);
-  }
-  // ...then the downward pass propagates the root's state back out.
-  for (auto it = tree->edges.rbegin(); it != tree->edges.rend(); ++it) {
-    ids[static_cast<size_t>(it->first)] = p.AddSemijoin(
-        ids[static_cast<size_t>(it->first)],
-        ids[static_cast<size_t>(it->second)]);
-  }
+  const std::vector<int>& ids = plan->final_ids;
 
-  std::vector<Relation> all = exec::Execute(p, states, ctx);
+  // State retirement: every base state and intermediate semijoin state is
+  // consumed by a later chain statement, so with retire_consumed the exec
+  // runtime frees each one as its final consumer task finishes — peak memory
+  // stays near the serial reducer's n live states instead of holding all
+  // 2(n−1) intermediates until the DAG drains. Each node's *final* state is
+  // what we return, so retain the ones some statement still reads (e.g. the
+  // root's upward-pass result, which every downward semijoin consumes).
+  exec::ExecContext retire_ctx = ctx;
+  retire_ctx.retire_consumed = true;
+  retire_ctx.retain_states = &plan->final_ids;
+  std::vector<Relation> all = exec::Execute(plan->program, states, retire_ctx);
   std::vector<Relation> out;
   out.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -67,26 +62,65 @@ std::optional<std::vector<Relation>> ApplyFullReducer(
 std::vector<Relation> SemijoinFixpoint(const DatabaseSchema& d,
                                        const std::vector<Relation>& states,
                                        int* steps) {
+  return SemijoinFixpoint(d, states, exec::ExecContext(), steps);
+}
+
+std::vector<Relation> SemijoinFixpoint(const DatabaseSchema& d,
+                                       const std::vector<Relation>& states,
+                                       const exec::ExecContext& ctx,
+                                       int* steps) {
   GYO_CHECK(static_cast<int>(states.size()) == d.NumRelations());
-  std::vector<Relation> out = states;
   const int n = d.NumRelations();
+  SemijoinRound round = SemijoinRoundProgram(d);
+  const std::vector<Program::Statement>& stmts = round.program.Statements();
+
+  // Rounds always run without retirement, whatever the caller's context
+  // says: the convergence check below reads consumed input slots (which
+  // retirement would have emptied), and a caller's retain list means
+  // nothing in the round program's numbering. Query stats are accumulated
+  // across rounds instead of letting each Execute overwrite them.
+  exec::ExecContext round_ctx = ctx;
+  round_ctx.retire_consumed = false;
+  round_ctx.retain_states = nullptr;
+  exec::QueryStats round_stats;
+  exec::QueryStats total_stats;
+  round_ctx.query_stats = ctx.query_stats != nullptr ? &round_stats : nullptr;
+
+  // Compile once: the round program never changes, so the dataflow and
+  // reader-count analyses need not be redone every round.
+  exec::PhysicalPlan plan = exec::PhysicalPlan::Compile(round.program);
+  std::vector<Relation> out = states;
   int effective = 0;
-  bool changed = true;
+  bool changed = round.program.NumStatements() > 0;
   while (changed) {
     changed = false;
-    for (int i = 0; i < n; ++i) {
-      for (int j = 0; j < n; ++j) {
-        if (i == j || !d[i].Intersects(d[j])) continue;
-        Relation reduced =
-            Semijoin(out[static_cast<size_t>(i)], out[static_cast<size_t>(j)]);
-        if (reduced.NumRows() != out[static_cast<size_t>(i)].NumRows()) {
-          out[static_cast<size_t>(i)] = std::move(reduced);
-          ++effective;
-          changed = true;
-        }
+    // One task wave: every relation's neighbor-semijoin chain, all chains
+    // reading this round's start states. Per-relation row counts are
+    // monotone non-increasing, so if no chain statement shrinks its lhs the
+    // states are a pairwise-semijoin fixpoint and the loop stops.
+    std::vector<Relation> all = plan.Execute(out, round_ctx);
+    if (ctx.query_stats != nullptr) {
+      total_stats.queue_wait_seconds += round_stats.queue_wait_seconds;
+      total_stats.run_time_seconds += round_stats.run_time_seconds;
+      total_stats.tasks += round_stats.tasks;
+      total_stats.morsels += round_stats.morsels;
+      total_stats.peak_state_bytes = std::max(total_stats.peak_state_bytes,
+                                              round_stats.peak_state_bytes);
+    }
+    for (int k = 0; k < round.program.NumStatements(); ++k) {
+      const Program::Statement& s = stmts[static_cast<size_t>(k)];
+      if (all[static_cast<size_t>(n + k)].NumRows() !=
+          all[static_cast<size_t>(s.lhs)].NumRows()) {
+        ++effective;
+        changed = true;
       }
     }
+    for (int i = 0; i < n; ++i) {
+      out[static_cast<size_t>(i)] =
+          std::move(all[static_cast<size_t>(round.chain_ids[static_cast<size_t>(i)])]);
+    }
   }
+  if (ctx.query_stats != nullptr) *ctx.query_stats = total_stats;
   if (steps != nullptr) *steps = effective;
   return out;
 }

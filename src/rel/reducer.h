@@ -43,10 +43,28 @@ std::optional<std::vector<Relation>> ApplyFullReducer(
     const exec::ExecContext& ctx);
 
 /// Applies pairwise semijoins Ri ⋉ Rj until no relation shrinks — the best
-/// any semijoin program can achieve. Returns the fixpoint states and, via
-/// `steps`, the number of effective semijoins applied (if non-null).
+/// any semijoin program can achieve (the fixpoint is unique: semijoin
+/// reduction is confluent). Runs in synchronous rounds: each round compiles
+/// every relation's chain of neighbor semijoins into one program (see
+/// SemijoinRoundProgram in rel/solver.h) whose chains read the round-start
+/// states, so all NumRelations() chains are independent and execute as one
+/// task wave per round on the exec runtime. Returns the fixpoint states
+/// and, via `steps`, the number of effective (relation-shrinking) semijoins
+/// applied (if non-null).
 std::vector<Relation> SemijoinFixpoint(const DatabaseSchema& d,
                                        const std::vector<Relation>& states,
+                                       int* steps = nullptr);
+
+/// Parallel form: the same round schedule on `ctx`'s pool. With the default
+/// (serial) context this is exactly the overload above; in deterministic
+/// mode the fixpoint states — and the `steps` count — are bit-identical to
+/// it at any thread count. ctx.retire_consumed/retain_states are ignored
+/// (rounds run unretired: the convergence check reads every chain's input
+/// row counts); ctx.query_stats, when set, receives totals accumulated
+/// across all rounds (peak_state_bytes is the max round's peak).
+std::vector<Relation> SemijoinFixpoint(const DatabaseSchema& d,
+                                       const std::vector<Relation>& states,
+                                       const exec::ExecContext& ctx,
                                        int* steps = nullptr);
 
 }  // namespace gyo

@@ -144,6 +144,45 @@ std::optional<Program> YannakakisProgram(const DatabaseSchema& d,
   return p;
 }
 
+std::optional<FullReducerPlan> FullReducerProgram(const DatabaseSchema& d) {
+  std::optional<QualGraph> tree = BuildJoinTree(d);
+  if (!tree.has_value()) return std::nullopt;
+  const int n = d.NumRelations();
+  FullReducerPlan plan{Program(n), std::vector<int>(static_cast<size_t>(n))};
+  std::vector<int>& ids = plan.final_ids;
+  for (int i = 0; i < n; ++i) ids[static_cast<size_t>(i)] = i;
+  // Upward pass: children (removed first) reduce their parents...
+  for (const auto& [child, parent] : tree->edges) {
+    ids[static_cast<size_t>(parent)] =
+        plan.program.AddSemijoin(ids[static_cast<size_t>(parent)],
+                                 ids[static_cast<size_t>(child)]);
+  }
+  // ...then the downward pass propagates the root's state back out.
+  for (auto it = tree->edges.rbegin(); it != tree->edges.rend(); ++it) {
+    ids[static_cast<size_t>(it->first)] = plan.program.AddSemijoin(
+        ids[static_cast<size_t>(it->first)],
+        ids[static_cast<size_t>(it->second)]);
+  }
+  return plan;
+}
+
+SemijoinRound SemijoinRoundProgram(const DatabaseSchema& d) {
+  const int n = d.NumRelations();
+  SemijoinRound round{Program(n), std::vector<int>(static_cast<size_t>(n))};
+  for (int i = 0; i < n; ++i) {
+    int acc = i;
+    for (int j = 0; j < n; ++j) {
+      if (i == j || !d[i].Intersects(d[j])) continue;
+      // The rhs is always the base id j — the round-start state — so every
+      // chain is independent of every other chain's results (a Jacobi
+      // round): the only statement-to-statement edges are within one chain.
+      acc = round.program.AddSemijoin(acc, j);
+    }
+    round.chain_ids[static_cast<size_t>(i)] = acc;
+  }
+  return round;
+}
+
 std::optional<Program> TreeProjectionProgram(const DatabaseSchema& d,
                                              const AttrSet& x,
                                              const DatabaseSchema& bags) {

@@ -200,6 +200,42 @@ TEST(ExecutorPoolTest, FairnessSurvivesDrainAndRequeue) {
             (std::vector<std::string>{"A1", "B1", "A2", "B2", "A3"}));
 }
 
+TEST(ExecutorPoolTest, PerSubmitterWaitingQueueDepth) {
+  // waiting_queries(submitter) reports one fairness class's backlog — the
+  // queue-depth observable a backpressure policy would shed on (and what
+  // the CLIs print in their pool status line).
+  ExecutorPool pool(PoolOptions(1, 1));
+  std::mutex order_mu;
+  std::vector<std::string> order;
+  auto wait_for_waiting = [&pool](int n) {
+    while (pool.waiting_queries() < n) std::this_thread::yield();
+  };
+
+  auto* held = new ExecutorPool::Admission(pool.Admit(0));
+  EXPECT_EQ(pool.waiting_queries(7), 0);
+  HoldingClient a1(pool, 7, "A1", order, order_mu);
+  wait_for_waiting(1);
+  HoldingClient a2(pool, 7, "A2", order, order_mu);
+  wait_for_waiting(2);
+  HoldingClient b1(pool, 9, "B1", order, order_mu);
+  wait_for_waiting(3);
+  EXPECT_EQ(pool.waiting_queries(7), 2);
+  EXPECT_EQ(pool.waiting_queries(9), 1);
+  EXPECT_EQ(pool.waiting_queries(5), 0);  // a class nobody queued in
+  EXPECT_EQ(pool.waiting_queries(), 3);
+
+  delete held;  // round-robin drain: A1, then B1, then A2
+  a1.WaitAdmitted();
+  EXPECT_EQ(pool.waiting_queries(7), 1);
+  a1.Release();
+  b1.WaitAdmitted();
+  EXPECT_EQ(pool.waiting_queries(9), 0);
+  b1.Release();
+  a2.WaitAdmitted();
+  EXPECT_EQ(pool.waiting_queries(7), 0);
+  a2.Release();
+}
+
 TEST(ExecutorPoolTest, PoolReusedAcrossSequentialQueries) {
   DatabaseSchema d = PathSchema(8);
   AttrSet x{0, 7};

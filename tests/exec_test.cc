@@ -9,6 +9,7 @@
 
 #include "exec/physical_plan.h"
 
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -192,6 +193,168 @@ TEST(ExecTest, RunReturnsFinalRelation) {
   Relation via_exec = exec::Run(p, states, pooled.ctx);
   Relation reference = EvaluateJoinQuery(d, x, states);
   EXPECT_TRUE(via_exec.EqualsAsSet(reference));
+}
+
+// --- Build-side hash partitioning (satellite): PartitionBits must clamp
+// sanely at both ends — it was previously only exercised through the
+// kernels. ---
+
+TEST(PartitionBitsTest, ClampsThreadCountsSanely) {
+  // threads <= 1 (including misconfigured 0 / negative) = one partition.
+  EXPECT_EQ(PartitionBits(-4), 0);
+  EXPECT_EQ(PartitionBits(0), 0);
+  EXPECT_EQ(PartitionBits(1), 0);
+  // Smallest power of two covering the pool...
+  EXPECT_EQ(PartitionBits(2), 1);
+  EXPECT_EQ(PartitionBits(3), 2);
+  EXPECT_EQ(PartitionBits(4), 2);
+  EXPECT_EQ(PartitionBits(5), 3);
+  EXPECT_EQ(PartitionBits(64), 6);
+  // ...until the cap: huge pools stop at 2^kMaxPartitionBits partitions.
+  EXPECT_EQ(PartitionBits(65), kMaxPartitionBits);
+  EXPECT_EQ(PartitionBits(1 << 20), kMaxPartitionBits);
+  EXPECT_EQ(PartitionBits(std::numeric_limits<int>::max()),
+            kMaxPartitionBits);
+}
+
+TEST(PartitionBitsTest, PartitionOfCoversRange) {
+  // bits == 0 maps everything to partition 0; otherwise the top bits select
+  // a partition in [0, 2^bits) and the extremes land on the extremes.
+  EXPECT_EQ(PartitionOf(~0ull, 0), 0u);
+  for (int bits = 1; bits <= kMaxPartitionBits; ++bits) {
+    EXPECT_EQ(PartitionOf(0ull, bits), 0u);
+    EXPECT_EQ(PartitionOf(~0ull, bits), (size_t{1} << bits) - 1);
+    Rng rng(7);
+    for (int trial = 0; trial < 100; ++trial) {
+      EXPECT_LT(PartitionOf(rng.Next(), bits), size_t{1} << bits);
+    }
+  }
+}
+
+// --- State retirement (tentpole): compile-time reader counts plus
+// run-time last-reader frees. ---
+
+TEST(ExecReaderCountsTest, ReaderCountsFollowDataflow) {
+  Program p(2);
+  int j = p.AddJoin(0, 1);             // reads R0, R1
+  int pr = p.AddProject(j, AttrSet{0});  // reads R2
+  p.AddSemijoin(pr, 0);                // reads R3 and R0 again
+  exec::PhysicalPlan plan = exec::PhysicalPlan::Compile(p);
+  // Slots: R0, R1 base; R2 join, R3 project, R4 semijoin (sink).
+  EXPECT_EQ(plan.ReaderCounts(),
+            std::vector<int>({2, 1, 1, 1, 0}));
+}
+
+TEST(ExecReaderCountsTest, SelfInputCountsOnce) {
+  Program p(1);
+  p.AddSemijoin(0, 0);
+  exec::PhysicalPlan plan = exec::PhysicalPlan::Compile(p);
+  EXPECT_EQ(plan.ReaderCounts(), std::vector<int>({1, 0}));
+}
+
+class ExecRetireTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    d_ = PathSchema(8);
+    x_ = AttrSet{0, 7};
+    states_ = MakeUR(d_, 80, 16 * 80, 7);
+    program_ = *YannakakisProgram(d_, x_);
+  }
+
+  DatabaseSchema d_;
+  AttrSet x_;
+  std::vector<Relation> states_;
+  Program program_{0};
+};
+
+TEST_F(ExecRetireTest, FreesConsumedStatesKeepsSinksAndResult) {
+  std::vector<Relation> serial = program_.Execute(states_);
+  exec::PhysicalPlan plan = exec::PhysicalPlan::Compile(program_);
+  for (int threads : {1, 2, 4}) {
+    std::unique_ptr<PooledCtx> pooled;
+    exec::ExecContext ctx;
+    if (threads != 1) {
+      pooled = std::make_unique<PooledCtx>(threads);
+      ctx = pooled->ctx;
+      ctx.morsel_rows = 16;
+    }
+    ctx.retire_consumed = true;
+    exec::QueryStats query_stats;
+    ctx.query_stats = &query_stats;
+    std::vector<Relation> out = plan.Execute(states_, ctx);
+    ASSERT_EQ(out.size(), serial.size());
+    int64_t freed = 0;
+    for (size_t i = 0; i < out.size(); ++i) {
+      if (plan.ReaderCounts()[i] == 0) {
+        // Sinks — including the program result — survive bit-identically.
+        EXPECT_EQ(out[i].Arena(), serial[i].Arena()) << "state " << i;
+      } else {
+        // Every consumed state was freed once its last reader finished.
+        EXPECT_EQ(out[i].NumRows(), 0) << "state " << i;
+        EXPECT_TRUE(out[i].Schema() == serial[i].Schema()) << "state " << i;
+        ++freed;
+      }
+    }
+    EXPECT_GT(freed, 0);
+    EXPECT_EQ(query_stats.retired_states, freed) << "threads " << threads;
+    EXPECT_GT(query_stats.peak_state_bytes, 0);
+  }
+}
+
+TEST_F(ExecRetireTest, RetainListExemptsStates) {
+  std::vector<Relation> serial = program_.Execute(states_);
+  // Retain one consumed state (the first base relation, which Yannakakis
+  // reads) plus a consumed statement result.
+  exec::PhysicalPlan plan = exec::PhysicalPlan::Compile(program_);
+  int consumed_stmt = -1;
+  for (size_t i = static_cast<size_t>(program_.num_base());
+       i < plan.ReaderCounts().size(); ++i) {
+    if (plan.ReaderCounts()[i] > 0) consumed_stmt = static_cast<int>(i);
+  }
+  ASSERT_GE(consumed_stmt, 0);
+  std::vector<int> retain = {0, consumed_stmt};
+  exec::ExecContext ctx;
+  ctx.retire_consumed = true;
+  ctx.retain_states = &retain;
+  std::vector<Relation> out = exec::Execute(program_, states_, ctx);
+  EXPECT_EQ(out[0].Arena(), serial[0].Arena());
+  EXPECT_EQ(out[static_cast<size_t>(consumed_stmt)].Arena(),
+            serial[static_cast<size_t>(consumed_stmt)].Arena());
+}
+
+TEST_F(ExecRetireTest, RetirementShrinksPeakStateBytes) {
+  // The memory claim behind the full reducer's retirement: the same program
+  // peaks strictly lower with retirement than without.
+  auto peak_of = [&](bool retire) {
+    exec::ExecContext ctx;
+    ctx.retire_consumed = retire;
+    exec::QueryStats query_stats;
+    ctx.query_stats = &query_stats;
+    exec::Execute(program_, states_, ctx);
+    return query_stats.peak_state_bytes;
+  };
+  const int64_t without = peak_of(false);
+  const int64_t with = peak_of(true);
+  EXPECT_GT(without, 0);
+  EXPECT_LT(with, without);
+}
+
+TEST(ExecReducerTest, FullReducerRetiresIntermediates) {
+  Rng rng(23);
+  RandomTreeResult t = RandomTreeSchema(10, 3, rng);
+  Rng state_rng(24);
+  std::vector<Relation> states = RandomStates(t.schema, 200, 6, state_rng);
+  exec::ExecContext ctx;
+  exec::QueryStats query_stats;
+  ctx.query_stats = &query_stats;
+  auto reduced = ApplyFullReducer(t.schema, states, ctx);
+  ASSERT_TRUE(reduced.has_value());
+  // 2(n−1) semijoins over n base states: every state is consumed except the
+  // n final ones (retained or sinks), so base + intermediates retire.
+  const int n = t.schema.NumRelations();
+  EXPECT_GT(query_stats.retired_states, 0);
+  EXPECT_LE(query_stats.retired_states, n + 2 * (n - 1));
+  EXPECT_GT(query_stats.peak_state_bytes, 0);
 }
 
 // --- Parallel operator kernels, driven directly. ---

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "exec/executor_pool.h"
 #include "gyo/acyclic.h"
 #include "rel/ops.h"
+#include "rel/solver.h"
 #include "rel/universal.h"
 #include "schema/generators.h"
 #include "schema/parse.h"
@@ -129,6 +131,78 @@ TEST_F(ReducerTest, FixpointNeverLosesJoinTuples) {
     Relation after = JoinAll(SemijoinFixpoint(d, states));
     EXPECT_TRUE(before.EqualsAsSet(after)) << "trial " << trial;
   }
+}
+
+TEST_F(ReducerTest, ParallelFixpointBitIdenticalToSerial) {
+  // The task-wave fixpoint: per round every relation's neighbor-semijoin
+  // chain runs as one wave on the pool. In deterministic mode the fixpoint
+  // states — row order, canonical flags — and the effective-step count must
+  // be bit-identical to the serial engine's at every thread count, on tree
+  // and cyclic schemas alike.
+  Rng rng(467);
+  std::vector<DatabaseSchema> schemas = {PathSchema(6), Aring(5),
+                                         StarSchema(5)};
+  for (int t = 0; t < 2; ++t) {
+    schemas.push_back(
+        RandomTreeSchema(3 + static_cast<int>(rng.Below(4)), 3, rng).schema);
+  }
+  for (size_t s = 0; s < schemas.size(); ++s) {
+    const DatabaseSchema& d = schemas[s];
+    std::vector<Relation> states = RandomStates(d, 200, 8, rng);
+    int serial_steps = -1;
+    std::vector<Relation> serial = SemijoinFixpoint(d, states, &serial_steps);
+    for (int threads : {2, 4, 8}) {
+      exec::ExecutorPool::Options options;
+      options.threads = threads;
+      exec::ExecutorPool pool(options);
+      exec::ExecContext ctx;
+      ctx.threads = threads;
+      ctx.pool = &pool;
+      ctx.morsel_rows = 16;  // force morsel splitting on small states
+      int steps = -1;
+      std::vector<Relation> parallel = SemijoinFixpoint(d, states, ctx, &steps);
+      EXPECT_EQ(steps, serial_steps) << "schema " << s << " threads "
+                                     << threads;
+      ASSERT_EQ(serial.size(), parallel.size());
+      for (size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].IsCanonical(), parallel[i].IsCanonical())
+            << "schema " << s << " relation " << i << " threads " << threads;
+        EXPECT_EQ(serial[i].Arena(), parallel[i].Arena())
+            << "schema " << s << " relation " << i << " threads " << threads;
+      }
+    }
+  }
+}
+
+TEST_F(ReducerTest, FixpointIgnoresRetirementAndAccumulatesStats) {
+  // A retire-happy caller context must not break convergence (the round
+  // check reads every chain's input row counts, which retirement would
+  // empty — the fixpoint strips the flag), and query_stats must cover all
+  // rounds, not just the last.
+  Rng rng(479);
+  DatabaseSchema d = PathSchema(5);
+  // Sparse domain (64 ≫ 20 rows): the independent states are guaranteed
+  // dangle-heavy, so the fixpoint runs at least one effective round.
+  std::vector<Relation> states = RandomStates(d, 20, 64, rng);
+  int serial_steps = -1;
+  std::vector<Relation> serial = SemijoinFixpoint(d, states, &serial_steps);
+  exec::ExecContext ctx;
+  ctx.retire_consumed = true;  // ignored by the fixpoint
+  exec::QueryStats query_stats;
+  ctx.query_stats = &query_stats;
+  int steps = -1;
+  std::vector<Relation> fix = SemijoinFixpoint(d, states, ctx, &steps);
+  EXPECT_EQ(steps, serial_steps);
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].Arena(), fix[i].Arena()) << "relation " << i;
+  }
+  EXPECT_EQ(query_stats.retired_states, 0);
+  // Every round is one task per round-program statement; at least two
+  // rounds ran (the converging round plus the final no-change round).
+  SemijoinRound round = SemijoinRoundProgram(d);
+  EXPECT_GE(query_stats.tasks, 2 * round.program.NumStatements());
+  EXPECT_EQ(query_stats.tasks % round.program.NumStatements(), 0);
+  EXPECT_GT(query_stats.peak_state_bytes, 0);
 }
 
 TEST_F(ReducerTest, EmptyRelationPropagates) {
