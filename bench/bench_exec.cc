@@ -63,7 +63,7 @@ struct BenchPool {
 
 void ReportStats(benchmark::State& state, const Program& p,
                  const std::vector<Relation>& states,
-                 const exec::ExecContext& caller_ctx) {
+                 const exec::ExecContext& caller_ctx, double peak_rss_mb) {
   Program::Stats stats;
   exec::QueryStats query_stats;
   exec::ExecContext ctx = caller_ctx;
@@ -72,7 +72,18 @@ void ReportStats(benchmark::State& state, const Program& p,
   state.counters["max_intermediate"] =
       static_cast<double>(stats.max_intermediate_rows);
   state.counters["result_rows"] = static_cast<double>(stats.result_rows);
-  gyo_bench::ReportMemCounters(state, query_stats);
+  gyo_bench::ReportMemCounters(state, query_stats, peak_rss_mb);
+}
+
+// One fork-isolated RSS sample of a full query at this Arg's thread width.
+// Must run BEFORE the parent constructs its BenchPool: the child builds its
+// own pool, so the fork happens while the parent is still single-threaded.
+double SampleRss(benchmark::State& state, const Program& p,
+                 const std::vector<Relation>& states) {
+  return gyo_bench::ForkIsolatedPeakRssMb([&] {
+    BenchPool child(state);
+    benchmark::DoNotOptimize(exec::Run(p, states, child.ctx));
+  });
 }
 
 void BM_Exec_PathYannakakis(benchmark::State& state) {
@@ -80,11 +91,12 @@ void BM_Exec_PathYannakakis(benchmark::State& state) {
   AttrSet x{0, 16};
   Program p = *YannakakisProgram(d, x);
   std::vector<Relation> states = MakeUR(d, 8192, 17);
+  const double peak_rss_mb = SampleRss(state, p, states);
   BenchPool bench(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(exec::Run(p, states, bench.ctx));
   }
-  ReportStats(state, p, states, bench.ctx);
+  ReportStats(state, p, states, bench.ctx, peak_rss_mb);
 }
 BENCHMARK(BM_Exec_PathYannakakis)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
@@ -93,11 +105,12 @@ void BM_Exec_StarYannakakis(benchmark::State& state) {
   AttrSet x{0, 1};
   Program p = *YannakakisProgram(d, x);
   std::vector<Relation> states = MakeUR(d, 8192, 13);
+  const double peak_rss_mb = SampleRss(state, p, states);
   BenchPool bench(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(exec::Run(p, states, bench.ctx));
   }
-  ReportStats(state, p, states, bench.ctx);
+  ReportStats(state, p, states, bench.ctx, peak_rss_mb);
 }
 BENCHMARK(BM_Exec_StarYannakakis)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
@@ -106,6 +119,11 @@ void BM_Exec_FullReducer(benchmark::State& state) {
   RandomTreeResult t = RandomTreeSchema(24, 4, schema_rng);
   Rng state_rng(6);
   std::vector<Relation> states = RandomStates(t.schema, 8192, 24, state_rng);
+  const double peak_rss_mb = gyo_bench::ForkIsolatedPeakRssMb([&] {
+    BenchPool child(state);
+    auto out = ApplyFullReducer(t.schema, states, child.ctx);
+    benchmark::DoNotOptimize(out);
+  });
   BenchPool bench(state);
   exec::QueryStats query_stats;
   bench.ctx.query_stats = &query_stats;
@@ -116,7 +134,7 @@ void BM_Exec_FullReducer(benchmark::State& state) {
     benchmark::DoNotOptimize(out);
   }
   state.counters["reduced_rows_r0"] = static_cast<double>(reduced_rows);
-  gyo_bench::ReportMemCounters(state, query_stats);
+  gyo_bench::ReportMemCounters(state, query_stats, peak_rss_mb);
 }
 BENCHMARK(BM_Exec_FullReducer)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
@@ -125,11 +143,12 @@ void BM_Exec_FullJoin_Morsels(benchmark::State& state) {
   AttrSet x{0, 3};
   Program p = FullJoinProgram(d, x);
   std::vector<Relation> states = MakeUR(d, 32768, 19);
+  const double peak_rss_mb = SampleRss(state, p, states);
   BenchPool bench(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(exec::Run(p, states, bench.ctx));
   }
-  ReportStats(state, p, states, bench.ctx);
+  ReportStats(state, p, states, bench.ctx, peak_rss_mb);
 }
 BENCHMARK(BM_Exec_FullJoin_Morsels)
     ->Arg(1)

@@ -37,6 +37,13 @@ std::vector<Relation> DanglingStates(const DatabaseSchema& d, int rows,
 void BM_FullReducer_Path(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   DatabaseSchema d = PathSchema(n + 1);
+  // Fork-isolated RSS sample: one full workload pass in a child process,
+  // before any loop iterations, so the counter reflects this family alone.
+  const double peak_rss_mb = gyo_bench::ForkIsolatedPeakRssMb([&] {
+    std::vector<Relation> child_states = DanglingStates(d, 256, 37);
+    auto out = ApplyFullReducer(d, child_states);
+    benchmark::DoNotOptimize(out);
+  });
   std::vector<Relation> states = DanglingStates(d, 256, 37);
   exec::QueryStats query_stats;
   exec::ExecContext ctx;
@@ -48,7 +55,7 @@ void BM_FullReducer_Path(benchmark::State& state) {
     benchmark::DoNotOptimize(out);
   }
   state.counters["reduced_rows_r0"] = static_cast<double>(reduced_rows);
-  gyo_bench::ReportMemCounters(state, query_stats);
+  gyo_bench::ReportMemCounters(state, query_stats, peak_rss_mb);
 }
 BENCHMARK(BM_FullReducer_Path)->RangeMultiplier(2)->Range(4, 64);
 
@@ -60,9 +67,21 @@ void BM_FullReducerMemory_Path(benchmark::State& state) {
   // peak_state_bytes counters; rows are identical by construction.
   const bool retire = state.range(0) != 0;
   DatabaseSchema d = PathSchema(33);
-  std::vector<Relation> states = DanglingStates(d, 2048, 37);
   auto plan = FullReducerProgram(d);
   GYO_CHECK(plan.has_value());  // a path schema is a tree
+  // Per-variant fork-isolated RSS: with the retirement A/B now sampled in
+  // separate children, the Arg(1) row's peak_rss_mb can actually read lower
+  // than Arg(0)'s (RUSAGE_SELF monotonicity used to forbid that).
+  const double peak_rss_mb = gyo_bench::ForkIsolatedPeakRssMb([&] {
+    std::vector<Relation> child_states = DanglingStates(d, 2048, 37);
+    exec::ExecContext child_ctx;
+    child_ctx.retire_consumed = retire;
+    child_ctx.retain_states = retire ? &plan->final_ids : nullptr;
+    std::vector<Relation> all =
+        exec::Execute(plan->program, child_states, child_ctx);
+    benchmark::DoNotOptimize(all);
+  });
+  std::vector<Relation> states = DanglingStates(d, 2048, 37);
   exec::QueryStats query_stats;
   exec::ExecContext ctx;
   ctx.query_stats = &query_stats;
@@ -75,7 +94,7 @@ void BM_FullReducerMemory_Path(benchmark::State& state) {
     benchmark::DoNotOptimize(all);
   }
   state.counters["reduced_rows_r0"] = static_cast<double>(reduced_rows);
-  gyo_bench::ReportMemCounters(state, query_stats);
+  gyo_bench::ReportMemCounters(state, query_stats, peak_rss_mb);
 }
 BENCHMARK(BM_FullReducerMemory_Path)->Arg(0)->Arg(1);
 
@@ -110,9 +129,16 @@ void BM_SemijoinFixpointParallel_Path(benchmark::State& state) {
   exec::ExecutorPool::Options options;
   options.threads = threads;
   exec::ExecutorPool pool(options);
+  exec::QueryStats query_stats;
   exec::ExecContext ctx;
   ctx.threads = threads;
   ctx.pool = &pool;
+  ctx.query_stats = &query_stats;
+  // Below AutoMorselRows for 4096-row arity-2 states, so the kernels
+  // actually split and the partitioned (Bloom-guarded) probe path engages
+  // at threads > 1. The sparse domain makes most probe keys absent, so this
+  // is the bench that demonstrates nonzero bloom_partition_skips.
+  ctx.morsel_rows = 1024;
   int steps = 0;
   int64_t rows = 0;
   for (auto _ : state) {
@@ -122,6 +148,12 @@ void BM_SemijoinFixpointParallel_Path(benchmark::State& state) {
   }
   state.counters["effective_steps"] = static_cast<double>(steps);
   state.counters["fixpoint_rows_r0"] = static_cast<double>(rows);
+  // SemijoinFixpoint rewrites query_stats each call, so these are one full
+  // fixpoint's totals — iteration-count independent, hence pinnable.
+  state.counters["bloom_partition_skips"] =
+      static_cast<double>(query_stats.bloom_partition_skips);
+  state.counters["probe_rows_pruned"] =
+      static_cast<double>(query_stats.probe_rows_pruned);
 }
 BENCHMARK(BM_SemijoinFixpointParallel_Path)
     ->Arg(1)

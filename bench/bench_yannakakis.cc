@@ -29,11 +29,10 @@ std::vector<Relation> PayloadStarData(int leaves, int rows, uint64_t seed) {
   std::vector<Relation> states;
   for (int leaf = 1; leaf <= leaves; ++leaf) {
     Relation rel(AttrSet{0, leaf});
-    rel.Reserve(rows);
+    const int64_t first = rel.AppendRows(rows);
     for (int k = 0; k < rows; ++k) {
-      Value* row = rel.AppendRow();
-      row[0] = static_cast<Value>(rng.Below(64));
-      row[1] = static_cast<Value>(rng.Below(1 << 20));
+      rel.ColData(0)[first + k] = static_cast<Value>(rng.Below(64));
+      rel.ColData(1)[first + k] = static_cast<Value>(rng.Below(1 << 20));
     }
     rel.Canonicalize();
     states.push_back(std::move(rel));
@@ -75,11 +74,10 @@ std::vector<Relation> DeadEndPathData(int n, int rows, uint64_t seed) {
   for (int i = 0; i < n; ++i) {
     Relation rel(AttrSet{i, i + 1});
     if (i > 0) {
-      rel.Reserve(rows);
+      const int64_t first = rel.AppendRows(rows);
       for (int k = 0; k < rows; ++k) {
-        Value* row = rel.AppendRow();
-        row[0] = static_cast<Value>(rng.Below(16));
-        row[1] = static_cast<Value>(rng.Below(16));
+        rel.ColData(0)[first + k] = static_cast<Value>(rng.Below(16));
+        rel.ColData(1)[first + k] = static_cast<Value>(rng.Below(16));
       }
     }
     rel.Canonicalize();

@@ -33,8 +33,13 @@ from pathlib import Path
 # retired_states (dataflow retirement count: every consumed, non-retained
 # state is freed exactly once) are deterministic at every thread count, so
 # they are pinned alongside the result cardinalities.
+# bloom_partition_skips / probe_rows_pruned are per-row functions of the
+# data, the hash, and the partition count — fixed per bench name (thread
+# count is part of the name), so they pin too; a drift means the Bloom
+# build, the hash kernels, or the partition policy changed.
 CHECKED_COUNTERS = ("result_rows", "max_intermediate", "queries",
-                    "effective_steps", "retired_states")
+                    "effective_steps", "retired_states",
+                    "bloom_partition_skips", "probe_rows_pruned")
 CHECKED_PREFIXES = ("reduced_rows", "fixpoint_rows")
 
 

@@ -38,6 +38,17 @@ struct QueryStats {
 
   /// Relation states freed by retirement (0 unless retire_consumed).
   int64_t retired_states = 0;
+
+  /// Probe rows whose key hash a per-partition Bloom filter rejected in the
+  /// parallel partitioned builds, skipping that partition's bucket-chain
+  /// walk entirely (sideways information passing; 0 on serial runs).
+  int64_t bloom_partition_skips = 0;
+
+  /// Probe rows pruned by any Bloom filter — the serial single-filter
+  /// rejections plus the partitioned ones above — before a bucket chain was
+  /// walked. Bloom filters have no false negatives, so pruning never changes
+  /// results; this counts saved work only.
+  int64_t probe_rows_pruned = 0;
 };
 
 /// Runtime knobs for executing programs (and the reducer) in parallel.

@@ -122,9 +122,7 @@ class StateTracker {
     }
   }
 
-  static int64_t BytesOf(const Relation& r) {
-    return static_cast<int64_t>(r.Arena().size() * sizeof(Value));
-  }
+  static int64_t BytesOf(const Relation& r) { return r.ArenaBytes(); }
 
   // Called by a statement task right after it stored its output.
   void RecordProduced(const Relation& out) { AddBytes(BytesOf(out)); }
@@ -278,6 +276,13 @@ std::vector<Relation> ExecuteImpl(const Program& program,
   op_opts.morsel_rows = ctx.morsel_rows;
   op_opts.deterministic = ctx.deterministic;
 
+  // Bloom prune tallies, fed by both the serial and parallel kernels; the
+  // query's statement tasks share them, so they are atomics.
+  std::atomic<int64_t> bloom_skips{0};
+  std::atomic<int64_t> probe_prunes{0};
+  op_opts.bloom_skip_counter = &bloom_skips;
+  op_opts.probe_prune_counter = &probe_prunes;
+
   // Per-task partial stats, written into disjoint slots and merged after the
   // RunGraph barrier.
   std::vector<int64_t> rows_produced(static_cast<size_t>(num_statements), 0);
@@ -317,6 +322,10 @@ std::vector<Relation> ExecuteImpl(const Program& program,
   if (ctx.query_stats != nullptr) {
     ctx.query_stats->peak_state_bytes = tracker.peak_bytes();
     ctx.query_stats->retired_states = tracker.retired();
+    ctx.query_stats->bloom_partition_skips =
+        bloom_skips.load(std::memory_order_relaxed);
+    ctx.query_stats->probe_rows_pruned =
+        probe_prunes.load(std::memory_order_relaxed);
   }
 
   if (stats != nullptr) {

@@ -12,6 +12,9 @@ namespace gyo {
 
 namespace {
 
+constexpr uint64_t kFnvSeed = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
 // Murmur3-style 64-bit finalizer. FNV-1a alone distributes small sequential
 // integers (the common test/benchmark domain) badly in power-of-two bucket
 // arrays; the avalanche step spreads every input bit over the whole word.
@@ -24,27 +27,75 @@ inline uint64_t AvalancheMix(uint64_t h) {
   return h;
 }
 
-// Hash of the `cols` slice of the row starting at `row` — FNV-1a over the
-// selected values, finalized with AvalancheMix. No key materialization: the
-// values are read in place from the relation's arena.
-inline uint64_t HashSlice(const Value* row, const std::vector<int>& cols) {
-  uint64_t h = 1469598103934665603ull;
-  for (int c : cols) {
-    h ^= static_cast<uint64_t>(row[c]);
-    h *= 1099511628211ull;
-  }
-  return AvalancheMix(h);
+// The key columns of `rel` selected by `cols`, as flat arena pointers — the
+// form every kernel below hashes and compares against. Invalidated by any
+// mutation of `rel`.
+inline std::vector<const Value*> KeyCols(const Relation& rel,
+                                         const std::vector<int>& cols) {
+  std::vector<const Value*> keys;
+  keys.reserve(cols.size());
+  for (int c : cols) keys.push_back(rel.ColData(c));
+  return keys;
 }
 
-// Compares the `a_cols` slice of row `a` with the `b_cols` slice of row `b`
-// (the two sides may index different schemas; the col lists must be aligned
-// on the same attributes).
-inline bool SlicesEqual(const Value* a, const std::vector<int>& a_cols,
-                        const Value* b, const std::vector<int>& b_cols) {
-  for (size_t k = 0; k < a_cols.size(); ++k) {
-    if (a[a_cols[k]] != b[b_cols[k]]) return false;
+// Column-at-a-time key hashing: writes the key hash of every row in
+// [lo, hi) to out[0 .. hi-lo). One FNV-1a fold pass per key column over its
+// flat arena (seed init, then per-column xor-multiply sweeps, then one
+// avalanche sweep) — tight streaming loops instead of the row-major
+// gather-per-row of the old engine, with hash values identical to it
+// (same fold order, same constants).
+inline void HashColumns(const std::vector<const Value*>& keys, int64_t lo,
+                        int64_t hi, uint64_t* out) {
+  const int64_t n = hi - lo;
+  for (int64_t i = 0; i < n; ++i) out[i] = kFnvSeed;
+  for (const Value* col : keys) {
+    const Value* p = col + lo;
+    for (int64_t i = 0; i < n; ++i) {
+      out[i] = (out[i] ^ static_cast<uint64_t>(p[i])) * kFnvPrime;
+    }
+  }
+  for (int64_t i = 0; i < n; ++i) out[i] = AvalancheMix(out[i]);
+}
+
+// Rows per block of the scratch hash buffer the streaming probe/build loops
+// run through: 32 KiB of hashes, L1-resident, so HashColumns amortizes
+// without the buffer competing with the build side for cache.
+constexpr int64_t kHashBlockRows = 4096;
+
+// Invokes fn(row, hash) for every row in [lo, hi), hashing column-at-a-time
+// in kHashBlockRows blocks through `scratch`.
+template <typename Fn>
+inline void ForEachHashed(const std::vector<const Value*>& keys, int64_t lo,
+                          int64_t hi, std::vector<uint64_t>& scratch,
+                          Fn&& fn) {
+  scratch.resize(static_cast<size_t>(kHashBlockRows));
+  for (int64_t b = lo; b < hi; b += kHashBlockRows) {
+    const int64_t e = std::min(hi, b + kHashBlockRows);
+    HashColumns(keys, b, e, scratch.data());
+    for (int64_t i = b; i < e; ++i) {
+      fn(i, scratch[static_cast<size_t>(i - b)]);
+    }
+  }
+}
+
+// Compares the key of row `a_row` (under columns `a_keys`) with the key of
+// row `b_row` (under `b_keys`); the two key lists must be aligned on the
+// same attributes.
+inline bool KeysEqual(const std::vector<const Value*>& a_keys, int64_t a_row,
+                      const std::vector<const Value*>& b_keys, int64_t b_row) {
+  for (size_t k = 0; k < a_keys.size(); ++k) {
+    if (a_keys[k][a_row] != b_keys[k][b_row]) return false;
   }
   return true;
+}
+
+// Gathers src_col[ids[t]] into dst[t] — the per-column compaction primitive
+// every kernel's output pass is built from.
+inline void GatherColumn(const Value* src_col,
+                         const std::vector<int64_t>& ids, Value* dst) {
+  for (size_t t = 0; t < ids.size(); ++t) {
+    dst[t] = src_col[static_cast<size_t>(ids[t])];
+  }
 }
 
 inline size_t NextPow2AtLeast(size_t n) {
@@ -53,16 +104,14 @@ inline size_t NextPow2AtLeast(size_t n) {
   return p;
 }
 
-// A chained hash index from the `cols` key slices of `rel`'s rows to their
-// row indices. Keys are never materialized: both build and probe hash/compare
-// directly against the relations' arenas.
-class SliceIndex {
+// A chained hash index from key-column values to row indices. Keys are
+// never materialized: both build and probe hash/compare directly against
+// flat column arenas.
+class ColumnIndex {
  public:
   // An empty index sized for `expected_rows`; register rows with Add().
-  // `rel` may gain rows after construction (entries are row indices, not
-  // pointers), which is how Project dedupes against its growing output.
-  SliceIndex(const Relation& rel, std::vector<int> cols, int64_t expected_rows)
-      : rel_(rel), cols_(std::move(cols)) {
+  ColumnIndex(std::vector<const Value*> keys, int64_t expected_rows)
+      : keys_(std::move(keys)) {
     const size_t buckets =
         NextPow2AtLeast(2 * static_cast<size_t>(expected_rows));
     mask_ = buckets - 1;
@@ -70,58 +119,37 @@ class SliceIndex {
     entries_.reserve(static_cast<size_t>(expected_rows));
   }
 
-  // An index over all current rows of `rel`.
-  SliceIndex(const Relation& rel, std::vector<int> cols)
-      : SliceIndex(rel, std::move(cols), rel.NumRows()) {
-    for (int64_t i = 0; i < rel_.NumRows(); ++i) Add(i);
-  }
-
-  // Registers row `row` of the relation under its key slice.
-  void Add(int64_t row) { Add(row, HashSlice(rel_.RowData(row), cols_)); }
-
-  // Same, with the row's key hash already computed (the partitioned build
-  // path hashes every row once up front and reuses the values here).
+  // Registers row `row` under its (precomputed) key hash. The partitioned
+  // build path hashes every row once up front and reuses the values here.
   void Add(int64_t row, uint64_t hash) {
     size_t b = static_cast<size_t>(hash) & mask_;
     entries_.push_back(Entry{hash, row, heads_[b]});
     heads_[b] = static_cast<int64_t>(entries_.size()) - 1;
   }
 
-  // Invokes fn(row_index) for every indexed row whose key slice equals the
-  // `probe_cols` slice of the row at `probe`.
+  // Invokes fn(row_index) for every indexed row whose key equals the key of
+  // `probe_row` under `probe_keys`.
   template <typename Fn>
-  void ForEachMatch(const Value* probe, const std::vector<int>& probe_cols,
-                    Fn&& fn) const {
-    ForEachMatchHashed(probe, probe_cols, HashSlice(probe, probe_cols),
-                       static_cast<Fn&&>(fn));
-  }
-
-  template <typename Fn>
-  void ForEachMatchHashed(const Value* probe,
-                          const std::vector<int>& probe_cols, uint64_t h,
-                          Fn&& fn) const {
+  void ForEachMatchHashed(const std::vector<const Value*>& probe_keys,
+                          int64_t probe_row, uint64_t h, Fn&& fn) const {
     for (int64_t e = heads_[static_cast<size_t>(h) & mask_]; e >= 0;
          e = entries_[static_cast<size_t>(e)].next) {
       const Entry& entry = entries_[static_cast<size_t>(e)];
       if (entry.hash == h &&
-          SlicesEqual(rel_.RowData(entry.row), cols_, probe, probe_cols)) {
+          KeysEqual(keys_, entry.row, probe_keys, probe_row)) {
         fn(entry.row);
       }
     }
   }
 
-  // True iff some indexed row's key slice equals the probe slice.
-  bool Contains(const Value* probe, const std::vector<int>& probe_cols) const {
-    return ContainsHashed(probe, probe_cols, HashSlice(probe, probe_cols));
-  }
-
-  bool ContainsHashed(const Value* probe, const std::vector<int>& probe_cols,
-                      uint64_t h) const {
+  // True iff some indexed row's key equals the probe row's key.
+  bool ContainsHashed(const std::vector<const Value*>& probe_keys,
+                      int64_t probe_row, uint64_t h) const {
     for (int64_t e = heads_[static_cast<size_t>(h) & mask_]; e >= 0;
          e = entries_[static_cast<size_t>(e)].next) {
       const Entry& entry = entries_[static_cast<size_t>(e)];
       if (entry.hash == h &&
-          SlicesEqual(rel_.RowData(entry.row), cols_, probe, probe_cols)) {
+          KeysEqual(keys_, entry.row, probe_keys, probe_row)) {
         return true;
       }
     }
@@ -134,12 +162,26 @@ class SliceIndex {
     int64_t row;
     int64_t next;  // previous entry in the same bucket, -1 at chain end
   };
-  const Relation& rel_;
-  std::vector<int> cols_;
+  std::vector<const Value*> keys_;
   std::vector<int64_t> heads_;
   std::vector<Entry> entries_;
   size_t mask_;
 };
+
+// Serial build: indexes rows [0, n) under `keys`, and when `bloom` is
+// non-null and the build clears the kMinBloomBuildRows gate, fills it from
+// the same hash stream (it stays disabled otherwise).
+ColumnIndex BuildIndex(const std::vector<const Value*>& keys, int64_t n,
+                       BloomFilter* bloom) {
+  ColumnIndex index(keys, n);
+  if (bloom != nullptr && n >= kMinBloomBuildRows) *bloom = BloomFilter(n);
+  std::vector<uint64_t> scratch;
+  ForEachHashed(keys, 0, n, scratch, [&](int64_t i, uint64_t h) {
+    index.Add(i, h);
+    if (bloom != nullptr && bloom->enabled()) bloom->Add(h);
+  });
+  return index;
+}
 
 // ---------------------------------------------------------------------------
 // Parallel kernel machinery (exec subsystem). The serial kernels below stay
@@ -165,6 +207,20 @@ inline void CountMorsels(const OpExecOpts& opts, int64_t n) {
   }
 }
 
+// Feeds the Bloom prune counters: `pruned` probe rows rejected before any
+// chain walk, of which `partition_skips` skipped a partitioned-build
+// partition (the parallel path; serial single-filter prunes pass 0).
+inline void CountPrunes(const OpExecOpts& opts, int64_t pruned,
+                        int64_t partition_skips) {
+  if (pruned > 0 && opts.probe_prune_counter != nullptr) {
+    opts.probe_prune_counter->fetch_add(pruned, std::memory_order_relaxed);
+  }
+  if (partition_skips > 0 && opts.bloom_skip_counter != nullptr) {
+    opts.bloom_skip_counter->fetch_add(partition_skips,
+                                       std::memory_order_relaxed);
+  }
+}
+
 // True when the probe side is worth splitting into morsels. `opts` must be
 // resolved (morsel_rows >= 1).
 inline bool RunParallel(const OpExecOpts& opts, int64_t probe_rows) {
@@ -176,28 +232,29 @@ inline int64_t NumMorsels(int64_t rows, int64_t morsel_rows) {
   return (rows + morsel_rows - 1) / morsel_rows;
 }
 
-// Radix scatter of `rel`'s row ids into 2^bits hash partitions, O(n) total:
+// Radix scatter of row ids [0, n) into 2^bits hash partitions, O(n) total:
 //
-//   1. counting pass (parallel over morsels): hash every row's `cols` slice
-//      and tally a per-morsel × per-partition histogram — disjoint writes,
-//      no locking;
+//   1. counting pass (parallel over morsels): hash every row's key columns
+//      (column-at-a-time over the flat arenas) and tally a per-morsel ×
+//      per-partition histogram — disjoint writes, no locking;
 //   2. prefix-sum layout (serial, morsels × parts entries): assign every
 //      (morsel, partition) bucket a contiguous range of a partition-major
 //      row-id array;
 //   3. scatter pass (parallel over morsels): each morsel writes its row ids
 //      into its own precomputed ranges — cache-friendly contiguous writes.
 //
-// Within each partition the buckets are laid out in morsel order, so a
-// partition's slice lists its rows in increasing global row order — the
-// exact order the old claim-by-scan build inserted them in, which keeps
-// bucket-chain traversal (and thus deterministic-mode output) bit-identical.
-// The row hashes are computed once here and reused by both the partition
-// build and Project's partitioned dedupe.
+// The partition count adapts to the build side: PartitionBitsForBuild widens
+// past the pool-width floor until partitions are cache-resident. Within each
+// partition the buckets are laid out in morsel order, so a partition's slice
+// lists its rows in increasing global row order — the exact order the serial
+// build inserts them in, which keeps bucket-chain traversal (and thus
+// deterministic-mode output) bit-identical. The row hashes are computed once
+// here and reused by the partition build, its Bloom filters, and Project's
+// partitioned dedupe.
 struct RadixScatter {
-  RadixScatter(const Relation& rel, const std::vector<int>& cols,
+  RadixScatter(int64_t n, const std::vector<const Value*>& keys,
                const OpExecOpts& opts)
-      : bits(PartitionBits(opts.scheduler->threads())) {
-    const int64_t n = rel.NumRows();
+      : bits(PartitionBitsForBuild(opts.scheduler->threads(), n)) {
     const int64_t parts = int64_t{1} << bits;
     const int64_t morsels = NumMorsels(n, opts.morsel_rows);
     CountMorsels(opts, 2 * morsels);  // the counting and scatter passes
@@ -206,11 +263,10 @@ struct RadixScatter {
     opts.scheduler->ParallelFor(morsels, [&](int64_t m) {
       const int64_t lo = m * opts.morsel_rows;
       const int64_t hi = std::min<int64_t>(n, lo + opts.morsel_rows);
+      HashColumns(keys, lo, hi, hashes.data() + lo);
       int64_t* mine = counts.data() + static_cast<size_t>(m * parts);
       for (int64_t i = lo; i < hi; ++i) {
-        const uint64_t h = HashSlice(rel.RowData(i), cols);
-        hashes[static_cast<size_t>(i)] = h;
-        ++mine[PartitionOf(h, bits)];
+        ++mine[PartitionOf(hashes[static_cast<size_t>(i)], bits)];
       }
     });
     std::vector<int64_t> cursors(static_cast<size_t>(morsels * parts));
@@ -239,51 +295,68 @@ struct RadixScatter {
   int num_partitions() const { return 1 << bits; }
 
   const int bits;
-  std::vector<uint64_t> hashes;    // per row id, the `cols` slice hash
+  std::vector<uint64_t> hashes;    // per row id, the key-column hash
   std::vector<int64_t> row_ids;    // partition-major, row order within each
   std::vector<int64_t> part_begin; // partition p owns [begin[p], begin[p+1])
 };
 
-// A hash-partitioned SliceIndex over all rows of `rel`: a RadixScatter lays
-// every row id into its partition's contiguous slice, then the partition
-// indexes are built concurrently, each consuming only its own rows — build
-// work stays O(n) regardless of the partition count (the old claim-by-scan
-// build was parts × n).
-class PartitionedSliceIndex {
+// A hash-partitioned ColumnIndex over all rows of a build relation: a
+// RadixScatter lays every row id into its partition's contiguous slice,
+// then the partition indexes are built concurrently, each consuming only
+// its own rows — build work stays O(n) regardless of the partition count.
+// The scatter's hash pass doubles as the Bloom feed: each partition fills
+// its own filter while inserting (gated on the build clearing
+// kMinBloomBuildRows), so probes can reject a partition — and skip its
+// bucket-chain walk entirely — on two bit tests.
+class PartitionedColumnIndex {
  public:
-  PartitionedSliceIndex(const Relation& rel, const std::vector<int>& cols,
-                        const OpExecOpts& opts) {
+  PartitionedColumnIndex(const Relation& rel, const std::vector<int>& cols,
+                         const OpExecOpts& opts)
+      : keys_(KeyCols(rel, cols)),
+        use_bloom_(rel.NumRows() >= kMinBloomBuildRows) {
     // Scatter state is local: the build finishes before the constructor
     // returns, so the ~16 bytes/row need not stay pinned through the probe.
-    RadixScatter scatter(rel, cols, opts);
+    RadixScatter scatter(rel.NumRows(), keys_, opts);
     bits_ = scatter.bits;
     const int parts = scatter.num_partitions();
     parts_.reserve(static_cast<size_t>(parts));
+    blooms_.resize(static_cast<size_t>(parts));
     for (int p = 0; p < parts; ++p) {
-      parts_.emplace_back(
-          rel, cols,
+      const int64_t rows =
           scatter.part_begin[static_cast<size_t>(p) + 1] -
-              scatter.part_begin[static_cast<size_t>(p)]);
+          scatter.part_begin[static_cast<size_t>(p)];
+      parts_.emplace_back(keys_, rows);
+      if (use_bloom_) blooms_[static_cast<size_t>(p)] = BloomFilter(rows);
     }
     opts.scheduler->ParallelFor(parts, [&](int64_t p) {
-      SliceIndex& index = parts_[static_cast<size_t>(p)];
+      ColumnIndex& index = parts_[static_cast<size_t>(p)];
+      BloomFilter& bloom = blooms_[static_cast<size_t>(p)];
       const int64_t hi = scatter.part_begin[static_cast<size_t>(p) + 1];
       for (int64_t k = scatter.part_begin[static_cast<size_t>(p)]; k < hi;
            ++k) {
         const int64_t row = scatter.row_ids[static_cast<size_t>(k)];
-        index.Add(row, scatter.hashes[static_cast<size_t>(row)]);
+        const uint64_t h = scatter.hashes[static_cast<size_t>(row)];
+        index.Add(row, h);
+        if (use_bloom_) bloom.Add(h);
       }
     });
   }
 
-  // The partition index responsible for probe-key hash `h`.
-  const SliceIndex& ForHash(uint64_t h) const {
-    return parts_[PartitionOf(h, bits_)];
+  // The partition index responsible for probe-key hash `h`, or nullptr when
+  // that partition's Bloom filter proves no build key can match (never a
+  // false nullptr — Bloom filters have no false negatives).
+  const ColumnIndex* Probe(uint64_t h) const {
+    const size_t p = PartitionOf(h, bits_);
+    if (use_bloom_ && !blooms_[p].MaybeContains(h)) return nullptr;
+    return &parts_[p];
   }
 
  private:
-  int bits_;
-  std::vector<SliceIndex> parts_;
+  std::vector<const Value*> keys_;
+  bool use_bloom_;
+  int bits_ = 0;
+  std::vector<ColumnIndex> parts_;
+  std::vector<BloomFilter> blooms_;
 };
 
 // Prefix sums of per-chunk output sizes in merge order: offsets[pos] is the
@@ -344,32 +417,34 @@ Relation Project(const Relation& r, const AttrSet& x,
   std::vector<int> cols;
   cols.reserve(static_cast<size_t>(out.Arity()));
   for (AttrId a : out.Attrs()) cols.push_back(r.ColIndex(a));
-  // Output cols are 0..arity-1 in arena order, used to compare emitted rows
-  // against candidate source slices.
-  std::vector<int> out_cols;
-  out_cols.reserve(cols.size());
-  for (size_t k = 0; k < cols.size(); ++k) out_cols.push_back(static_cast<int>(k));
 
   const int64_t n = r.NumRows();
   if (out.Arity() == 0) {
     // π_∅: TRUE (one empty tuple) iff r is non-empty.
-    if (n > 0) out.AppendRow();
+    if (n > 0) out.AppendRows(1);
     out.MarkCanonical();
     return out;
   }
 
+  const std::vector<const Value*> keys = KeyCols(r, cols);
+
   if (!RunParallel(opts, n)) {
-    // Dedupe while emitting: an incremental SliceIndex over the rows already
-    // written to the output arena. No sort — the result is duplicate-free
-    // but left non-canonical (sortedness is lazy).
-    SliceIndex seen(out, out_cols, n);
-    out.Reserve(n);
-    for (int64_t i = 0; i < n; ++i) {
-      const Value* src = r.RowData(i);
-      if (seen.Contains(src, cols)) continue;
-      Value* dst = out.AppendRow();
-      for (size_t k = 0; k < cols.size(); ++k) dst[k] = src[cols[k]];
-      seen.Add(out.NumRows() - 1);
+    // First-occurrence selection: an incremental ColumnIndex over the input
+    // keyed on the projected columns records every distinct key's first row;
+    // one gather pass per column then compacts the survivors. No sort — the
+    // result is duplicate-free but left non-canonical (sortedness is lazy).
+    ColumnIndex seen(keys, n);
+    std::vector<int64_t> survivors;
+    std::vector<uint64_t> scratch;
+    ForEachHashed(keys, 0, n, scratch, [&](int64_t i, uint64_t h) {
+      if (seen.ContainsHashed(keys, i, h)) return;
+      seen.Add(i, h);
+      survivors.push_back(i);
+    });
+    const int64_t base = out.AppendRows(static_cast<int64_t>(survivors.size()));
+    for (size_t k = 0; k < cols.size(); ++k) {
+      GatherColumn(r.ColData(cols[k]), survivors,
+                   out.ColData(static_cast<int>(k)) + base);
     }
     return out;
   }
@@ -381,54 +456,53 @@ Relation Project(const Relation& r, const AttrSet& x,
   // within-partition first occurrence IS the global first occurrence. The
   // partition tasks dedupe concurrently into a shared per-row survivor
   // bitmap (disjoint bytes — every row belongs to exactly one partition),
-  // then a morsel-parallel compaction emits the survivors in row order:
-  // always bit-identical to the serial kernel, deterministic mode or not.
-  RadixScatter scatter(r, cols, opts);
+  // then a morsel-parallel compaction gathers the survivors per column in
+  // row order: always bit-identical to the serial kernel, deterministic
+  // mode or not.
+  RadixScatter scatter(n, keys, opts);
   const int parts = scatter.num_partitions();
   std::vector<uint8_t> survives(static_cast<size_t>(n), 0);
   opts.scheduler->ParallelFor(parts, [&](int64_t p) {
     const int64_t lo = scatter.part_begin[static_cast<size_t>(p)];
     const int64_t hi = scatter.part_begin[static_cast<size_t>(p) + 1];
-    SliceIndex seen(r, cols, hi - lo);
+    ColumnIndex seen(keys, hi - lo);
     for (int64_t k = lo; k < hi; ++k) {
       const int64_t i = scatter.row_ids[static_cast<size_t>(k)];
       const uint64_t h = scatter.hashes[static_cast<size_t>(i)];
-      if (seen.ContainsHashed(r.RowData(i), cols, h)) continue;
+      if (seen.ContainsHashed(keys, i, h)) continue;
       seen.Add(i, h);
       survives[static_cast<size_t>(i)] = 1;
     }
   });
 
-  // Compaction: per-morsel survivor counts, prefix sum, then parallel
-  // writes into disjoint ranges of the output arena, in row order. Two
-  // morsel passes, counted like RadixScatter's.
+  // Compaction: per-morsel survivor selection vectors, prefix sum, then
+  // parallel per-column gathers into disjoint ranges of the output arenas,
+  // in row order. Two morsel passes, counted like RadixScatter's.
   const int64_t chunks = NumMorsels(n, opts.morsel_rows);
   CountMorsels(opts, 2 * chunks);
-  std::vector<int64_t> counts(static_cast<size_t>(chunks), 0);
+  std::vector<std::vector<int64_t>> selected(static_cast<size_t>(chunks));
   opts.scheduler->ParallelFor(chunks, [&](int64_t c) {
     const int64_t lo = c * opts.morsel_rows;
     const int64_t hi = std::min<int64_t>(n, lo + opts.morsel_rows);
-    int64_t count = 0;
-    for (int64_t i = lo; i < hi; ++i) count += survives[static_cast<size_t>(i)];
-    counts[static_cast<size_t>(c)] = count;
+    std::vector<int64_t>& sel = selected[static_cast<size_t>(c)];
+    for (int64_t i = lo; i < hi; ++i) {
+      if (survives[static_cast<size_t>(i)]) sel.push_back(i);
+    }
   });
   std::vector<int64_t> offsets(static_cast<size_t>(chunks) + 1, 0);
   for (int64_t c = 0; c < chunks; ++c) {
     offsets[static_cast<size_t>(c) + 1] =
-        offsets[static_cast<size_t>(c)] + counts[static_cast<size_t>(c)];
+        offsets[static_cast<size_t>(c)] +
+        static_cast<int64_t>(selected[static_cast<size_t>(c)].size());
   }
-  const size_t arity = cols.size();
-  Value* base = out.AppendRows(offsets.back());
+  const int64_t base = out.AppendRows(offsets.back());
   opts.scheduler->ParallelFor(chunks, [&](int64_t c) {
-    const int64_t lo = c * opts.morsel_rows;
-    const int64_t hi = std::min<int64_t>(n, lo + opts.morsel_rows);
-    Value* dst = base + static_cast<size_t>(offsets[static_cast<size_t>(c)]) *
-                            arity;
-    for (int64_t i = lo; i < hi; ++i) {
-      if (!survives[static_cast<size_t>(i)]) continue;
-      const Value* src = r.RowData(i);
-      for (size_t k = 0; k < arity; ++k) dst[k] = src[cols[k]];
-      dst += arity;
+    const std::vector<int64_t>& sel = selected[static_cast<size_t>(c)];
+    if (sel.empty()) return;
+    const int64_t dst = base + offsets[static_cast<size_t>(c)];
+    for (size_t k = 0; k < cols.size(); ++k) {
+      GatherColumn(r.ColData(cols[k]), sel,
+                   out.ColData(static_cast<int>(k)) + dst);
     }
   });
   return out;
@@ -462,6 +536,7 @@ Relation NaturalJoin(const Relation& r, const Relation& s,
       (&build == &s) ? s_key_cols : r_key_cols;
   const std::vector<int>& probe_cols =
       (&build == &s) ? r_key_cols : s_key_cols;
+  const std::vector<const Value*> probe_keys = KeyCols(probe, probe_cols);
 
   // Output column sources: for each result attribute, where to read it from.
   struct Source {
@@ -477,72 +552,92 @@ Relation NaturalJoin(const Relation& r, const Relation& s,
       sources.push_back(Source{false, build.ColIndex(a)});
     }
   }
-  const size_t arity = sources.size();
+
+  // Emits the matched (probe row, build row) id pairs of one chunk into the
+  // output rows starting at `dst`, one column gather at a time.
+  auto GatherPairs = [&](const std::vector<int64_t>& probe_ids,
+                         const std::vector<int64_t>& build_ids, int64_t dst) {
+    for (size_t k = 0; k < sources.size(); ++k) {
+      const Relation& src = sources[k].from_probe ? probe : build;
+      GatherColumn(src.ColData(sources[k].col),
+                   sources[k].from_probe ? probe_ids : build_ids,
+                   out.ColData(static_cast<int>(k)) + dst);
+    }
+  };
 
   // Distinct (probe, build) row pairs yield distinct output tuples (the
   // output determines both inputs), so duplicate-free inputs give a
   // duplicate-free output; no dedupe or sort is needed on either path.
   if (!RunParallel(opts, probe.NumRows())) {
-    SliceIndex index(build, build_cols);
-    out.Reserve(probe.NumRows());
-    for (int64_t i = 0; i < probe.NumRows(); ++i) {
-      const Value* prow = probe.RowData(i);
-      index.ForEachMatch(prow, probe_cols, [&](int64_t j) {
-        const Value* brow = build.RowData(j);
-        Value* dst = out.AppendRow();
-        for (size_t k = 0; k < arity; ++k) {
-          dst[k] = sources[k].from_probe ? prow[sources[k].col]
-                                         : brow[sources[k].col];
-        }
-      });
-    }
+    BloomFilter bloom;
+    const ColumnIndex index =
+        BuildIndex(KeyCols(build, build_cols), build.NumRows(), &bloom);
+    std::vector<int64_t> probe_ids;
+    std::vector<int64_t> build_ids;
+    std::vector<uint64_t> scratch;
+    int64_t pruned = 0;
+    ForEachHashed(probe_keys, 0, probe.NumRows(), scratch,
+                  [&](int64_t i, uint64_t h) {
+                    if (bloom.enabled() && !bloom.MaybeContains(h)) {
+                      ++pruned;
+                      return;
+                    }
+                    index.ForEachMatchHashed(probe_keys, i, h, [&](int64_t j) {
+                      probe_ids.push_back(i);
+                      build_ids.push_back(j);
+                    });
+                  });
+    CountPrunes(opts, pruned, 0);
+    const int64_t base =
+        out.AppendRows(static_cast<int64_t>(probe_ids.size()));
+    GatherPairs(probe_ids, build_ids, base);
     return out;
   }
 
-  // Parallel form: partitioned hash build, then a morsel-driven probe where
-  // every morsel emits into a thread-local buffer; the buffers are compacted
-  // into the output arena with one (parallel) memcpy pass at the end.
-  PartitionedSliceIndex index(build, build_cols, opts);
+  // Parallel form: partitioned Bloom-filtered hash build, then a
+  // morsel-driven probe where every morsel collects its (probe, build) match
+  // id pairs; the pairs are compacted into the output arenas with one
+  // (parallel) per-column gather pass at the end.
+  PartitionedColumnIndex index(build, build_cols, opts);
   const int64_t n = probe.NumRows();
   const int64_t chunks = NumMorsels(n, opts.morsel_rows);
   CountMorsels(opts, chunks);
-  std::vector<std::vector<Value>> buffers(static_cast<size_t>(chunks));
-  std::vector<int64_t> counts(static_cast<size_t>(chunks), 0);
+  std::vector<std::vector<int64_t>> probe_ids(static_cast<size_t>(chunks));
+  std::vector<std::vector<int64_t>> build_ids(static_cast<size_t>(chunks));
   MergeOrder merge(chunks, opts.deterministic);
   opts.scheduler->ParallelFor(chunks, [&](int64_t c) {
     const int64_t lo = c * opts.morsel_rows;
     const int64_t hi = std::min<int64_t>(n, lo + opts.morsel_rows);
-    std::vector<Value>& buf = buffers[static_cast<size_t>(c)];
-    int64_t emitted = 0;
-    for (int64_t i = lo; i < hi; ++i) {
-      const Value* prow = probe.RowData(i);
-      uint64_t h = HashSlice(prow, probe_cols);
-      index.ForHash(h).ForEachMatchHashed(prow, probe_cols, h, [&](int64_t j) {
-        const Value* brow = build.RowData(j);
-        for (size_t k = 0; k < arity; ++k) {
-          buf.push_back(sources[k].from_probe ? prow[sources[k].col]
-                                              : brow[sources[k].col]);
-        }
-        ++emitted;
+    std::vector<int64_t>& pids = probe_ids[static_cast<size_t>(c)];
+    std::vector<int64_t>& bids = build_ids[static_cast<size_t>(c)];
+    std::vector<uint64_t> scratch;
+    int64_t pruned = 0;
+    ForEachHashed(probe_keys, lo, hi, scratch, [&](int64_t i, uint64_t h) {
+      const ColumnIndex* part = index.Probe(h);
+      if (part == nullptr) {
+        ++pruned;
+        return;
+      }
+      part->ForEachMatchHashed(probe_keys, i, h, [&](int64_t j) {
+        pids.push_back(i);
+        bids.push_back(j);
       });
-    }
-    counts[static_cast<size_t>(c)] = emitted;
+    });
+    CountPrunes(opts, pruned, pruned);
     merge.Record(c);
   });
 
-  std::vector<int64_t> offsets = MergeOffsets(
-      merge.order(),
-      [&](int64_t c) { return counts[static_cast<size_t>(c)]; });
-  Value* base = out.AppendRows(offsets.back());
-  if (arity > 0) {
-    opts.scheduler->ParallelFor(chunks, [&](int64_t pos) {
-      const std::vector<Value>& buf =
-          buffers[static_cast<size_t>(merge.order()[static_cast<size_t>(pos)])];
-      if (buf.empty()) return;
-      std::memcpy(base + static_cast<size_t>(offsets[static_cast<size_t>(pos)]) * arity,
-                  buf.data(), buf.size() * sizeof(Value));
-    });
-  }
+  std::vector<int64_t> offsets = MergeOffsets(merge.order(), [&](int64_t c) {
+    return static_cast<int64_t>(probe_ids[static_cast<size_t>(c)].size());
+  });
+  const int64_t base = out.AppendRows(offsets.back());
+  opts.scheduler->ParallelFor(chunks, [&](int64_t pos) {
+    const int64_t c = merge.order()[static_cast<size_t>(pos)];
+    if (probe_ids[static_cast<size_t>(c)].empty()) return;
+    GatherPairs(probe_ids[static_cast<size_t>(c)],
+                build_ids[static_cast<size_t>(c)],
+                base + offsets[static_cast<size_t>(pos)]);
+  });
   return out;
 }
 
@@ -561,35 +656,50 @@ Relation Semijoin(const Relation& r, const Relation& s,
     r_cols.push_back(r.ColIndex(a));
     s_cols.push_back(s.ColIndex(a));
   });
-  const size_t stride = static_cast<size_t>(r.Arity());
+  const std::vector<const Value*> probe_keys = KeyCols(r, r_cols);
+
+  // Emits the selected row ids into output rows starting at `dst`, one
+  // column gather at a time (schemas are identical, so columns align 1:1).
+  auto GatherSelected = [&](const std::vector<int64_t>& sel, int64_t dst) {
+    for (int c = 0; c < r.Arity(); ++c) {
+      GatherColumn(r.ColData(c), sel, out.ColData(c) + dst);
+    }
+  };
 
   if (!RunParallel(opts, r.NumRows())) {
-    SliceIndex index(s, s_cols);
+    BloomFilter bloom;
+    const ColumnIndex index =
+        BuildIndex(KeyCols(s, s_cols), s.NumRows(), &bloom);
 
-    // Selection pass: record matching row indices, then compact in one sweep.
+    // Selection pass: record matching row indices (Bloom-rejected probes
+    // never walk a chain), then compact per column in one sweep.
     std::vector<int64_t> selected;
-    for (int64_t i = 0; i < r.NumRows(); ++i) {
-      if (index.Contains(r.RowData(i), r_cols)) selected.push_back(i);
-    }
-
-    out.Reserve(static_cast<int64_t>(selected.size()));
-    for (int64_t i : selected) {
-      if (stride == 0) {
-        out.AppendRow();
-        continue;
-      }
-      Value* dst = out.AppendRow();
-      std::memcpy(dst, r.RowData(i), stride * sizeof(Value));
-    }
+    std::vector<uint64_t> scratch;
+    int64_t pruned = 0;
+    ForEachHashed(probe_keys, 0, r.NumRows(), scratch,
+                  [&](int64_t i, uint64_t h) {
+                    if (bloom.enabled() && !bloom.MaybeContains(h)) {
+                      ++pruned;
+                      return;
+                    }
+                    if (index.ContainsHashed(probe_keys, i, h)) {
+                      selected.push_back(i);
+                    }
+                  });
+    CountPrunes(opts, pruned, 0);
+    const int64_t base =
+        out.AppendRows(static_cast<int64_t>(selected.size()));
+    GatherSelected(selected, base);
     // A subsequence of a canonical relation is still sorted and unique.
     if (r.IsCanonical()) out.MarkCanonical();
     return out;
   }
 
-  // Parallel form: partitioned build over s, morsel-driven membership probes
-  // over row ranges of r collecting per-morsel selection vectors, then one
-  // parallel memcpy compaction into the output arena.
-  PartitionedSliceIndex index(s, s_cols, opts);
+  // Parallel form: partitioned Bloom-filtered build over s, morsel-driven
+  // membership probes over row ranges of r collecting per-morsel selection
+  // vectors, then one parallel per-column gather compaction into the output
+  // arenas.
+  PartitionedColumnIndex index(s, s_cols, opts);
   const int64_t n = r.NumRows();
   const int64_t chunks = NumMorsels(n, opts.morsel_rows);
   CountMorsels(opts, chunks);
@@ -599,29 +709,30 @@ Relation Semijoin(const Relation& r, const Relation& s,
     const int64_t lo = c * opts.morsel_rows;
     const int64_t hi = std::min<int64_t>(n, lo + opts.morsel_rows);
     std::vector<int64_t>& sel = selected[static_cast<size_t>(c)];
-    for (int64_t i = lo; i < hi; ++i) {
-      const Value* prow = r.RowData(i);
-      uint64_t h = HashSlice(prow, r_cols);
-      if (index.ForHash(h).ContainsHashed(prow, r_cols, h)) sel.push_back(i);
-    }
+    std::vector<uint64_t> scratch;
+    int64_t pruned = 0;
+    ForEachHashed(probe_keys, lo, hi, scratch, [&](int64_t i, uint64_t h) {
+      const ColumnIndex* part = index.Probe(h);
+      if (part == nullptr) {
+        ++pruned;
+        return;
+      }
+      if (part->ContainsHashed(probe_keys, i, h)) sel.push_back(i);
+    });
+    CountPrunes(opts, pruned, pruned);
     merge.Record(c);
   });
 
   std::vector<int64_t> offsets = MergeOffsets(merge.order(), [&](int64_t c) {
     return static_cast<int64_t>(selected[static_cast<size_t>(c)].size());
   });
-  Value* base = out.AppendRows(offsets.back());
-  if (stride > 0) {
-    opts.scheduler->ParallelFor(chunks, [&](int64_t pos) {
-      const std::vector<int64_t>& sel =
-          selected[static_cast<size_t>(merge.order()[static_cast<size_t>(pos)])];
-      Value* dst = base + static_cast<size_t>(offsets[static_cast<size_t>(pos)]) * stride;
-      for (int64_t i : sel) {
-        std::memcpy(dst, r.RowData(i), stride * sizeof(Value));
-        dst += stride;
-      }
-    });
-  }
+  const int64_t base = out.AppendRows(offsets.back());
+  opts.scheduler->ParallelFor(chunks, [&](int64_t pos) {
+    const std::vector<int64_t>& sel =
+        selected[static_cast<size_t>(merge.order()[static_cast<size_t>(pos)])];
+    if (sel.empty()) return;
+    GatherSelected(sel, base + offsets[static_cast<size_t>(pos)]);
+  });
   // Morsel-ordered compaction of a canonical input is still a subsequence.
   if (opts.deterministic && r.IsCanonical()) out.MarkCanonical();
   return out;

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "rel/relation.h"
 #include "util/attr_set.h"
@@ -31,11 +32,12 @@ class TaskScheduler;
 /// morsel, the kernels switch to their parallel form: a radix-scatter
 /// partitioned build (one counting pass + prefix-sum layout + one scatter
 /// pass lay every row id into its hash partition's contiguous region, then
-/// the partitions build concurrently from their own rows — O(n) total work)
-/// plus a morsel-driven probe over row-range slices of the input arena,
-/// each morsel appending into a local buffer that a final compaction pass
-/// memcpys into the output arena. Project reuses the same scatter structure
-/// for a partitioned cross-morsel dedupe (see ops.cc).
+/// the partitions build concurrently from their own rows — O(n) total work,
+/// with a per-partition Bloom filter filled from the same hash pass) plus a
+/// morsel-driven probe over row ranges of the input columns, each morsel
+/// collecting a selection/match vector that a final per-column gather pass
+/// compacts into the output arenas. Project reuses the same scatter
+/// structure for a partitioned cross-morsel dedupe (see ops.cc).
 struct OpExecOpts {
   /// Pool to fan morsels out on; nullptr (or a 1-thread pool) = serial.
   exec::TaskScheduler* scheduler = nullptr;
@@ -53,6 +55,15 @@ struct OpExecOpts {
   /// (hash-build and probe passes) — the ExecutorPool's per-query
   /// QueryStats::morsels feed.
   std::atomic<int64_t>* morsel_counter = nullptr;
+  /// When non-null, probe rows whose key hash a partition Bloom filter
+  /// rejects (parallel partitioned builds only) are tallied here — the
+  /// QueryStats::bloom_partition_skips feed.
+  std::atomic<int64_t>* bloom_skip_counter = nullptr;
+  /// When non-null, every probe row a Bloom filter prunes before any
+  /// bucket-chain walk (serial single-filter and parallel per-partition
+  /// rejections alike) is tallied here — the QueryStats::probe_rows_pruned
+  /// feed.
+  std::atomic<int64_t>* probe_prune_counter = nullptr;
 };
 
 /// Morsel-size auto-tuning (used when OpExecOpts/ExecContext leave
@@ -74,13 +85,13 @@ constexpr int64_t AutoMorselRows(int arity) {
 }
 
 /// Build-side hash partitioning: the parallel kernels split a hash build
-/// into 2^PartitionBits(threads) partitions, where partition p owns the rows
-/// whose key hash has p in its top bits (bucket chains use the low bits, so
-/// the two selections stay independent). Clamped to [0, kMaxPartitionBits]:
-/// threads <= 1 (including 0 and negative values from misconfigured
-/// callers) means one partition, and huge thread counts stop at 64
-/// partitions — beyond that the per-partition task bookkeeping outweighs
-/// the extra build parallelism.
+/// into 2^bits partitions, where partition p owns the rows whose key hash
+/// has p in its top bits (bucket chains use the low bits, so the two
+/// selections stay independent). PartitionBits gives the pool-width floor:
+/// clamped to [0, kMaxPartitionBits], threads <= 1 (including 0 and negative
+/// values from misconfigured callers) means one partition, and huge thread
+/// counts stop at 64 partitions — beyond that the per-partition task
+/// bookkeeping outweighs the extra build parallelism.
 constexpr int kMaxPartitionBits = 6;
 
 constexpr int PartitionBits(int threads) {
@@ -89,25 +100,90 @@ constexpr int PartitionBits(int threads) {
   return bits;
 }
 
+/// Adaptive partition count: the parallel builds start from the pool-width
+/// floor and add bits until each partition's expected build share drops to
+/// at most kPartitionTargetBuildRows rows (~128 KiB of bucket heads plus
+/// entries — cache-resident), still clamped to kMaxPartitionBits. Large
+/// builds on narrow pools thus get more, smaller partitions than the pool
+/// width alone would pick; small builds are unaffected.
+constexpr int64_t kPartitionTargetBuildRows = int64_t{1} << 14;
+
+constexpr int PartitionBitsForBuild(int threads, int64_t build_rows) {
+  int bits = PartitionBits(threads);
+  while (bits < kMaxPartitionBits &&
+         (build_rows >> bits) > kPartitionTargetBuildRows) {
+    ++bits;
+  }
+  return bits;
+}
+
 constexpr size_t PartitionOf(uint64_t h, int bits) {
   return bits == 0 ? 0 : static_cast<size_t>(h >> (64 - bits));
 }
+
+/// Bloom filter over 64-bit key hashes: a power-of-two bit array with two
+/// probe positions per key (the low and high halves of the hash), sized at
+/// ~kBloomBitsPerKey bits per expected key. Add() sets both probe bits, so
+/// MaybeContains() has NO false negatives — a Bloom rejection can only skip
+/// probe rows that would have found no match, which is why the filtered
+/// kernels stay bit-identical to the unfiltered ones. Builds smaller than
+/// kMinBloomBuildRows skip the filter entirely: the chain walk is already
+/// cache-resident and the extra branch costs more than it saves.
+constexpr int kBloomBitsPerKey = 8;
+constexpr int64_t kMinBloomBuildRows = 64;
+
+class BloomFilter {
+ public:
+  /// A disabled filter: MaybeContains() must not be called.
+  BloomFilter() = default;
+
+  /// An empty filter sized for `expected_keys` keys.
+  explicit BloomFilter(int64_t expected_keys) {
+    size_t bits = 128;
+    const size_t want =
+        static_cast<size_t>(expected_keys < 0 ? 0 : expected_keys) *
+        static_cast<size_t>(kBloomBitsPerKey);
+    while (bits < want) bits <<= 1;
+    words_.assign(bits / 64, 0);
+    mask_ = bits - 1;
+  }
+
+  bool enabled() const { return !words_.empty(); }
+
+  void Add(uint64_t h) {
+    SetBit(static_cast<size_t>(h) & mask_);
+    SetBit(static_cast<size_t>(h >> 32) & mask_);
+  }
+
+  bool MaybeContains(uint64_t h) const {
+    return GetBit(static_cast<size_t>(h) & mask_) &&
+           GetBit(static_cast<size_t>(h >> 32) & mask_);
+  }
+
+ private:
+  void SetBit(size_t b) { words_[b >> 6] |= uint64_t{1} << (b & 63); }
+  bool GetBit(size_t b) const { return (words_[b >> 6] >> (b & 63)) & 1; }
+
+  std::vector<uint64_t> words_;
+  size_t mask_ = 0;
+};
 
 /// π_X(r): projection onto X. Requires X ⊆ r.Schema(). Output deduplicated
 /// via hashing (unsorted).
 Relation Project(const Relation& r, const AttrSet& x);
 Relation Project(const Relation& r, const AttrSet& x, const OpExecOpts& opts);
 
-/// r ⋈ s: natural join (hash join keyed on in-place column slices of the
-/// common attributes; a Cartesian product when the schemas are disjoint).
+/// r ⋈ s: natural join (hash join keyed on the common attributes' columns,
+/// hashed column-at-a-time; a Cartesian product when the schemas are
+/// disjoint).
 Relation NaturalJoin(const Relation& r, const Relation& s);
 Relation NaturalJoin(const Relation& r, const Relation& s,
                      const OpExecOpts& opts);
 
 /// r ⋉ s: natural semijoin, π_R(r ⋈ s) computed without materializing the
-/// join (membership probes + one compaction pass over a selection vector).
-/// Canonical input r gives canonical output (serial and deterministic
-/// parallel forms).
+/// join (membership probes + one per-column gather over a selection
+/// vector). Canonical input r gives canonical output (serial and
+/// deterministic parallel forms).
 Relation Semijoin(const Relation& r, const Relation& s);
 Relation Semijoin(const Relation& r, const Relation& s,
                   const OpExecOpts& opts);

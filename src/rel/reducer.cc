@@ -106,6 +106,8 @@ std::vector<Relation> SemijoinFixpoint(const DatabaseSchema& d,
       total_stats.morsels += round_stats.morsels;
       total_stats.peak_state_bytes = std::max(total_stats.peak_state_bytes,
                                               round_stats.peak_state_bytes);
+      total_stats.bloom_partition_skips += round_stats.bloom_partition_skips;
+      total_stats.probe_rows_pruned += round_stats.probe_rows_pruned;
     }
     for (int k = 0; k < round.program.NumStatements(); ++k) {
       const Program::Statement& s = stmts[static_cast<size_t>(k)];

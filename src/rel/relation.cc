@@ -14,46 +14,58 @@ int Relation::ColIndex(AttrId attr) const {
   return static_cast<int>(it - attrs_.begin());
 }
 
+bool Relation::RowLess(int64_t a, int64_t b) const {
+  for (const std::vector<Value>& col : cols_) {
+    const Value va = col[static_cast<size_t>(a)];
+    const Value vb = col[static_cast<size_t>(b)];
+    if (va != vb) return va < vb;
+  }
+  return false;
+}
+
+bool Relation::RowEq(int64_t a, int64_t b) const {
+  for (const std::vector<Value>& col : cols_) {
+    if (col[static_cast<size_t>(a)] != col[static_cast<size_t>(b)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
 void Relation::Canonicalize() {
   if (canonical_) return;
-  if (stride_ == 0) {
+  if (cols_.empty()) {
     // Arity-0 relations are TRUE (one empty tuple) or FALSE (none).
     num_rows_ = num_rows_ > 0 ? 1 : 0;
     canonical_ = true;
     return;
   }
-  const Value* base = data_.data();
-  const size_t k = stride_;
   std::vector<int64_t> order(static_cast<size_t>(num_rows_));
   std::iota(order.begin(), order.end(), int64_t{0});
-  std::sort(order.begin(), order.end(), [base, k](int64_t a, int64_t b) {
-    const Value* pa = base + static_cast<size_t>(a) * k;
-    const Value* pb = base + static_cast<size_t>(b) * k;
-    return std::lexicographical_compare(pa, pa + k, pb, pb + k);
-  });
-  // Single gather pass applies the permutation and drops duplicates.
-  std::vector<Value> sorted;
-  sorted.reserve(data_.size());
+  std::sort(order.begin(), order.end(),
+            [this](int64_t a, int64_t b) { return RowLess(a, b); });
+  // Drop adjacent duplicates from the permutation, then gather each column
+  // through the surviving row ids in one contiguous pass.
+  std::vector<int64_t> keep;
+  keep.reserve(order.size());
   for (int64_t idx : order) {
-    const Value* row = base + static_cast<size_t>(idx) * k;
-    if (!sorted.empty() &&
-        std::equal(row, row + k, sorted.data() + sorted.size() - k)) {
-      continue;
-    }
-    sorted.insert(sorted.end(), row, row + k);
+    if (!keep.empty() && RowEq(keep.back(), idx)) continue;
+    keep.push_back(idx);
   }
-  data_ = std::move(sorted);
-  num_rows_ = static_cast<int64_t>(data_.size() / k);
+  for (std::vector<Value>& col : cols_) {
+    std::vector<Value> sorted;
+    sorted.reserve(keep.size());
+    for (int64_t idx : keep) sorted.push_back(col[static_cast<size_t>(idx)]);
+    col = std::move(sorted);
+  }
+  num_rows_ = static_cast<int64_t>(keep.size());
   canonical_ = true;
 }
 
 bool Relation::CheckCanonical() const {
-  if (stride_ == 0) return num_rows_ <= 1;
-  const size_t k = stride_;
+  if (cols_.empty()) return num_rows_ <= 1;
   for (int64_t i = 0; i + 1 < num_rows_; ++i) {
-    const Value* a = data_.data() + static_cast<size_t>(i) * k;
-    const Value* b = a + k;
-    if (!std::lexicographical_compare(a, a + k, b, b + k)) return false;
+    if (!RowLess(i, i + 1)) return false;
   }
   return true;
 }
@@ -66,7 +78,7 @@ bool Relation::EqualsAsSet(const Relation& other) const {
   if (!(schema_ == other.schema_)) return false;
   EnsureCanonical();
   other.EnsureCanonical();
-  return num_rows_ == other.num_rows_ && data_ == other.data_;
+  return num_rows_ == other.num_rows_ && cols_ == other.cols_;
 }
 
 std::string Relation::Format(const Catalog& catalog, int max_rows) const {

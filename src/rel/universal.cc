@@ -9,12 +9,14 @@ Relation RandomUniversal(const AttrSet& universe, int num_rows, int domain,
                          Rng& rng) {
   GYO_CHECK(domain >= 1);
   Relation out(universe);
-  out.Reserve(num_rows);
   const int arity = out.Arity();
+  const int64_t first = out.AppendRows(num_rows);
+  // Row-major draw order (all of row i before row i+1) keeps seeded data
+  // identical across storage layouts; the writes scatter into the columns.
   for (int i = 0; i < num_rows; ++i) {
-    Value* row = out.AppendRow();
     for (int k = 0; k < arity; ++k) {
-      row[k] = static_cast<Value>(rng.Below(static_cast<uint64_t>(domain)));
+      out.ColData(k)[first + i] =
+          static_cast<Value>(rng.Below(static_cast<uint64_t>(domain)));
     }
   }
   out.Canonicalize();

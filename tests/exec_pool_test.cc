@@ -252,7 +252,7 @@ TEST(ExecutorPoolTest, PoolReusedAcrossSequentialQueries) {
     std::vector<Relation> parallel = Execute(p, states, ctx);
     ASSERT_EQ(serial.size(), parallel.size()) << "round " << round;
     for (size_t i = 0; i < serial.size(); ++i) {
-      ASSERT_EQ(serial[i].Arena(), parallel[i].Arena())
+      ASSERT_TRUE(serial[i].IdenticalTo(parallel[i]))
           << "round " << round << " state " << i;
     }
     ASSERT_EQ(pool.running_queries(), 0) << "round " << round;
@@ -290,8 +290,7 @@ TEST(ExecutorPoolTest, ConcurrentQueriesBitIdenticalToSerial) {
         return;
       }
       for (size_t i = 0; i < serial.size(); ++i) {
-        if (serial[i].Arena() != parallel[i].Arena() ||
-            serial[i].IsCanonical() != parallel[i].IsCanonical()) {
+        if (!serial[i].IdenticalTo(parallel[i])) {
           mismatches.fetch_add(1);
           return;
         }
@@ -355,7 +354,7 @@ TEST(ExecutorPoolTest, GlobalPoolServesDefaultContext) {
   std::vector<Relation> parallel = Execute(p, states, ctx);
   ASSERT_EQ(serial.size(), parallel.size());
   for (size_t i = 0; i < serial.size(); ++i) {
-    EXPECT_EQ(serial[i].Arena(), parallel[i].Arena()) << "state " << i;
+    EXPECT_TRUE(serial[i].IdenticalTo(parallel[i])) << "state " << i;
   }
   EXPECT_GE(ExecutorPool::Global().threads(), 1);
 }
@@ -400,7 +399,7 @@ TEST(AutoMorselRowsTest, ZeroMorselRowsAutoTunesAndMatchesSerial) {
   std::vector<Relation> parallel = Execute(p, states, ctx);
   ASSERT_EQ(serial.size(), parallel.size());
   for (size_t i = 0; i < serial.size(); ++i) {
-    EXPECT_EQ(serial[i].Arena(), parallel[i].Arena()) << "state " << i;
+    EXPECT_TRUE(serial[i].IdenticalTo(parallel[i])) << "state " << i;
   }
 }
 

@@ -44,7 +44,7 @@ void ExpectBitIdentical(const std::vector<Relation>& a,
     ASSERT_TRUE(a[i].Schema() == b[i].Schema()) << "state " << i;
     EXPECT_EQ(a[i].NumRows(), b[i].NumRows()) << "state " << i;
     EXPECT_EQ(a[i].IsCanonical(), b[i].IsCanonical()) << "state " << i;
-    EXPECT_EQ(a[i].Arena(), b[i].Arena()) << "state " << i;
+    EXPECT_TRUE(a[i].IdenticalTo(b[i])) << "state " << i;
   }
 }
 
@@ -231,6 +231,32 @@ TEST(PartitionBitsTest, PartitionOfCoversRange) {
   }
 }
 
+TEST(PartitionBitsTest, ForBuildAdaptsToCardinality) {
+  // The adaptive partition count: never below the pool-width floor, grows
+  // with build cardinality until each partition's share is at most
+  // kPartitionTargetBuildRows, and never past kMaxPartitionBits.
+  for (int threads : {1, 2, 4, 8}) {
+    // Small builds: the pool-width floor alone.
+    EXPECT_EQ(PartitionBitsForBuild(threads, 0), PartitionBits(threads));
+    EXPECT_EQ(PartitionBitsForBuild(threads, kPartitionTargetBuildRows),
+              PartitionBits(threads));
+  }
+  // Pinned values (changing the policy must be a conscious act: the bench
+  // baselines' bloom counters depend on the partition count).
+  EXPECT_EQ(PartitionBitsForBuild(8, 1000), 3);
+  EXPECT_EQ(PartitionBitsForBuild(2, 100000), 3);
+  EXPECT_EQ(PartitionBitsForBuild(2, int64_t{1} << 20), 6);
+  // The cap binds regardless of cardinality or pool width.
+  EXPECT_EQ(PartitionBitsForBuild(1, int64_t{1} << 40), kMaxPartitionBits);
+  EXPECT_EQ(PartitionBitsForBuild(1 << 20, 1), kMaxPartitionBits);
+  // Every partition's expected share meets the target (below the cap).
+  for (int64_t rows : {int64_t{1} << 15, int64_t{1} << 17}) {
+    const int bits = PartitionBitsForBuild(1, rows);
+    ASSERT_LT(bits, kMaxPartitionBits);
+    EXPECT_LE(rows >> bits, kPartitionTargetBuildRows);
+  }
+}
+
 // --- State retirement (tentpole): compile-time reader counts plus
 // run-time last-reader frees. ---
 
@@ -287,7 +313,7 @@ TEST_F(ExecRetireTest, FreesConsumedStatesKeepsSinksAndResult) {
     for (size_t i = 0; i < out.size(); ++i) {
       if (plan.ReaderCounts()[i] == 0) {
         // Sinks — including the program result — survive bit-identically.
-        EXPECT_EQ(out[i].Arena(), serial[i].Arena()) << "state " << i;
+        EXPECT_TRUE(out[i].IdenticalTo(serial[i])) << "state " << i;
       } else {
         // Every consumed state was freed once its last reader finished.
         EXPECT_EQ(out[i].NumRows(), 0) << "state " << i;
@@ -317,9 +343,9 @@ TEST_F(ExecRetireTest, RetainListExemptsStates) {
   ctx.retire_consumed = true;
   ctx.retain_states = &retain;
   std::vector<Relation> out = exec::Execute(program_, states_, ctx);
-  EXPECT_EQ(out[0].Arena(), serial[0].Arena());
-  EXPECT_EQ(out[static_cast<size_t>(consumed_stmt)].Arena(),
-            serial[static_cast<size_t>(consumed_stmt)].Arena());
+  EXPECT_TRUE(out[0].IdenticalTo(serial[0]));
+  EXPECT_TRUE(out[static_cast<size_t>(consumed_stmt)].IdenticalTo(
+      serial[static_cast<size_t>(consumed_stmt)]));
 }
 
 TEST_F(ExecRetireTest, RetirementShrinksPeakStateBytes) {
@@ -394,7 +420,7 @@ TEST_F(ParallelOpsTest, JoinMatchesSerialBitForBit) {
     exec::TaskScheduler pool(threads);
     Relation parallel = NaturalJoin(*r_, *s_, ParallelOpts(&pool));
     EXPECT_EQ(serial.NumRows(), parallel.NumRows());
-    EXPECT_EQ(serial.Arena(), parallel.Arena()) << "threads=" << threads;
+    EXPECT_TRUE(serial.IdenticalTo(parallel)) << "threads=" << threads;
   }
 }
 
@@ -405,7 +431,7 @@ TEST_F(ParallelOpsTest, SemijoinMatchesSerialAndStaysCanonical) {
     exec::TaskScheduler pool(threads);
     Relation parallel = Semijoin(*r_, *s_, ParallelOpts(&pool));
     EXPECT_TRUE(parallel.IsCanonical());
-    EXPECT_EQ(serial.Arena(), parallel.Arena()) << "threads=" << threads;
+    EXPECT_TRUE(serial.IdenticalTo(parallel)) << "threads=" << threads;
   }
 }
 
@@ -415,7 +441,7 @@ TEST_F(ParallelOpsTest, ProjectMatchesSerialBitForBit) {
     exec::TaskScheduler pool(threads);
     Relation parallel = Project(*r_, AttrSet{1}, ParallelOpts(&pool));
     EXPECT_EQ(serial.NumRows(), parallel.NumRows());
-    EXPECT_EQ(serial.Arena(), parallel.Arena()) << "threads=" << threads;
+    EXPECT_TRUE(serial.IdenticalTo(parallel)) << "threads=" << threads;
   }
 }
 
@@ -444,7 +470,7 @@ TEST_F(ParallelOpsTest, DisjointSchemasCartesianProduct) {
   opts.morsel_rows = 16;
   Relation parallel = NaturalJoin(a, b, opts);
   EXPECT_EQ(parallel.NumRows(), 90 * 7);
-  EXPECT_EQ(serial.Arena(), parallel.Arena());
+  EXPECT_TRUE(serial.IdenticalTo(parallel));
 }
 
 TEST_F(ParallelOpsTest, EmptyInputsStayEmpty) {
@@ -472,7 +498,7 @@ TEST(ExecReducerTest, ParallelFullReducerMatchesSerial) {
       ASSERT_TRUE(parallel.has_value());
       ASSERT_EQ(serial->size(), parallel->size());
       for (size_t i = 0; i < serial->size(); ++i) {
-        EXPECT_EQ((*serial)[i].Arena(), (*parallel)[i].Arena())
+        EXPECT_TRUE((*serial)[i].IdenticalTo((*parallel)[i]))
             << "state " << i << " threads " << threads;
       }
     }

@@ -167,7 +167,7 @@ TEST_F(ReducerTest, ParallelFixpointBitIdenticalToSerial) {
       for (size_t i = 0; i < serial.size(); ++i) {
         EXPECT_EQ(serial[i].IsCanonical(), parallel[i].IsCanonical())
             << "schema " << s << " relation " << i << " threads " << threads;
-        EXPECT_EQ(serial[i].Arena(), parallel[i].Arena())
+        EXPECT_TRUE(serial[i].IdenticalTo(parallel[i]))
             << "schema " << s << " relation " << i << " threads " << threads;
       }
     }
@@ -194,7 +194,7 @@ TEST_F(ReducerTest, FixpointIgnoresRetirementAndAccumulatesStats) {
   std::vector<Relation> fix = SemijoinFixpoint(d, states, ctx, &steps);
   EXPECT_EQ(steps, serial_steps);
   for (size_t i = 0; i < serial.size(); ++i) {
-    EXPECT_EQ(serial[i].Arena(), fix[i].Arena()) << "relation " << i;
+    EXPECT_TRUE(serial[i].IdenticalTo(fix[i])) << "relation " << i;
   }
   EXPECT_EQ(query_stats.retired_states, 0);
   // Every round is one task per round-program statement; at least two

@@ -81,40 +81,71 @@ TEST_F(RelationTest, NullaryRelation) {
   EXPECT_EQ(r.NumRows(), 1);
 }
 
-TEST_F(RelationTest, ArenaIsFlatAndContiguous) {
+TEST_F(RelationTest, ColumnsAreFlatAndContiguous) {
   Relation r(ParseAttrSet(catalog_, "ab"));
   r.AddRow({1, 2});
   r.AddRow({3, 4});
-  ASSERT_EQ(r.Arena().size(), 4u);  // rows back to back, no per-row vectors
-  EXPECT_EQ(r.Arena(), (std::vector<Value>{1, 2, 3, 4}));
-  EXPECT_EQ(r.RowData(1), r.RowData(0) + r.Arity());
+  // Column-major: each attribute's values are back to back in one arena.
+  const Value* a = r.ColData(0);
+  const Value* b = r.ColData(1);
+  EXPECT_EQ(a[0], 1);
+  EXPECT_EQ(a[1], 3);
+  EXPECT_EQ(b[0], 2);
+  EXPECT_EQ(b[1], 4);
+  EXPECT_EQ(r.Cell(1, 0), 3);
+  EXPECT_EQ(r.ArenaBytes(),
+            static_cast<int64_t>(4 * sizeof(Value)));  // 2 rows × 2 cols
 }
 
-TEST_F(RelationTest, ReserveAndAppendRowWriteInPlace) {
+TEST_F(RelationTest, ReserveAndAppendRowsWriteInPlace) {
   Relation r(ParseAttrSet(catalog_, "abc"));
   r.Reserve(100);
+  const int64_t first = r.AppendRows(100);
+  EXPECT_EQ(first, 0);
   for (Value i = 0; i < 100; ++i) {
-    Value* row = r.AppendRow();
-    row[0] = i;
-    row[1] = i * 2;
-    row[2] = i * 3;
+    r.ColData(0)[first + i] = i;
+    r.ColData(1)[first + i] = i * 2;
+    r.ColData(2)[first + i] = i * 3;
   }
   EXPECT_EQ(r.NumRows(), 100);
   EXPECT_EQ(r.Row(42), (std::vector<Value>{42, 84, 126}));
+  // A second block appends after the first.
+  EXPECT_EQ(r.AppendRows(10), 100);
+  EXPECT_EQ(r.NumRows(), 110);
 }
 
 TEST_F(RelationTest, AddRowMayAliasOwnArena) {
-  Relation r(ParseAttrSet(catalog_, "ab"));
-  r.AddRow({1, 2});
-  // Re-appending a row from the relation's own arena must survive the
-  // reallocations the appends trigger.
+  Relation r(ParseAttrSet(catalog_, "a"));
+  r.AddRow({7});
+  // Re-appending a value read from the relation's own column arena must
+  // survive the reallocations the appends trigger.
   for (int i = 0; i < 40; ++i) {
-    r.AddRow(r.RowData(r.NumRows() - 1), static_cast<size_t>(r.Arity()));
+    r.AddRow(r.ColData(0) + (r.NumRows() - 1), 1);
   }
   EXPECT_EQ(r.NumRows(), 41);
   for (RowRef row : r.Rows()) {
-    EXPECT_EQ(row, (std::vector<Value>{1, 2}));
+    EXPECT_EQ(row, (std::vector<Value>{7}));
   }
+}
+
+TEST_F(RelationTest, IdenticalToRequiresSameOrderAndFlags) {
+  AttrSet s = ParseAttrSet(catalog_, "ab");
+  Relation r1(s);
+  Relation r2(s);
+  r1.AddRow({1, 2});
+  r1.AddRow({3, 4});
+  r2.AddRow({3, 4});
+  r2.AddRow({1, 2});
+  EXPECT_TRUE(r1.EqualsAsSet(r2));   // same set...
+  // ...but EqualsAsSet canonicalized both sides, so they are now also
+  // physically identical.
+  EXPECT_TRUE(r1.IdenticalTo(r2));
+  Relation r3(s);
+  r3.AddRow({1, 2});
+  r3.AddRow({3, 4});
+  EXPECT_FALSE(r1.IdenticalTo(r3));  // canonical flag differs
+  r3.Canonicalize();
+  EXPECT_TRUE(r1.IdenticalTo(r3));
 }
 
 TEST_F(RelationTest, RowRefComparesAndIterates) {
@@ -167,14 +198,13 @@ TEST_F(RelationTest, EqualsAsSetCanonicalizesOnDemand) {
 TEST_F(RelationTest, CanonicalizeManyRowsSortsAndDedupes) {
   Relation r(ParseAttrSet(catalog_, "ab"));
   const Value n = 512;
-  r.Reserve(2 * n);
+  const int64_t first = r.AppendRows(2 * n);
   for (Value i = n - 1; i >= 0; --i) {  // descending, twice
-    Value* row = r.AppendRow();
-    row[0] = i % 7;
-    row[1] = i;
-    row = r.AppendRow();
-    row[0] = i % 7;
-    row[1] = i;
+    const int64_t at = first + 2 * (n - 1 - i);
+    r.ColData(0)[at] = i % 7;
+    r.ColData(1)[at] = i;
+    r.ColData(0)[at + 1] = i % 7;
+    r.ColData(1)[at + 1] = i;
   }
   r.Canonicalize();
   EXPECT_EQ(r.NumRows(), n);
