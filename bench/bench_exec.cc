@@ -157,6 +157,50 @@ BENCHMARK(BM_Exec_FullJoin_Morsels)
     ->Arg(8)
     ->UseRealTime();
 
+void BM_Exec_StealImbalance(benchmark::State& state) {
+  // Deliberately skewed semijoin: 75% of the probe side shares one hot key,
+  // so one hash partition owns ~6x its fair share of probe chunks — and
+  // every one of those chunks carries the same builder affinity. Without
+  // stealing that partition serializes on one deque; with it the idle
+  // workers drain the hot deque FIFO. The trailing projection gives the
+  // graph a second statement, so the caller's drain loop runs inside the
+  // measured region and leftover affinity-tagged morsels are consumed (and
+  // counted) before the query finishes even on a single-core host.
+  constexpr int64_t kProbeRows = 1 << 18;
+  constexpr int64_t kBuildRows = 1 << 16;
+  constexpr Value kHotKey = 42;
+  Relation r(AttrSet{0, 1});
+  r.Reserve(kProbeRows);
+  for (int64_t i = 0; i < kProbeRows; ++i) {
+    const Value key = (i % 4 == 0) ? static_cast<Value>(i % kBuildRows)
+                                   : kHotKey;
+    r.AddRow({key, static_cast<Value>(i)});
+  }
+  r.Canonicalize();
+  Relation s(AttrSet{0, 2});
+  s.Reserve(kBuildRows);
+  for (int64_t k = 0; k < kBuildRows; ++k) {
+    s.AddRow({static_cast<Value>(k), static_cast<Value>(k)});
+  }
+  s.Canonicalize();
+  Program p(2);
+  const int sj = p.AddSemijoin(0, 1);
+  p.AddProject(sj, AttrSet{0});
+  std::vector<Relation> states = {r, s};
+  const double peak_rss_mb = SampleRss(state, p, states);
+  BenchPool bench(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec::Run(p, states, bench.ctx));
+  }
+  ReportStats(state, p, states, bench.ctx, peak_rss_mb);
+}
+BENCHMARK(BM_Exec_StealImbalance)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
 void BM_Exec_MultiClient(benchmark::State& state) {
   // Arg(0) client threads share one 4-thread pool that admits at most 2
   // queries at a time; each client runs 2 deterministic Yannakakis queries

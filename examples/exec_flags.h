@@ -64,9 +64,12 @@ inline void ConfigureExecFromFlags(
 
 /// Prints the process-wide pool's shape and admission queue state,
 /// including this context's own fairness class (the queue-depth observable
-/// behind backpressure: ExecutorPool::waiting_queries(submitter)). Only
-/// meaningful on the parallel path — callers skip it when ctx.threads == 1
-/// (serial execution never touches the pool).
+/// behind backpressure: ExecutorPool::waiting_queries(submitter)). When the
+/// context carries QueryStats from a completed query, also prints that
+/// query's scheduling counters — steals, partition-affinity hits/misses, and
+/// the admission queue depth it saw on arrival. Only meaningful on the
+/// parallel path — callers skip it when ctx.threads == 1 (serial execution
+/// never touches the pool).
 inline void PrintPoolStatus(const gyo::exec::ExecContext& ctx) {
   gyo::exec::ExecutorPool& pool =
       ctx.pool != nullptr ? *ctx.pool : gyo::exec::ExecutorPool::Global();
@@ -77,6 +80,16 @@ inline void PrintPoolStatus(const gyo::exec::ExecContext& ctx) {
       pool.waiting_queries(),
       static_cast<unsigned long long>(ctx.submitter),
       pool.waiting_queries(ctx.submitter));
+  if (ctx.query_stats != nullptr) {
+    const gyo::exec::QueryStats& qs = *ctx.query_stats;
+    std::printf(
+        "  scheduling: %lld tasks stolen, affinity %lld hits / %lld misses, "
+        "queue depth at admit %lld\n",
+        static_cast<long long>(qs.tasks_stolen),
+        static_cast<long long>(qs.affinity_hits),
+        static_cast<long long>(qs.affinity_misses),
+        static_cast<long long>(qs.queue_depth_at_admit));
+  }
 }
 
 }  // namespace gyo_examples

@@ -42,9 +42,27 @@ CHECKED_COUNTERS = ("result_rows", "max_intermediate", "queries",
                     "bloom_partition_skips", "probe_rows_pruned")
 CHECKED_PREFIXES = ("reduced_rows", "fixpoint_rows")
 
+# Counters checked for sign, not value. tasks_stolen is scheduling- and
+# host-dependent (no exact pin is possible), but on the deliberately skewed
+# StealImbalance family a baseline that shows stealing must keep showing it:
+# a drop to zero means the hot partition serialized on one deque — the
+# work-stealing regression the bench exists to catch. The sign check is
+# aggregated over the whole family (summed across thread-count args) because
+# whether any one width steals is a timing race — at 2 threads a fast run
+# can finish before the second worker wakes — while a family-wide zero means
+# stealing is off. Baselines recorded on hosts where stealing never
+# triggered at any width leave the constraint vacuous.
+POSITIVE_COUNTERS = ("tasks_stolen",)
+POSITIVE_BENCH_SUBSTRING = "StealImbalance"
+
 
 def checked_counter(name: str) -> bool:
     return name in CHECKED_COUNTERS or name.startswith(CHECKED_PREFIXES)
+
+
+def positive_counter(bench_name: str, counter: str) -> bool:
+    return (counter in POSITIVE_COUNTERS
+            and POSITIVE_BENCH_SUBSTRING in bench_name)
 
 
 def load_benchmarks(path: Path) -> dict:
@@ -59,7 +77,8 @@ def load_benchmarks(path: Path) -> dict:
         out[name] = {
             key: value
             for key, value in bench.items()
-            if checked_counter(key) and isinstance(value, (int, float))
+            if (checked_counter(key) or positive_counter(name, key))
+            and isinstance(value, (int, float))
         }
     return out
 
@@ -88,6 +107,7 @@ def main() -> int:
             continue
         baseline = load_benchmarks(baseline_path)
         fresh = load_benchmarks(fresh_path)
+        positive_sums = {}  # counter -> [baseline_sum, fresh_sum]
         for bench_name, counters in sorted(baseline.items()):
             if bench_name not in fresh:
                 failures.append(f"{baseline_path.name}: benchmark "
@@ -100,10 +120,24 @@ def main() -> int:
                     failures.append(
                         f"{baseline_path.name}: {bench_name}: counter "
                         f"'{counter}' missing from fresh run")
+                elif positive_counter(bench_name, counter):
+                    # Family-aggregated sign check, resolved after the loop
+                    # (see above): a single width showing zero is a timing
+                    # race, the whole family at zero is a regression.
+                    sums = positive_sums.setdefault(counter, [0.0, 0.0])
+                    sums[0] += want
+                    sums[1] += got
                 elif got != want:
                     failures.append(
                         f"{baseline_path.name}: {bench_name}: {counter} "
                         f"drifted: baseline {want:g}, fresh {got:g}")
+        for counter, (want_sum, got_sum) in sorted(positive_sums.items()):
+            if want_sum > 0 and got_sum <= 0:
+                failures.append(
+                    f"{baseline_path.name}: {counter} summed over the "
+                    f"'{POSITIVE_BENCH_SUBSTRING}' family dropped to zero "
+                    f"(baseline sum {want_sum:g}): work stealing no longer "
+                    "triggers on the skewed partition")
         for bench_name in sorted(set(fresh) - set(baseline)):
             print(f"note: {baseline_path.name}: new benchmark "
                   f"'{bench_name}' has no baseline yet")

@@ -49,6 +49,28 @@ struct QueryStats {
   /// walked. Bloom filters have no false negatives, so pruning never changes
   /// results; this counts saved work only.
   int64_t probe_rows_pruned = 0;
+
+  /// Scheduler jobs of this query executed by a thread other than the one
+  /// whose deque held them (work stealing under imbalance; 0 = perfect
+  /// locality and always 0 on serial runs). Scheduling-dependent, so
+  /// reproducible only up to placement — never pinned as a correctness
+  /// counter.
+  int64_t tasks_stolen = 0;
+
+  /// Affinity-tagged probe/dedupe morsels that ran on the worker that built
+  /// their partition (the cache-resident case). hits + misses equals the
+  /// number of affinity-tagged morsels dispatched; the split between them is
+  /// scheduling-dependent.
+  int64_t affinity_hits = 0;
+
+  /// Affinity-tagged morsels that ran on some other thread (stolen, or
+  /// claimed by the query's own caller thread).
+  int64_t affinity_misses = 0;
+
+  /// Queries already waiting in the admission controller when this query
+  /// arrived (0 = admitted straight onto a free slot). The queue-pressure
+  /// observable behind queue_wait_seconds; always 0 for serial execution.
+  int64_t queue_depth_at_admit = 0;
 };
 
 /// Runtime knobs for executing programs (and the reducer) in parallel.

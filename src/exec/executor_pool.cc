@@ -47,7 +47,8 @@ int ExecutorPool::ResolveThreads(int requested) {
 }
 
 ExecutorPool::ExecutorPool(const Options& options)
-    : scheduler_(ResolveThreads(options.threads)),
+    : scheduler_(TaskScheduler::Options{ResolveThreads(options.threads),
+                                        options.worker0_start_delay_ms}),
       max_concurrent_(options.max_concurrent_queries >= 1
                           ? options.max_concurrent_queries
                           : scheduler_.threads()) {}
@@ -92,12 +93,14 @@ int ExecutorPool::waiting_queries(uint64_t submitter) const {
 ExecutorPool::Admission ExecutorPool::Admit(uint64_t submitter) {
   const auto enqueued_at = std::chrono::steady_clock::now();
   std::unique_lock<std::mutex> lock(mu_);
+  // Queue pressure seen on arrival, before this query joins the queue.
+  const int64_t depth = num_waiting_;
   // Fast path only when nobody is queued: a free slot must not let a
   // latecomer jump the round-robin ring.
   if (running_ < max_concurrent_ && num_waiting_ == 0) {
     ++running_;
     lock.unlock();
-    return Admission(this, 0.0, std::chrono::steady_clock::now());
+    return Admission(this, 0.0, std::chrono::steady_clock::now(), depth);
   }
 
   Waiter w;
@@ -108,7 +111,8 @@ ExecutorPool::Admission ExecutorPool::Admit(uint64_t submitter) {
   w.cv.wait(lock, [&] { return w.admitted; });  // Release() did the counts
   lock.unlock();
   const auto admitted_at = std::chrono::steady_clock::now();
-  return Admission(this, SecondsSince(enqueued_at, admitted_at), admitted_at);
+  return Admission(this, SecondsSince(enqueued_at, admitted_at), admitted_at,
+                   depth);
 }
 
 void ExecutorPool::Release() {
@@ -153,6 +157,13 @@ QueryStats ExecutorPool::Admission::Finish() {
   stats.run_time_seconds = run_time_seconds_;
   stats.tasks = tasks_.load(std::memory_order_relaxed);
   stats.morsels = morsels_.load(std::memory_order_relaxed);
+  stats.tasks_stolen =
+      steal_stats_->tasks_stolen.load(std::memory_order_relaxed);
+  stats.affinity_hits =
+      steal_stats_->affinity_hits.load(std::memory_order_relaxed);
+  stats.affinity_misses =
+      steal_stats_->affinity_misses.load(std::memory_order_relaxed);
+  stats.queue_depth_at_admit = queue_depth_at_admit_;
   return stats;
 }
 

@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -46,6 +47,11 @@ class ExecutorPool {
     /// Admission cap on concurrently running queries. 0 (default) = the
     /// resolved thread count (one average thread per admitted query).
     int max_concurrent_queries = 0;
+
+    /// Passed through to TaskScheduler::Options::worker0_start_delay_ms —
+    /// the steal-storm test hook (worker 0 parks before its first pop so
+    /// other threads must steal). 0 = off; tests only.
+    int worker0_start_delay_ms = 0;
   };
 
   ExecutorPool() : ExecutorPool(Options()) {}
@@ -105,6 +111,20 @@ class ExecutorPool {
     /// Incremented by the operator kernels via OpExecOpts::morsel_counter.
     std::atomic<int64_t>& morsel_counter() { return morsels_; }
 
+    /// This query's scheduling counters (steals, affinity hits/misses).
+    /// The exec runtime hands this to RunGraph and the operator kernels via
+    /// OpExecOpts::steal_stats; Finish() snapshots it into QueryStats.
+    /// Shared ownership: queued jobs co-own the counters, so a job drained
+    /// after this Admission dies (a no-op morsel left in a parked worker's
+    /// deque) never writes through a dangling pointer.
+    const std::shared_ptr<StealStats>& steal_stats() const {
+      return steal_stats_;
+    }
+
+    /// Admission-queue wait of this query — the input to the scheduler's
+    /// cross-query priority aging (TaskScheduler::AgedPriority).
+    double queue_wait_seconds() const { return queue_wait_seconds_; }
+
     /// Records the query as finished (run_time stops here; idempotent) and
     /// returns the stats snapshot.
     QueryStats Finish();
@@ -112,16 +132,20 @@ class ExecutorPool {
    private:
     friend class ExecutorPool;
     Admission(ExecutorPool* pool, double queue_wait_seconds,
-              std::chrono::steady_clock::time_point admitted_at)
+              std::chrono::steady_clock::time_point admitted_at,
+              int64_t queue_depth_at_admit)
         : pool_(pool),
           queue_wait_seconds_(queue_wait_seconds),
-          admitted_at_(admitted_at) {}
+          admitted_at_(admitted_at),
+          queue_depth_at_admit_(queue_depth_at_admit) {}
 
     ExecutorPool* pool_;
     double queue_wait_seconds_;
     std::chrono::steady_clock::time_point admitted_at_;
+    int64_t queue_depth_at_admit_;
     std::atomic<int64_t> tasks_{0};
     std::atomic<int64_t> morsels_{0};
+    std::shared_ptr<StealStats> steal_stats_ = std::make_shared<StealStats>();
     bool finished_ = false;
     double run_time_seconds_ = 0.0;
   };

@@ -176,12 +176,17 @@ class StateTracker {
 // gets a plan-level priority — the length of its longest downstream
 // dependency chain — so critical-path statements dispatch first when many
 // statements (or many queries) compete for the pool.
+// `steal_stats` (may be null) receives the query's scheduling counters, and
+// `initial_age_seconds` — the admission-queue wait — ages every statement's
+// priority (TaskScheduler::AgedPriority) so a long-queued query's tail is
+// not starved by deeper plans admitted earlier.
 void RunStatements(const Program& program,
                    const std::vector<std::vector<int>>& deps,
                    std::vector<Relation>& states, TaskScheduler& scheduler,
                    const OpExecOpts& op_opts,
-                   std::vector<int64_t>& rows_produced,
-                   StateTracker& tracker) {
+                   std::vector<int64_t>& rows_produced, StateTracker& tracker,
+                   const std::shared_ptr<StealStats>& steal_stats,
+                   double initial_age_seconds) {
   const int num_base = program.num_base();
   const int num_statements = program.NumStatements();
 
@@ -230,7 +235,7 @@ void RunStatements(const Program& program,
   for (int k = 0; k < num_statements; ++k) {
     for (int d : deps[static_cast<size_t>(k)]) graph.AddDependency(k, d);
   }
-  scheduler.RunGraph(graph);
+  scheduler.RunGraph(graph, steal_stats, initial_age_seconds);
 }
 
 // Shared execution body: used by PhysicalPlan::Execute (compiled plan) and
@@ -296,7 +301,8 @@ std::vector<Relation> ExecuteImpl(const Program& program,
     TaskScheduler serial(1);
     op_opts.scheduler = &serial;
     RunStatements(program, deps, states, serial, op_opts, rows_produced,
-                  tracker);
+                  tracker, /*steal_stats=*/nullptr,
+                  /*initial_age_seconds=*/0.0);
     if (ctx.query_stats != nullptr) {
       *ctx.query_stats = QueryStats();
       ctx.query_stats->run_time_seconds =
@@ -314,8 +320,10 @@ std::vector<Relation> ExecuteImpl(const Program& program,
     ExecutorPool::Admission admission = pool.Admit(ctx.submitter);
     op_opts.scheduler = &admission.scheduler();
     op_opts.morsel_counter = &admission.morsel_counter();
+    op_opts.steal_stats = admission.steal_stats();
     RunStatements(program, deps, states, admission.scheduler(), op_opts,
-                  rows_produced, tracker);
+                  rows_produced, tracker, admission.steal_stats(),
+                  admission.queue_wait_seconds());
     admission.AddTasks(num_statements);
     if (ctx.query_stats != nullptr) *ctx.query_stats = admission.Finish();
   }

@@ -244,17 +244,22 @@ inline int64_t NumMorsels(int64_t rows, int64_t morsel_rows) {
 //      into its own precomputed ranges — cache-friendly contiguous writes.
 //
 // The partition count adapts to the build side: PartitionBitsForBuild widens
-// past the pool-width floor until partitions are cache-resident. Within each
-// partition the buckets are laid out in morsel order, so a partition's slice
-// lists its rows in increasing global row order — the exact order the serial
-// build inserts them in, which keeps bucket-chain traversal (and thus
-// deterministic-mode output) bit-identical. The row hashes are computed once
-// here and reused by the partition build, its Bloom filters, and Project's
-// partitioned dedupe.
+// past the pool-width floor until partitions are cache-resident — or is
+// forced by the caller (forced_bits >= 0): the probe-side scatter must use
+// the BUILD side's partition function so probe partition p matches build
+// partition p exactly. Within each partition the buckets are laid out in
+// morsel order, so a partition's slice lists its rows in increasing global
+// row order — the exact order the serial build inserts them in, which keeps
+// bucket-chain traversal (and thus deterministic-mode output) bit-identical.
+// The row hashes are computed once here and reused by the partition build,
+// its Bloom filters, Project's partitioned dedupe, and Semijoin's
+// partitioned probe.
 struct RadixScatter {
   RadixScatter(int64_t n, const std::vector<const Value*>& keys,
-               const OpExecOpts& opts)
-      : bits(PartitionBitsForBuild(opts.scheduler->threads(), n)) {
+               const OpExecOpts& opts, int forced_bits = -1)
+      : bits(forced_bits >= 0
+                 ? forced_bits
+                 : PartitionBitsForBuild(opts.scheduler->threads(), n)) {
     const int64_t parts = int64_t{1} << bits;
     const int64_t morsels = NumMorsels(n, opts.morsel_rows);
     CountMorsels(opts, 2 * morsels);  // the counting and scatter passes
@@ -268,7 +273,7 @@ struct RadixScatter {
       for (int64_t i = lo; i < hi; ++i) {
         ++mine[PartitionOf(hashes[static_cast<size_t>(i)], bits)];
       }
-    });
+    }, opts.steal_stats);
     std::vector<int64_t> cursors(static_cast<size_t>(morsels * parts));
     part_begin.resize(static_cast<size_t>(parts) + 1);
     int64_t off = 0;
@@ -289,7 +294,7 @@ struct RadixScatter {
         const size_t p = PartitionOf(hashes[static_cast<size_t>(i)], bits);
         row_ids[static_cast<size_t>(mine[p]++)] = i;
       }
-    });
+    }, opts.steal_stats);
   }
 
   int num_partitions() const { return 1 << bits; }
@@ -308,6 +313,12 @@ struct RadixScatter {
 // its own filter while inserting (gated on the build clearing
 // kMinBloomBuildRows), so probes can reject a partition — and skip its
 // bucket-chain walk entirely — on two bit tests.
+//
+// The build also records which pool worker built each partition (builder()),
+// the anchor of the scheduler's sticky partition affinity: the probe side
+// scatters its morsels by the same partition function and pushes each
+// partition's probe chunks to its builder's deque, so the thread whose cache
+// holds a partition's bucket array probes it (stealable under imbalance).
 class PartitionedColumnIndex {
  public:
   PartitionedColumnIndex(const Relation& rel, const std::vector<int>& cols,
@@ -321,6 +332,7 @@ class PartitionedColumnIndex {
     const int parts = scatter.num_partitions();
     parts_.reserve(static_cast<size_t>(parts));
     blooms_.resize(static_cast<size_t>(parts));
+    builders_.assign(static_cast<size_t>(parts), -1);
     for (int p = 0; p < parts; ++p) {
       const int64_t rows =
           scatter.part_begin[static_cast<size_t>(p) + 1] -
@@ -331,6 +343,16 @@ class PartitionedColumnIndex {
     opts.scheduler->ParallelFor(parts, [&](int64_t p) {
       ColumnIndex& index = parts_[static_cast<size_t>(p)];
       BloomFilter& bloom = blooms_[static_cast<size_t>(p)];
+      // Sticky affinity tag: the worker whose cache now holds this
+      // partition. Partitions built by an external caller thread (index -1,
+      // not a valid steal-placement target) fall back to a deterministic
+      // round-robin worker so their probe chunks still get stable per-
+      // partition placement instead of all landing in the shared overflow.
+      const int built_by = opts.scheduler->CurrentWorkerIndex();
+      const int nw = opts.scheduler->num_workers();
+      builders_[static_cast<size_t>(p)] =
+          built_by >= 0 ? built_by
+                        : (nw > 0 ? static_cast<int>(p) % nw : -1);
       const int64_t hi = scatter.part_begin[static_cast<size_t>(p) + 1];
       for (int64_t k = scatter.part_begin[static_cast<size_t>(p)]; k < hi;
            ++k) {
@@ -339,7 +361,7 @@ class PartitionedColumnIndex {
         index.Add(row, h);
         if (use_bloom_) bloom.Add(h);
       }
-    });
+    }, opts.steal_stats);
   }
 
   // The partition index responsible for probe-key hash `h`, or nullptr when
@@ -351,12 +373,32 @@ class PartitionedColumnIndex {
     return &parts_[p];
   }
 
+  int bits() const { return bits_; }
+  int num_partitions() const { return 1 << bits_; }
+
+  // The pool worker that built partition p (-1: the query's caller thread
+  // built it) — the affinity target for that partition's probe chunks.
+  int builder(int p) const { return builders_[static_cast<size_t>(p)]; }
+
+  const ColumnIndex& part(int p) const {
+    return parts_[static_cast<size_t>(p)];
+  }
+
+  // Partition-p half of Probe() for callers that already scattered their
+  // rows by partition: false iff p's Bloom filter proves `h` cannot match.
+  // Identical accept/reject decisions (same filters, same hashes) keep the
+  // prune counters numerically equal to the Probe() path's.
+  bool PartitionMaybeContains(int p, uint64_t h) const {
+    return !use_bloom_ || blooms_[static_cast<size_t>(p)].MaybeContains(h);
+  }
+
  private:
   std::vector<const Value*> keys_;
   bool use_bloom_;
   int bits_ = 0;
   std::vector<ColumnIndex> parts_;
   std::vector<BloomFilter> blooms_;
+  std::vector<int> builders_;
 };
 
 // Prefix sums of per-chunk output sizes in merge order: offsets[pos] is the
@@ -473,7 +515,7 @@ Relation Project(const Relation& r, const AttrSet& x,
       seen.Add(i, h);
       survives[static_cast<size_t>(i)] = 1;
     }
-  });
+  }, opts.steal_stats);
 
   // Compaction: per-morsel survivor selection vectors, prefix sum, then
   // parallel per-column gathers into disjoint ranges of the output arenas,
@@ -488,7 +530,7 @@ Relation Project(const Relation& r, const AttrSet& x,
     for (int64_t i = lo; i < hi; ++i) {
       if (survives[static_cast<size_t>(i)]) sel.push_back(i);
     }
-  });
+  }, opts.steal_stats);
   std::vector<int64_t> offsets(static_cast<size_t>(chunks) + 1, 0);
   for (int64_t c = 0; c < chunks; ++c) {
     offsets[static_cast<size_t>(c) + 1] =
@@ -504,7 +546,7 @@ Relation Project(const Relation& r, const AttrSet& x,
       GatherColumn(r.ColData(cols[k]), sel,
                    out.ColData(static_cast<int>(k)) + dst);
     }
-  });
+  }, opts.steal_stats);
   return out;
 }
 
@@ -625,7 +667,7 @@ Relation NaturalJoin(const Relation& r, const Relation& s,
     });
     CountPrunes(opts, pruned, pruned);
     merge.Record(c);
-  });
+  }, opts.steal_stats);
 
   std::vector<int64_t> offsets = MergeOffsets(merge.order(), [&](int64_t c) {
     return static_cast<int64_t>(probe_ids[static_cast<size_t>(c)].size());
@@ -637,7 +679,7 @@ Relation NaturalJoin(const Relation& r, const Relation& s,
     GatherPairs(probe_ids[static_cast<size_t>(c)],
                 build_ids[static_cast<size_t>(c)],
                 base + offsets[static_cast<size_t>(pos)]);
-  });
+  }, opts.steal_stats);
   return out;
 }
 
@@ -695,46 +737,93 @@ Relation Semijoin(const Relation& r, const Relation& s,
     return out;
   }
 
-  // Parallel form: partitioned Bloom-filtered build over s, morsel-driven
-  // membership probes over row ranges of r collecting per-morsel selection
-  // vectors, then one parallel per-column gather compaction into the output
-  // arenas.
+  // Parallel form: partitioned Bloom-filtered build over s, then a
+  // PROBE-SIDE radix scatter of r by the build's own partition function, so
+  // each probe task walks exactly one cache-resident partition (bucket
+  // array + Bloom filter) instead of every morsel touching all of them. The
+  // chunks carry sticky affinity: partition p's probe chunks go to the
+  // worker that built partition p first (stealable under imbalance —
+  // ParallelForAffine). Chunk sizes are clamped per partition
+  // (ClampMorselToPartition) so no chunk ever spans a partition boundary.
+  //
+  // Survivors land in a shared per-row bitmap (disjoint bytes — each probe
+  // row belongs to exactly one partition) and are compacted in input row
+  // order, so the output is bit-identical to the serial kernel's in BOTH
+  // determinism modes; scheduling only decides where each chunk runs. The
+  // Bloom accept/reject decisions reuse the build's filters on the same
+  // hashes as the morsel-range path did, so the prune counters are
+  // numerically unchanged.
   PartitionedColumnIndex index(s, s_cols, opts);
   const int64_t n = r.NumRows();
+  RadixScatter probe_scatter(n, probe_keys, opts, index.bits());
+
+  struct ProbeChunk {
+    int part;
+    int64_t lo, hi;  // range of probe_scatter.row_ids
+  };
+  std::vector<ProbeChunk> probe_chunks;
+  std::vector<int> affinity;
+  for (int p = 0; p < index.num_partitions(); ++p) {
+    const int64_t plo = probe_scatter.part_begin[static_cast<size_t>(p)];
+    const int64_t phi = probe_scatter.part_begin[static_cast<size_t>(p) + 1];
+    if (plo == phi) continue;
+    const int64_t step = ClampMorselToPartition(opts.morsel_rows, phi - plo);
+    for (int64_t lo = plo; lo < phi; lo += step) {
+      probe_chunks.push_back(ProbeChunk{p, lo, std::min(phi, lo + step)});
+      affinity.push_back(index.builder(p));
+    }
+  }
+  CountMorsels(opts, static_cast<int64_t>(probe_chunks.size()));
+  std::vector<uint8_t> survives(static_cast<size_t>(n), 0);
+  opts.scheduler->ParallelForAffine(
+      static_cast<int64_t>(probe_chunks.size()),
+      [&](int64_t c) {
+        const ProbeChunk& chunk = probe_chunks[static_cast<size_t>(c)];
+        const ColumnIndex& part = index.part(chunk.part);
+        int64_t pruned = 0;
+        for (int64_t k = chunk.lo; k < chunk.hi; ++k) {
+          const int64_t i = probe_scatter.row_ids[static_cast<size_t>(k)];
+          const uint64_t h = probe_scatter.hashes[static_cast<size_t>(i)];
+          if (!index.PartitionMaybeContains(chunk.part, h)) {
+            ++pruned;
+            continue;
+          }
+          if (part.ContainsHashed(probe_keys, i, h)) {
+            survives[static_cast<size_t>(i)] = 1;
+          }
+        }
+        CountPrunes(opts, pruned, pruned);
+      },
+      affinity, opts.steal_stats);
+
+  // Compaction in input row order (same two-pass shape as Project's):
+  // per-morsel survivor selection vectors, prefix sum, parallel gathers.
   const int64_t chunks = NumMorsels(n, opts.morsel_rows);
-  CountMorsels(opts, chunks);
+  CountMorsels(opts, 2 * chunks);
   std::vector<std::vector<int64_t>> selected(static_cast<size_t>(chunks));
-  MergeOrder merge(chunks, opts.deterministic);
   opts.scheduler->ParallelFor(chunks, [&](int64_t c) {
     const int64_t lo = c * opts.morsel_rows;
     const int64_t hi = std::min<int64_t>(n, lo + opts.morsel_rows);
     std::vector<int64_t>& sel = selected[static_cast<size_t>(c)];
-    std::vector<uint64_t> scratch;
-    int64_t pruned = 0;
-    ForEachHashed(probe_keys, lo, hi, scratch, [&](int64_t i, uint64_t h) {
-      const ColumnIndex* part = index.Probe(h);
-      if (part == nullptr) {
-        ++pruned;
-        return;
-      }
-      if (part->ContainsHashed(probe_keys, i, h)) sel.push_back(i);
-    });
-    CountPrunes(opts, pruned, pruned);
-    merge.Record(c);
-  });
-
-  std::vector<int64_t> offsets = MergeOffsets(merge.order(), [&](int64_t c) {
-    return static_cast<int64_t>(selected[static_cast<size_t>(c)].size());
-  });
+    for (int64_t i = lo; i < hi; ++i) {
+      if (survives[static_cast<size_t>(i)]) sel.push_back(i);
+    }
+  }, opts.steal_stats);
+  std::vector<int64_t> offsets(static_cast<size_t>(chunks) + 1, 0);
+  for (int64_t c = 0; c < chunks; ++c) {
+    offsets[static_cast<size_t>(c) + 1] =
+        offsets[static_cast<size_t>(c)] +
+        static_cast<int64_t>(selected[static_cast<size_t>(c)].size());
+  }
   const int64_t base = out.AppendRows(offsets.back());
-  opts.scheduler->ParallelFor(chunks, [&](int64_t pos) {
-    const std::vector<int64_t>& sel =
-        selected[static_cast<size_t>(merge.order()[static_cast<size_t>(pos)])];
+  opts.scheduler->ParallelFor(chunks, [&](int64_t c) {
+    const std::vector<int64_t>& sel = selected[static_cast<size_t>(c)];
     if (sel.empty()) return;
-    GatherSelected(sel, base + offsets[static_cast<size_t>(pos)]);
-  });
-  // Morsel-ordered compaction of a canonical input is still a subsequence.
-  if (opts.deterministic && r.IsCanonical()) out.MarkCanonical();
+    GatherSelected(sel, base + offsets[static_cast<size_t>(c)]);
+  }, opts.steal_stats);
+  // Row-ordered compaction of a canonical input is still a subsequence —
+  // in both determinism modes (the survivor bitmap erases scheduling order).
+  if (r.IsCanonical()) out.MarkCanonical();
   return out;
 }
 

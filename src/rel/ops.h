@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "rel/relation.h"
@@ -14,6 +15,7 @@ namespace gyo {
 
 namespace exec {
 class TaskScheduler;
+struct StealStats;
 }  // namespace exec
 
 /// Relational algebra operators (paper §2 notation).
@@ -24,7 +26,9 @@ class TaskScheduler;
 /// set cardinality — but they are NOT necessarily sorted: canonical form is
 /// established lazily (EqualsAsSet() canonicalizes on demand). Semijoin is
 /// the exception: it selects a subsequence of its left input, so a canonical
-/// input yields a canonical output.
+/// input yields a canonical output (every Semijoin form — the parallel
+/// probe-side-scattered kernel compacts survivors in row order regardless of
+/// the determinism mode).
 
 /// Execution options threaded through the kernels by the exec runtime
 /// (exec/physical_plan.h). Default-constructed options run the serial
@@ -48,8 +52,9 @@ struct OpExecOpts {
   /// When true, morsel outputs merge in morsel order and every result is
   /// bit-identical (row order and canonical flag included) to the serial
   /// kernel's. When false, morsels merge in completion order: the same set
-  /// of rows in unspecified physical order, and Semijoin does not propagate
-  /// canonical form.
+  /// of rows in unspecified physical order. (Semijoin and Project are
+  /// order-preserving in both modes — their compactions gather survivors in
+  /// input row order — so only NaturalJoin's output order depends on this.)
   bool deterministic = true;
   /// When non-null, the kernels add every data morsel they dispatch
   /// (hash-build and probe passes) — the ExecutorPool's per-query
@@ -64,6 +69,12 @@ struct OpExecOpts {
   /// rejections alike) is tallied here — the QueryStats::probe_rows_pruned
   /// feed.
   std::atomic<int64_t>* probe_prune_counter = nullptr;
+  /// When non-null, the kernels' parallel loops tally work stealing and
+  /// partition-affinity hits/misses here (the QueryStats::tasks_stolen /
+  /// affinity_* feeds). Purely observational — placement never changes
+  /// results. Shared ownership: queued jobs co-own the counters, so a job
+  /// drained after the owning query finished never dangles.
+  std::shared_ptr<exec::StealStats> steal_stats;
 };
 
 /// Morsel-size auto-tuning (used when OpExecOpts/ExecContext leave
@@ -119,6 +130,24 @@ constexpr int PartitionBitsForBuild(int threads, int64_t build_rows) {
 
 constexpr size_t PartitionOf(uint64_t h, int bits) {
   return bits == 0 ? 0 : static_cast<size_t>(h >> (64 - bits));
+}
+
+/// Probe-side scatter chunking: the chunk size for splitting one partition
+/// of `part_rows` probe rows into parallel tasks, given the configured
+/// morsel size. Chunks never span a partition boundary (the partition is
+/// split on its own), so each probe task walks exactly one cache-resident
+/// partition; within the partition the rows are divided into
+/// ceil(part_rows / morsel_rows) equal-ish chunks rather than
+/// morsel_rows-sized chunks plus a remainder tail — the last task would
+/// otherwise be arbitrarily small and dispatch overhead per partition would
+/// spike at part_rows = k * morsel_rows + 1. The result is always in
+/// [1, morsel_rows] for part_rows >= 1.
+constexpr int64_t ClampMorselToPartition(int64_t morsel_rows,
+                                         int64_t part_rows) {
+  if (part_rows <= 0) return morsel_rows < 1 ? 1 : morsel_rows;
+  if (morsel_rows < 1) return 1;
+  const int64_t chunks = (part_rows + morsel_rows - 1) / morsel_rows;
+  return (part_rows + chunks - 1) / chunks;
 }
 
 /// Bloom filter over 64-bit key hashes: a power-of-two bit array with two
@@ -182,8 +211,9 @@ Relation NaturalJoin(const Relation& r, const Relation& s,
 
 /// r ⋉ s: natural semijoin, π_R(r ⋈ s) computed without materializing the
 /// join (membership probes + one per-column gather over a selection
-/// vector). Canonical input r gives canonical output (serial and
-/// deterministic parallel forms).
+/// vector). Canonical input r gives canonical output (every form: the
+/// parallel kernel compacts survivors in row order in both determinism
+/// modes).
 Relation Semijoin(const Relation& r, const Relation& s);
 Relation Semijoin(const Relation& r, const Relation& s,
                   const OpExecOpts& opts);

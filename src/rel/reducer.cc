@@ -108,6 +108,12 @@ std::vector<Relation> SemijoinFixpoint(const DatabaseSchema& d,
                                               round_stats.peak_state_bytes);
       total_stats.bloom_partition_skips += round_stats.bloom_partition_skips;
       total_stats.probe_rows_pruned += round_stats.probe_rows_pruned;
+      total_stats.tasks_stolen += round_stats.tasks_stolen;
+      total_stats.affinity_hits += round_stats.affinity_hits;
+      total_stats.affinity_misses += round_stats.affinity_misses;
+      // queue_depth_at_admit is not summed: keep the worst (deepest) round.
+      total_stats.queue_depth_at_admit = std::max(
+          total_stats.queue_depth_at_admit, round_stats.queue_depth_at_admit);
     }
     for (int k = 0; k < round.program.NumStatements(); ++k) {
       const Program::Statement& s = stmts[static_cast<size_t>(k)];

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -337,6 +338,95 @@ TEST(ExecutorPoolTest, QueryStatsCountMorsels) {
   EXPECT_EQ(serial_stats.tasks, p.NumStatements());
   EXPECT_EQ(serial_stats.morsels, 0);
   EXPECT_EQ(serial_stats.queue_wait_seconds, 0.0);
+}
+
+TEST(ExecutorPoolTest, QueueDepthAtAdmitReported) {
+  // queue_depth_at_admit is the backlog a query SAW on arrival: 0 on a free
+  // slot, and the number of already-queued queries otherwise.
+  ExecutorPool pool(PoolOptions(1, 1));
+  auto* held = new ExecutorPool::Admission(pool.Admit(0));
+  EXPECT_EQ(held->Finish().queue_depth_at_admit, 0);
+
+  std::atomic<int64_t> depth_b{-1};
+  std::atomic<int64_t> depth_c{-1};
+  std::thread b([&] {
+    ExecutorPool::Admission admission = pool.Admit(1);
+    depth_b.store(admission.Finish().queue_depth_at_admit);
+  });
+  while (pool.waiting_queries() < 1) std::this_thread::yield();
+  std::thread c([&] {
+    ExecutorPool::Admission admission = pool.Admit(2);
+    depth_c.store(admission.Finish().queue_depth_at_admit);
+  });
+  while (pool.waiting_queries() < 2) std::this_thread::yield();
+
+  delete held;  // b admitted now; c admitted when b's slot releases
+  b.join();
+  c.join();
+  EXPECT_EQ(depth_b.load(), 0);  // nobody was queued when b arrived
+  EXPECT_EQ(depth_c.load(), 1);  // b was already waiting when c arrived
+}
+
+// --- Cross-query priority aging (satellite): a query that waited in the
+// admission queue gets a bounded priority boost on every task, so a deep
+// plan admitted earlier cannot starve a long-queued short query's tail. ---
+
+TEST(PriorityAgingTest, AgedGraphOutranksEqualBasePriority) {
+  // Two external threads share a scheduler whose only worker is parked
+  // (steal-storm hook), so the drain order of the shared overflow queue is
+  // fully deterministic. Thread H1's graph holds the pool in a gate task and
+  // leaves a base-priority-1 task ("A") queued; thread H2 then submits a
+  // base-priority-1 task ("B") with a large admission age. The aging boost
+  // must let B jump A; without it, FIFO runs A first.
+  for (bool aged : {true, false}) {
+    TaskScheduler::Options options;
+    options.threads = 2;
+    options.worker0_start_delay_ms = 5000;  // interruptible at shutdown
+    TaskScheduler pool(options);
+
+    std::mutex order_mu;
+    std::vector<std::string> order;
+    auto record = [&](const char* label) {
+      std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back(label);
+    };
+
+    std::atomic<bool> gate_entered{false};
+    std::atomic<bool> gate_release{false};
+    TaskGraph a;
+    a.AddTask(
+        [&] {
+          gate_entered.store(true, std::memory_order_release);
+          while (!gate_release.load(std::memory_order_acquire)) {
+            std::this_thread::yield();
+          }
+        },
+        100);  // H1 drains this first and blocks inside it
+    a.AddTask([&] { record("A"); }, 1);
+    std::thread h1([&] { pool.RunGraph(a); });
+    while (!gate_entered.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+
+    // "A" (priority 1) is queued; H1 is pinned in the gate; the worker is
+    // parked. H2's task has the same base priority, boosted by its age.
+    TaskGraph b;
+    b.AddTask([&] { record("B"); }, 1);
+    auto stats = std::make_shared<StealStats>();
+    const double age =
+        aged ? (TaskScheduler::kMaxAgingBoost + 1) *
+                   TaskScheduler::kAgingQuantumSeconds
+             : 0.0;
+    std::thread h2([&] { pool.RunGraph(b, stats, age); });
+    h2.join();
+    gate_release.store(true, std::memory_order_release);
+    h1.join();
+
+    const std::vector<std::string> want =
+        aged ? std::vector<std::string>{"B", "A"}
+             : std::vector<std::string>{"A", "B"};
+    EXPECT_EQ(order, want) << "aged=" << aged;
+  }
 }
 
 TEST(ExecutorPoolTest, GlobalPoolServesDefaultContext) {

@@ -513,6 +513,151 @@ TEST(ExecReducerTest, ParallelReducerRejectsCyclicSchemas) {
   EXPECT_FALSE(ApplyFullReducer(d, states, pooled.ctx).has_value());
 }
 
+// --- Probe morsel clamping: a probe task must never span a partition
+// boundary, so the chunk step is recomputed per partition. ---
+
+TEST(ClampMorselToPartitionTest, FormulaPins) {
+  // 100000 rows at a 16384-row target split into ceil(100000/16384) = 7
+  // chunks of ceil(100000/7) = 14286 rows — equal-ish chunks instead of six
+  // full morsels plus a 1696-row tail.
+  EXPECT_EQ(ClampMorselToPartition(16384, 100000), 14286);
+  // A partition that fits in one morsel is one chunk.
+  EXPECT_EQ(ClampMorselToPartition(16384, 1000), 1000);
+  EXPECT_EQ(ClampMorselToPartition(16, 16), 16);
+  // Exact multiples divide evenly.
+  EXPECT_EQ(ClampMorselToPartition(16, 64), 16);
+  // part_rows = k * morsel_rows + 1 rebalances rather than leaving a
+  // 1-row tail chunk.
+  EXPECT_EQ(ClampMorselToPartition(16, 65), 13);
+  // Degenerate-input guards.
+  EXPECT_EQ(ClampMorselToPartition(16, 0), 16);
+  EXPECT_EQ(ClampMorselToPartition(0, 100), 1);
+  EXPECT_EQ(ClampMorselToPartition(0, 0), 1);
+}
+
+TEST(ClampMorselToPartitionTest, StepAlwaysInRangeAndCoversPartition) {
+  for (int64_t morsel : {int64_t{1}, int64_t{7}, int64_t{16}, int64_t{100},
+                         int64_t{16384}}) {
+    for (int64_t part : {int64_t{1}, int64_t{2}, int64_t{15}, int64_t{16},
+                         int64_t{17}, int64_t{100}, int64_t{999},
+                         int64_t{4096}, int64_t{100000}}) {
+      const int64_t step = ClampMorselToPartition(morsel, part);
+      ASSERT_GE(step, 1) << morsel << " " << part;
+      ASSERT_LE(step, morsel) << morsel << " " << part;
+      // Stepping by `step` tiles the partition in the same number of chunks
+      // the naive morsel split would use — never more dispatch overhead.
+      const int64_t naive = (part + morsel - 1) / morsel;
+      ASSERT_EQ((part + step - 1) / step, naive) << morsel << " " << part;
+    }
+  }
+}
+
+// --- Steal-storm property tests: the pool's worker 0 parks for its first
+// 30 ms, so every morsel tagged with an affinity it would have serviced —
+// and any work seeded toward it — must be stolen by the other workers (or
+// the caller draining the graph). The parallel-vs-serial contracts must
+// hold with stealing forced on. ---
+
+// A PooledCtx variant in steal-storm mode that also collects QueryStats so
+// the tests can assert stealing actually happened.
+struct StealStormCtx {
+  explicit StealStormCtx(int threads) : pool(MakeOptions(threads)) {
+    ctx.threads = threads;
+    ctx.pool = &pool;
+    ctx.morsel_rows = 16;  // force morsel splitting on small states
+    ctx.query_stats = &query_stats;
+  }
+  static exec::ExecutorPool::Options MakeOptions(int threads) {
+    exec::ExecutorPool::Options options;
+    options.threads = threads;
+    options.worker0_start_delay_ms = 30;
+    return options;
+  }
+  exec::ExecutorPool pool;
+  exec::ExecContext ctx;
+  exec::QueryStats query_stats;
+};
+
+TEST(StealStormTest, TreeSchemaMatchesSerialUnderForcedStealing) {
+  DatabaseSchema d = PathSchema(6);
+  AttrSet x{0, 5};
+  std::vector<Relation> states = MakeUR(d, 200, 16 * 60, 7042);
+  int64_t total_stolen = 0;
+  for (const Program& p : AllStrategyPrograms(d, x)) {
+    Program::Stats serial_stats;
+    std::vector<Relation> serial = p.ExecuteWithStats(states, &serial_stats);
+    // EqualsAsSet canonicalizes both sides in place, so the set comparisons
+    // run against a sacrificial copy — `serial` must stay byte-pristine for
+    // the bit-identity checks.
+    std::vector<Relation> serial_sets = serial;
+    for (int threads : {2, 4, 8}) {
+      for (bool deterministic : {true, false}) {
+        StealStormCtx storm(threads);
+        storm.ctx.deterministic = deterministic;
+        Program::Stats par_stats;
+        std::vector<Relation> parallel =
+            exec::Execute(p, states, storm.ctx, &par_stats);
+        if (deterministic) {
+          ExpectBitIdentical(serial, parallel);
+          EXPECT_EQ(serial_stats.max_intermediate_rows,
+                    par_stats.max_intermediate_rows);
+          EXPECT_EQ(serial_stats.total_rows_produced,
+                    par_stats.total_rows_produced);
+          EXPECT_EQ(serial_stats.result_rows, par_stats.result_rows);
+        } else {
+          ASSERT_EQ(serial_sets.size(), parallel.size());
+          for (size_t i = 0; i < serial_sets.size(); ++i) {
+            EXPECT_TRUE(serial_sets[i].EqualsAsSet(parallel[i]))
+                << "state " << i << " threads " << threads;
+          }
+        }
+        total_stolen += storm.query_stats.tasks_stolen;
+      }
+    }
+  }
+  // Across ~dozens of queries with worker 0 parked, at least one task must
+  // have been stolen (the exact count is scheduling-dependent).
+  EXPECT_GT(total_stolen, 0);
+}
+
+TEST(StealStormTest, CyclicFixpointMatchesSerialUnderForcedStealing) {
+  DatabaseSchema d = Aring(5);
+  Rng rng(911);
+  std::vector<Relation> states = RandomStates(d, 200, 8, rng);
+  int serial_steps = -1;
+  std::vector<Relation> serial = SemijoinFixpoint(d, states, &serial_steps);
+  // Sacrificial copy for the set comparisons (EqualsAsSet canonicalizes in
+  // place; `serial` must stay byte-pristine for IdenticalTo).
+  std::vector<Relation> serial_sets = serial;
+  int64_t total_stolen = 0;
+  for (int threads : {2, 4, 8}) {
+    for (bool deterministic : {true, false}) {
+      StealStormCtx storm(threads);
+      storm.ctx.deterministic = deterministic;
+      int steps = -1;
+      std::vector<Relation> parallel =
+          SemijoinFixpoint(d, states, storm.ctx, &steps);
+      // Effective-step counts depend only on row counts, which are
+      // mode-independent — equal to serial in both modes.
+      EXPECT_EQ(steps, serial_steps) << "threads " << threads;
+      ASSERT_EQ(serial.size(), parallel.size());
+      for (size_t i = 0; i < serial.size(); ++i) {
+        if (deterministic) {
+          EXPECT_EQ(serial[i].IsCanonical(), parallel[i].IsCanonical())
+              << "relation " << i << " threads " << threads;
+          EXPECT_TRUE(serial[i].IdenticalTo(parallel[i]))
+              << "relation " << i << " threads " << threads;
+        } else {
+          EXPECT_TRUE(serial_sets[i].EqualsAsSet(parallel[i]))
+              << "relation " << i << " threads " << threads;
+        }
+      }
+      total_stolen += storm.query_stats.tasks_stolen;
+    }
+  }
+  EXPECT_GT(total_stolen, 0);
+}
+
 // --- Eager validation (satellite): malformed statements must fail up front
 // with an error naming the statement index. ---
 
