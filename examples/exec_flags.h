@@ -62,24 +62,30 @@ inline void ConfigureExecFromFlags(
   gyo::exec::ExecutorPool::ConfigureGlobal(pool_options);
 }
 
-/// Prints the process-wide pool's shape and admission queue state,
-/// including this context's own fairness class (the queue-depth observable
-/// behind backpressure: ExecutorPool::waiting_queries(submitter)). When the
-/// context carries QueryStats from a completed query, also prints that
-/// query's scheduling counters — steals, partition-affinity hits/misses, and
-/// the admission queue depth it saw on arrival. Only meaningful on the
-/// parallel path — callers skip it when ctx.threads == 1 (serial execution
-/// never touches the pool).
+/// Prints the process-wide pool's shape and admission queue state from the
+/// same atomic snapshot the gyo_serve STATUS frame carries
+/// (ExecutorPool::PoolStatus) — every status surface reads one struct, so
+/// the CLI line and the wire protocol cannot disagree about what the pool
+/// looks like. Per-submitter running/queued tallies follow on their own
+/// lines (the queue-depth observable behind backpressure). When the context
+/// carries QueryStats from a completed query, also prints that query's
+/// scheduling counters — steals, partition-affinity hits/misses, and the
+/// admission queue depth it saw on arrival. Only meaningful on the parallel
+/// path — callers skip it when ctx.threads == 1 (serial execution never
+/// touches the pool).
 inline void PrintPoolStatus(const gyo::exec::ExecContext& ctx) {
   gyo::exec::ExecutorPool& pool =
       ctx.pool != nullptr ? *ctx.pool : gyo::exec::ExecutorPool::Global();
+  const gyo::exec::ExecutorPool::PoolStatus status = pool.Status();
   std::printf(
       "pool status: %d threads, %d max concurrent queries, %d running, "
-      "%d waiting (submitter %llu: %d queued)\n",
-      pool.threads(), pool.max_concurrent_queries(), pool.running_queries(),
-      pool.waiting_queries(),
-      static_cast<unsigned long long>(ctx.submitter),
-      pool.waiting_queries(ctx.submitter));
+      "%d waiting\n",
+      status.threads, status.max_concurrent_queries, status.running,
+      status.waiting);
+  for (const auto& s : status.submitters) {
+    std::printf("  submitter %llu: %d running, %d queued\n",
+                static_cast<unsigned long long>(s.id), s.running, s.waiting);
+  }
   if (ctx.query_stats != nullptr) {
     const gyo::exec::QueryStats& qs = *ctx.query_stats;
     std::printf(

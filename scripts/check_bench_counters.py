@@ -11,6 +11,13 @@ correctness regression no matter how fast it runs.
 
 Usage:
     check_bench_counters.py [--baseline bench/results] [--fresh build/release]
+                            [--check-time PCT]
+
+``--check-time PCT`` additionally gates wall time: a benchmark whose fresh
+``real_time`` exceeds its baseline by more than PCT percent fails the check.
+It is opt-in (default off) because the committed baselines are recorded on
+whatever host last refreshed them — cross-host time comparisons are noise,
+so container CI runs counters-only.
 
 For every ``BENCH_*.json`` in the baseline directory, the same-named file
 must exist in the fresh directory, every baseline benchmark must appear in
@@ -42,18 +49,26 @@ CHECKED_COUNTERS = ("result_rows", "max_intermediate", "queries",
                     "bloom_partition_skips", "probe_rows_pruned")
 CHECKED_PREFIXES = ("reduced_rows", "fixpoint_rows")
 
-# Counters checked for sign, not value. tasks_stolen is scheduling- and
-# host-dependent (no exact pin is possible), but on the deliberately skewed
-# StealImbalance family a baseline that shows stealing must keep showing it:
-# a drop to zero means the hot partition serialized on one deque — the
-# work-stealing regression the bench exists to catch. The sign check is
-# aggregated over the whole family (summed across thread-count args) because
-# whether any one width steals is a timing race — at 2 threads a fast run
-# can finish before the second worker wakes — while a family-wide zero means
-# stealing is off. Baselines recorded on hosts where stealing never
-# triggered at any width leave the constraint vacuous.
-POSITIVE_COUNTERS = ("tasks_stolen",)
-POSITIVE_BENCH_SUBSTRING = "StealImbalance"
+# Counters checked for sign, not value, as (bench-name substring, counter,
+# meaning-of-a-zero) rules. These are behaviors the benches exist to
+# demonstrate but whose exact magnitudes are scheduling- or host-dependent,
+# so no exact pin is possible:
+#   * tasks_stolen on the deliberately skewed StealImbalance family — a
+#     family-wide zero means the hot partition serialized on one deque.
+#   * requests_shed on the serve Overload bench — a zero means an
+#     over-offered gyo_serve stopped shedding, i.e. backpressure is off and
+#     overload degrades into unbounded queueing.
+# Each sign check is aggregated over every benchmark the substring matches
+# (summed across thread-count args) because any single configuration can
+# legitimately come up zero in a fast run, while a family-wide zero means
+# the mechanism is off. Baselines recorded on hosts where the behavior never
+# triggered leave the constraint vacuous.
+POSITIVE_RULES = (
+    ("StealImbalance", "tasks_stolen",
+     "work stealing no longer triggers on the skewed partition"),
+    ("Serve_Overload", "requests_shed",
+     "the overloaded server no longer sheds (backpressure is off)"),
+)
 
 
 def checked_counter(name: str) -> bool:
@@ -61,26 +76,35 @@ def checked_counter(name: str) -> bool:
 
 
 def positive_counter(bench_name: str, counter: str) -> bool:
-    return (counter in POSITIVE_COUNTERS
-            and POSITIVE_BENCH_SUBSTRING in bench_name)
+    return any(substring in bench_name and counter == rule_counter
+               for substring, rule_counter, _ in POSITIVE_RULES)
 
 
-def load_benchmarks(path: Path) -> dict:
-    """Maps benchmark name -> {counter: value} for one benchmark JSON file."""
+def load_benchmarks(path: Path) -> tuple:
+    """Loads one benchmark JSON file.
+
+    Returns (counters, times): benchmark name -> {counter: value} and
+    benchmark name -> real_time in seconds (for the opt-in wall-time gate).
+    """
     with path.open() as f:
         report = json.load(f)
-    out = {}
+    counters, times = {}, {}
     for bench in report.get("benchmarks", []):
         if bench.get("run_type", "iteration") != "iteration":
             continue  # aggregates repeat the per-iteration counters
         name = bench["name"]
-        out[name] = {
+        counters[name] = {
             key: value
             for key, value in bench.items()
             if (checked_counter(key) or positive_counter(name, key))
             and isinstance(value, (int, float))
         }
-    return out
+        if isinstance(bench.get("real_time"), (int, float)):
+            unit = bench.get("time_unit", "ns")
+            scale = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}.get(unit)
+            if scale is not None:
+                times[name] = bench["real_time"] * scale
+    return counters, times
 
 
 def main() -> int:
@@ -89,7 +113,19 @@ def main() -> int:
                         help="directory of committed BENCH_*.json baselines")
     parser.add_argument("--fresh", default="build/release", type=Path,
                         help="directory of freshly produced BENCH_*.json")
+    parser.add_argument("--check-time", metavar="PCT", type=float,
+                        default=None,
+                        help="opt-in wall-time gate: fail when a benchmark's "
+                             "fresh real_time exceeds its baseline by more "
+                             "than PCT percent. Off by default because "
+                             "baselines are recorded on a different host "
+                             "than CI; only enable where baseline and fresh "
+                             "runs share a machine class.")
     args = parser.parse_args()
+    if args.check_time is not None and args.check_time < 0:
+        print("error: --check-time wants a non-negative percentage",
+              file=sys.stderr)
+        return 2
 
     baseline_files = sorted(args.baseline.glob("BENCH_*.json"))
     if not baseline_files:
@@ -105,9 +141,9 @@ def main() -> int:
             failures.append(f"{baseline_path.name}: missing from {args.fresh} "
                             "(bench binary not run?)")
             continue
-        baseline = load_benchmarks(baseline_path)
-        fresh = load_benchmarks(fresh_path)
-        positive_sums = {}  # counter -> [baseline_sum, fresh_sum]
+        baseline, baseline_times = load_benchmarks(baseline_path)
+        fresh, fresh_times = load_benchmarks(fresh_path)
+        positive_sums = {}  # POSITIVE_RULES entry -> [baseline_sum, fresh_sum]
         for bench_name, counters in sorted(baseline.items()):
             if bench_name not in fresh:
                 failures.append(f"{baseline_path.name}: benchmark "
@@ -122,22 +158,35 @@ def main() -> int:
                         f"'{counter}' missing from fresh run")
                 elif positive_counter(bench_name, counter):
                     # Family-aggregated sign check, resolved after the loop
-                    # (see above): a single width showing zero is a timing
-                    # race, the whole family at zero is a regression.
-                    sums = positive_sums.setdefault(counter, [0.0, 0.0])
-                    sums[0] += want
-                    sums[1] += got
+                    # (see above): a single configuration showing zero is a
+                    # timing race, the whole family at zero is a regression.
+                    for rule in POSITIVE_RULES:
+                        if rule[0] in bench_name and counter == rule[1]:
+                            sums = positive_sums.setdefault(rule, [0.0, 0.0])
+                            sums[0] += want
+                            sums[1] += got
                 elif got != want:
                     failures.append(
                         f"{baseline_path.name}: {bench_name}: {counter} "
                         f"drifted: baseline {want:g}, fresh {got:g}")
-        for counter, (want_sum, got_sum) in sorted(positive_sums.items()):
+            if args.check_time is not None:
+                base_t = baseline_times.get(bench_name)
+                fresh_t = fresh_times.get(bench_name)
+                if base_t and fresh_t is not None:
+                    checked += 1
+                    if fresh_t > base_t * (1.0 + args.check_time / 100.0):
+                        failures.append(
+                            f"{baseline_path.name}: {bench_name}: real_time "
+                            f"regressed beyond {args.check_time:g}%: "
+                            f"baseline {base_t * 1e3:.3f} ms, fresh "
+                            f"{fresh_t * 1e3:.3f} ms")
+        for (substring, counter, meaning), (want_sum, got_sum) in sorted(
+                positive_sums.items()):
             if want_sum > 0 and got_sum <= 0:
                 failures.append(
                     f"{baseline_path.name}: {counter} summed over the "
-                    f"'{POSITIVE_BENCH_SUBSTRING}' family dropped to zero "
-                    f"(baseline sum {want_sum:g}): work stealing no longer "
-                    "triggers on the skewed partition")
+                    f"'{substring}' family dropped to zero (baseline sum "
+                    f"{want_sum:g}): {meaning}")
         for bench_name in sorted(set(fresh) - set(baseline)):
             print(f"note: {baseline_path.name}: new benchmark "
                   f"'{bench_name}' has no baseline yet")

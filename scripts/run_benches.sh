@@ -20,8 +20,9 @@
 #   BENCH_OUT_DIR    where the JSON files land     (default build/release;
 #                    use bench/results to refresh the committed baselines)
 #   BENCH_TARGETS    space-separated bench binaries (default: the join-heavy
-#                    ones the storage engine is measured by plus bench_exec,
-#                    the parallel-runtime speedup curve)
+#                    ones the storage engine is measured by, bench_exec —
+#                    the parallel-runtime speedup curve — and bench_serve,
+#                    the query-service latency/shed curve)
 #   BENCH_CMAKE_ARGS extra configure args (e.g. -DGYO_BUILD_TESTS=OFF
 #                    -DGYO_BUILD_EXAMPLES=OFF for a bench-only build; note
 #                    they persist in build/release's CMake cache)
@@ -45,7 +46,7 @@ done
 
 min_time="${BENCH_MIN_TIME:-0.01s}"
 out_dir="${BENCH_OUT_DIR:-build/release}"
-targets="${BENCH_TARGETS:-bench_join_strategies bench_yannakakis bench_reducer bench_exec}"
+targets="${BENCH_TARGETS:-bench_join_strategies bench_yannakakis bench_reducer bench_exec bench_serve}"
 
 # GYO_BUILD_BENCHMARKS=ON is forced (after the extra args) so a cached
 # bench-off configuration can't silently leave stale binaries running.

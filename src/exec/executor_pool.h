@@ -52,6 +52,20 @@ class ExecutorPool {
     /// the steal-storm test hook (worker 0 parks before its first pop so
     /// other threads must steal). 0 = off; tests only.
     int worker0_start_delay_ms = 0;
+
+    /// Default admission deadline for TryAdmit: a query still waiting for a
+    /// slot after this many seconds is shed with kDeadlineExceeded instead
+    /// of queueing forever. <= 0 (default) = wait without limit. A per-call
+    /// deadline overrides this. The blocking Admit() never sheds.
+    double max_queue_wait_seconds = 0.0;
+
+    /// Per-submitter backlog bound for TryAdmit: a query that would have to
+    /// wait while its fairness class already has this many queued is shed
+    /// with kBacklogFull — the abusive-tenant backpressure valve (an
+    /// unbounded tenant would only inflate its own FIFO, but every entry
+    /// pins a caller thread). <= 0 (default) = unbounded. The blocking
+    /// Admit() ignores the bound (cooperative in-process callers).
+    int max_waiting_per_submitter = 0;
   };
 
   ExecutorPool() : ExecutorPool(Options()) {}
@@ -131,15 +145,18 @@ class ExecutorPool {
 
    private:
     friend class ExecutorPool;
-    Admission(ExecutorPool* pool, double queue_wait_seconds,
+    Admission(ExecutorPool* pool, uint64_t submitter,
+              double queue_wait_seconds,
               std::chrono::steady_clock::time_point admitted_at,
               int64_t queue_depth_at_admit)
         : pool_(pool),
+          submitter_(submitter),
           queue_wait_seconds_(queue_wait_seconds),
           admitted_at_(admitted_at),
           queue_depth_at_admit_(queue_depth_at_admit) {}
 
     ExecutorPool* pool_;
+    uint64_t submitter_;
     double queue_wait_seconds_;
     std::chrono::steady_clock::time_point admitted_at_;
     int64_t queue_depth_at_admit_;
@@ -155,16 +172,76 @@ class ExecutorPool {
   /// `submitter` is the fairness class (see ExecContext::submitter).
   Admission Admit(uint64_t submitter = 0);
 
+  /// Why TryAdmit declined a query. Shedding happens at admit time only —
+  /// an admitted query always runs to completion.
+  enum class AdmitStatus {
+    kAdmitted,
+    /// The query's queue wait exceeded its admission deadline; it was
+    /// removed from its fairness queue without ever holding a slot.
+    kDeadlineExceeded,
+    /// The submitter's fairness queue was already at
+    /// max_waiting_per_submitter when the query arrived and every slot was
+    /// busy; rejected immediately (zero wait).
+    kBacklogFull,
+  };
+
+  /// Typed admission outcome. `admission` is non-null iff status is
+  /// kAdmitted; `queue_wait_seconds` reports the wait actually spent queued
+  /// (the full deadline on kDeadlineExceeded, 0 on kBacklogFull).
+  struct AdmitResult {
+    AdmitStatus status = AdmitStatus::kAdmitted;
+    std::unique_ptr<Admission> admission;
+    double queue_wait_seconds = 0.0;
+    /// Queries of this submitter waiting when the decision was made.
+    int waiting_for_submitter = 0;
+  };
+
+  /// Admission with shedding: the entry point network front ends use
+  /// (gyo_serve) so an overloaded pool produces typed rejections instead of
+  /// unbounded queues. `max_queue_wait_seconds` < 0 uses the pool-level
+  /// Options default; 0 disables the deadline; > 0 bounds this call's queue
+  /// wait. The per-submitter backlog bound always comes from the pool
+  /// Options. Round-robin fairness is unchanged: a deadline removes the
+  /// waiter from its FIFO without perturbing other submitters.
+  AdmitResult TryAdmit(uint64_t submitter = 0,
+                       double max_queue_wait_seconds = -1.0);
+
+  /// A point-in-time snapshot of the pool's shape and admission state — the
+  /// one struct behind the CLI pool-status lines (examples/exec_flags.h)
+  /// and the daemon's STATUS responses (serve/server.h), so the two
+  /// surfaces cannot drift.
+  struct PoolStatus {
+    int threads = 0;
+    int max_concurrent_queries = 0;
+    int running = 0;
+    int waiting = 0;
+    struct Submitter {
+      uint64_t id = 0;
+      int running = 0;
+      int waiting = 0;
+    };
+    /// Fairness classes with at least one running or waiting query, in
+    /// increasing id order.
+    std::vector<Submitter> submitters;
+  };
+  PoolStatus Status() const;
+
  private:
   struct Waiter {
     std::condition_variable cv;
     bool admitted = false;
   };
 
-  void Release();
+  void Release(uint64_t submitter);
+  // Removes `w` from `submitter`'s FIFO (called with mu_ held, on deadline
+  // expiry). Keeps the ring/map invariant: a submitter leaves the ring the
+  // moment its queue drains.
+  void RemoveWaiter(uint64_t submitter, Waiter* w);
 
   TaskScheduler scheduler_;
   const int max_concurrent_;
+  const double max_queue_wait_seconds_;
+  const int max_waiting_per_submitter_;
 
   mutable std::mutex mu_;
   int running_ = 0;
@@ -174,6 +251,9 @@ class ExecutorPool {
   std::unordered_map<uint64_t, std::deque<Waiter*>> waiting_;
   std::vector<uint64_t> rr_ring_;
   size_t rr_pos_ = 0;
+  // Running queries per fairness class (entries erased at zero), feeding
+  // PoolStatus::Submitter::running.
+  std::unordered_map<uint64_t, int> running_by_submitter_;
 };
 
 }  // namespace exec

@@ -246,7 +246,8 @@ std::vector<Relation> ExecuteImpl(const Program& program,
                                   const std::vector<int>& reader_counts,
                                   const std::vector<Relation>& base,
                                   const ExecContext& ctx,
-                                  Program::Stats* stats) {
+                                  Program::Stats* stats,
+                                  ExecutorPool::Admission* admitted = nullptr) {
   const int num_base = program.num_base();
   const int num_statements = program.NumStatements();
   GYO_CHECK_MSG(static_cast<int>(base.size()) == num_base,
@@ -294,7 +295,22 @@ std::vector<Relation> ExecuteImpl(const Program& program,
   StateTracker tracker(states, ctx.retire_consumed, reader_counts,
                        ctx.retain_states);
 
-  if (ctx.threads == 1) {
+  if (admitted != nullptr) {
+    // Pre-admitted path (exec::ExecuteAdmitted): the caller already holds a
+    // slot — granted by TryAdmit after its deadline/backlog checks — so the
+    // query goes straight onto the admission's pool, even a width-1 one
+    // (the concurrency cap must keep holding; the caller participates in
+    // execution either way).
+    ExecutorPool::Admission& admission = *admitted;
+    op_opts.scheduler = &admission.scheduler();
+    op_opts.morsel_counter = &admission.morsel_counter();
+    op_opts.steal_stats = admission.steal_stats();
+    RunStatements(program, deps, states, admission.scheduler(), op_opts,
+                  rows_produced, tracker, admission.steal_stats(),
+                  admission.queue_wait_seconds());
+    admission.AddTasks(num_statements);
+    if (ctx.query_stats != nullptr) *ctx.query_stats = admission.Finish();
+  } else if (ctx.threads == 1) {
     // Serial specialization (Program::Execute's path): inline execution on
     // the calling thread, no shared pool, no admission control.
     const auto started = std::chrono::steady_clock::now();
@@ -369,6 +385,16 @@ Relation Run(const Program& program, const std::vector<Relation>& base,
              const ExecContext& ctx) {
   GYO_CHECK_MSG(program.NumStatements() > 0, "program has no statements");
   return Execute(program, base, ctx).back();
+}
+
+std::vector<Relation> ExecuteAdmitted(const Program& program,
+                                      const std::vector<Relation>& base,
+                                      const ExecContext& ctx,
+                                      ExecutorPool::Admission& admission,
+                                      Program::Stats* stats) {
+  return ExecuteImpl(program, ComputeDependencies(program),
+                     ComputeReaderCounts(program), base, ctx, stats,
+                     &admission);
 }
 
 }  // namespace exec

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "exec/exec_context.h"
+#include "exec/executor_pool.h"
 #include "rel/program.h"
 #include "rel/relation.h"
 
@@ -93,6 +94,21 @@ std::vector<Relation> Execute(const Program& program,
 /// program must have at least one statement.
 Relation Run(const Program& program, const std::vector<Relation>& base,
              const ExecContext& ctx);
+
+/// Executes under an admission slot the caller already holds — the entry
+/// point for front ends that admit with shedding (ExecutorPool::TryAdmit)
+/// before committing any execution resources: gyo_serve sheds a query whose
+/// queue wait exceeded its deadline with a typed error frame, and only an
+/// admitted query reaches this function. Always runs on `admission`'s pool
+/// (ctx.threads is ignored except for validation; ctx.pool must be null or
+/// that same pool). Deterministic-mode output is bit-identical to serial
+/// execution regardless of pool width — the property the serve end-to-end
+/// tests pin with IdenticalTo.
+std::vector<Relation> ExecuteAdmitted(const Program& program,
+                                      const std::vector<Relation>& base,
+                                      const ExecContext& ctx,
+                                      ExecutorPool::Admission& admission,
+                                      Program::Stats* stats = nullptr);
 
 }  // namespace exec
 }  // namespace gyo

@@ -1,0 +1,142 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace gyo {
+namespace serve {
+
+bool Client::Connect(const std::string& host, int port) {
+  Close();
+  io_error_.clear();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    io_error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    io_error_ = "bad host address: " + host;
+    Close();
+    return false;
+  }
+  while (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+         0) {
+    if (errno == EINTR) continue;
+    io_error_ = std::string("connect: ") + std::strerror(errno);
+    Close();
+    return false;
+  }
+  return true;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Client::Outcome Client::RoundTrip(const std::vector<uint8_t>& request_frame,
+                                  FrameType expected,
+                                  std::vector<uint8_t>* payload) {
+  io_error_.clear();
+  server_error_ = ErrorReply();
+  if (fd_ < 0) {
+    io_error_ = "not connected";
+    return Outcome::kIoError;
+  }
+  if (!WriteFrame(fd_, request_frame, &io_error_)) {
+    Close();
+    return Outcome::kIoError;
+  }
+  const IoStatus status = ReadFrame(fd_, max_frame_bytes_, payload,
+                                    &io_error_);
+  if (status != IoStatus::kOk) {
+    if (status == IoStatus::kEof) io_error_ = "connection closed by server";
+    if (status == IoStatus::kTooLarge) {
+      io_error_ = "server reply exceeds the frame bound";
+    }
+    Close();
+    return Outcome::kIoError;
+  }
+  if (payload->empty()) {
+    io_error_ = "empty reply payload";
+    Close();
+    return Outcome::kIoError;
+  }
+  const FrameType type = static_cast<FrameType>((*payload)[0]);
+  if (type == FrameType::kError) {
+    std::string err;
+    if (!DecodeError(payload->data() + 1, payload->size() - 1, &server_error_,
+                     &err)) {
+      io_error_ = err;
+      Close();
+      return Outcome::kIoError;
+    }
+    // The server closes after these two; drop our side proactively.
+    if (server_error_.code == ErrorCode::kFrameTooLarge ||
+        server_error_.code == ErrorCode::kShuttingDown) {
+      Close();
+    }
+    return Outcome::kServerError;
+  }
+  if (type != expected) {
+    io_error_ = "unexpected reply frame type";
+    Close();
+    return Outcome::kIoError;
+  }
+  return Outcome::kOk;
+}
+
+Client::Outcome Client::Query(const QueryRequest& request,
+                              QueryResponse* response) {
+  std::vector<uint8_t> payload;
+  const Outcome outcome = RoundTrip(EncodeQueryRequest(request),
+                                    FrameType::kQueryResponse, &payload);
+  if (outcome != Outcome::kOk) return outcome;
+  // The result relation's schema is the parsed target spec; a fresh catalog
+  // interns attributes in the same first-appearance order as the server's.
+  Catalog catalog;
+  DatabaseSchema schema;
+  AttrSet target;
+  std::string err;
+  if (!SafeParseSchema(catalog, request.schema_spec, &schema, &err) ||
+      !SafeParseAttrSet(catalog, request.target_spec, &target, &err)) {
+    io_error_ = err;
+    return Outcome::kIoError;
+  }
+  if (!DecodeQueryResponse(payload.data() + 1, payload.size() - 1, target,
+                           response, &err)) {
+    io_error_ = err;
+    Close();
+    return Outcome::kIoError;
+  }
+  return Outcome::kOk;
+}
+
+Client::Outcome Client::Status(StatusResponse* status) {
+  std::vector<uint8_t> payload;
+  const Outcome outcome =
+      RoundTrip(EncodeStatusRequest(), FrameType::kStatusResponse, &payload);
+  if (outcome != Outcome::kOk) return outcome;
+  std::string err;
+  if (!DecodeStatusResponse(payload.data() + 1, payload.size() - 1, status,
+                            &err)) {
+    io_error_ = err;
+    Close();
+    return Outcome::kIoError;
+  }
+  return Outcome::kOk;
+}
+
+}  // namespace serve
+}  // namespace gyo

@@ -1,0 +1,86 @@
+#ifndef GYO_SERVE_CLIENT_H_
+#define GYO_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "serve/frame.h"
+
+namespace gyo {
+namespace serve {
+
+/// Blocking gyo_serve client: one connection, synchronous request/response.
+/// The library under the gyo_client example, the load driver (bench_serve),
+/// and the end-to-end tests — all protocol traffic in the tree goes through
+/// this one implementation and the codec it shares with the server.
+class Client {
+ public:
+  /// Outcome of one round trip.
+  enum class Outcome {
+    /// The expected response frame arrived and decoded.
+    kOk,
+    /// The server answered with a typed kError frame (see server_error()) —
+    /// admission sheds land here. The connection stays usable unless the
+    /// server said it would close (kFrameTooLarge, kShuttingDown).
+    kServerError,
+    /// Transport or framing failure (see io_error()); the connection is
+    /// dead.
+    kIoError,
+  };
+
+  Client() = default;
+  ~Client() { Close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Movable so connections can live in containers; the source is left
+  /// disconnected.
+  Client(Client&& other) noexcept { *this = std::move(other); }
+  Client& operator=(Client&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+      max_frame_bytes_ = other.max_frame_bytes_;
+      server_error_ = std::move(other.server_error_);
+      io_error_ = std::move(other.io_error_);
+    }
+    return *this;
+  }
+
+  /// Connects to a gyo_serve daemon. False + io_error() on failure.
+  bool Connect(const std::string& host, int port);
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends a query and blocks for the reply.
+  Outcome Query(const QueryRequest& request, QueryResponse* response);
+
+  /// Sends a STATUS request and blocks for the reply.
+  Outcome Status(StatusResponse* status);
+
+  /// The server's error reply after kServerError.
+  const ErrorReply& server_error() const { return server_error_; }
+  /// The transport failure after kIoError (or a failed Connect).
+  const std::string& io_error() const { return io_error_; }
+
+  /// Frame payload bound applied to server replies.
+  void set_max_frame_bytes(size_t n) { max_frame_bytes_ = n; }
+
+ private:
+  Outcome RoundTrip(const std::vector<uint8_t>& request_frame,
+                    FrameType expected, std::vector<uint8_t>* payload);
+
+  int fd_ = -1;
+  size_t max_frame_bytes_ = kDefaultMaxFrameBytes;
+  ErrorReply server_error_;
+  std::string io_error_;
+};
+
+}  // namespace serve
+}  // namespace gyo
+
+#endif  // GYO_SERVE_CLIENT_H_

@@ -1,0 +1,631 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "exec/physical_plan.h"
+#include "rel/solver.h"
+#include "schema/catalog.h"
+#include "util/check.h"
+
+namespace gyo {
+namespace serve {
+
+namespace {
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool SysError(std::string* error, const char* what) {
+  if (error != nullptr) {
+    *error = std::string(what) + ": " + std::strerror(errno);
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Impl
+
+class Server::Impl {
+ public:
+  explicit Impl(const ServerOptions& options)
+      : options_(options),
+        pool_(options.pool != nullptr ? options.pool
+                                      : &exec::ExecutorPool::Global()) {}
+
+  ~Impl() {
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (wake_read_ >= 0) ::close(wake_read_);
+    if (wake_write_ >= 0) ::close(wake_write_);
+  }
+
+  bool Start(std::string* error, int* port);
+  void RequestDrain();
+  DrainReport Wait();
+  StatusResponse Status() const;
+
+ private:
+  /// One client connection. Owned by the IO thread; workers refer to a
+  /// connection only by id, so a connection that dies mid-query simply
+  /// makes the completion's response undeliverable.
+  struct Conn {
+    int fd = -1;
+    uint64_t id = 0;
+    /// Bytes received but not yet framed.
+    std::vector<uint8_t> rbuf;
+    /// Complete frames awaiting the socket, front frame sent up to woff.
+    std::deque<std::vector<uint8_t>> wqueue;
+    size_t woff = 0;
+    /// A query is running on a worker thread; no frames are extracted
+    /// until its completion arrives (one in-flight query per connection).
+    bool executing = false;
+    /// EOF or transport error seen; close once quiet.
+    bool peer_closed = false;
+    /// Close once the write queue flushes (protocol fault or drain).
+    bool close_after_flush = false;
+  };
+
+  struct Completion {
+    uint64_t conn_id = 0;
+    std::vector<uint8_t> frame;
+  };
+
+  void IoLoop();
+  void Accept();
+  void ReadFromConn(Conn& conn);
+  void ExtractFrames(Conn& conn);
+  void Dispatch(Conn& conn, std::vector<uint8_t> payload);
+  void FlushWrites(Conn& conn);
+  void ProcessCompletions();
+  void Wake();
+
+  /// Worker-thread body: decode, build the program, admit (shedding with a
+  /// typed error frame), execute, encode. Never touches conns_.
+  void RunQuery(uint64_t conn_id, std::vector<uint8_t> body);
+  void PostCompletion(uint64_t conn_id, std::vector<uint8_t> frame);
+
+  const ServerOptions options_;
+  exec::ExecutorPool* const pool_;
+
+  int listen_fd_ = -1;
+  int wake_read_ = -1;
+  int wake_write_ = -1;
+  std::thread io_thread_;
+
+  // IO-thread-only state.
+  std::unordered_map<uint64_t, Conn> conns_;
+  std::unordered_map<uint64_t, std::thread> workers_;
+  uint64_t next_conn_id_ = 0;
+  bool drain_started_ = false;
+
+  std::mutex completions_mu_;
+  std::deque<Completion> completions_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_active_{0};
+  std::atomic<uint64_t> queries_served_{0};
+  std::atomic<uint64_t> queries_shed_deadline_{0};
+  std::atomic<uint64_t> queries_shed_backlog_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> tasks_stolen_{0};
+  std::atomic<uint64_t> affinity_hits_{0};
+  std::atomic<uint64_t> affinity_misses_{0};
+
+  DrainReport report_;
+};
+
+bool Server::Impl::Start(std::string* error, int* port) {
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) return SysError(error, "pipe");
+  wake_read_ = pipe_fds[0];
+  wake_write_ = pipe_fds[1];
+  if (!SetNonBlocking(wake_read_) || !SetNonBlocking(wake_write_)) {
+    return SysError(error, "fcntl(wake pipe)");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return SysError(error, "socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    if (error != nullptr) {
+      *error = "bad bind address: " + options_.bind_address;
+    }
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return SysError(error, "bind");
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    return SysError(error, "listen");
+  }
+  if (!SetNonBlocking(listen_fd_)) return SysError(error, "fcntl(listen)");
+
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    return SysError(error, "getsockname");
+  }
+  *port = ntohs(bound.sin_port);
+
+  io_thread_ = std::thread([this] { IoLoop(); });
+  return true;
+}
+
+void Server::Impl::RequestDrain() {
+  // Async-signal-safe: one atomic store + one write(2). Idempotent.
+  draining_.store(true, std::memory_order_release);
+  const uint8_t byte = 1;
+  ssize_t ignored = ::write(wake_write_, &byte, 1);  // EAGAIN = already woken
+  (void)ignored;
+}
+
+void Server::Impl::Wake() {
+  const uint8_t byte = 1;
+  while (::write(wake_write_, &byte, 1) < 0 && errno == EINTR) {
+  }
+}
+
+DrainReport Server::Impl::Wait() {
+  io_thread_.join();
+  report_.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  report_.queries_served = queries_served_.load(std::memory_order_relaxed);
+  report_.queries_shed_deadline =
+      queries_shed_deadline_.load(std::memory_order_relaxed);
+  report_.queries_shed_backlog =
+      queries_shed_backlog_.load(std::memory_order_relaxed);
+  report_.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  return report_;
+}
+
+StatusResponse Server::Impl::Status() const {
+  StatusResponse s;
+  s.pool = pool_->Status();
+  s.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  s.connections_active = connections_active_.load(std::memory_order_relaxed);
+  s.queries_served = queries_served_.load(std::memory_order_relaxed);
+  s.queries_shed_deadline =
+      queries_shed_deadline_.load(std::memory_order_relaxed);
+  s.queries_shed_backlog =
+      queries_shed_backlog_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.draining = draining_.load(std::memory_order_acquire);
+  s.tasks_stolen = tasks_stolen_.load(std::memory_order_relaxed);
+  s.affinity_hits = affinity_hits_.load(std::memory_order_relaxed);
+  s.affinity_misses = affinity_misses_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// IO thread
+
+void Server::Impl::IoLoop() {
+  std::vector<pollfd> pfds;
+  std::vector<uint64_t> pfd_conn;  // conn id per pfds entry, 0 = not a conn
+  while (true) {
+    if (draining_.load(std::memory_order_acquire) && !drain_started_) {
+      drain_started_ = true;
+      report_.connections_at_drain = conns_.size();
+      report_.queries_in_flight_at_drain = workers_.size();
+      if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+      }
+      // Every connection closes as soon as it is quiet: idle ones now,
+      // executing ones when their response has been flushed.
+      for (auto& [id, conn] : conns_) conn.close_after_flush = true;
+    }
+
+    // Reap connections that are quiet: nothing executing, nothing left to
+    // flush, and either faulted/drained or the peer already closed.
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      Conn& conn = it->second;
+      if (!conn.executing && conn.wqueue.empty() &&
+          (conn.close_after_flush || conn.peer_closed)) {
+        ::close(conn.fd);
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    connections_active_.store(conns_.size(), std::memory_order_relaxed);
+
+    if (drain_started_ && conns_.empty() && workers_.empty()) break;
+
+    pfds.clear();
+    pfd_conn.clear();
+    pfds.push_back({wake_read_, POLLIN, 0});
+    pfd_conn.push_back(0);
+    if (listen_fd_ >= 0) {
+      pfds.push_back({listen_fd_, POLLIN, 0});
+      pfd_conn.push_back(0);
+    }
+    for (auto& [id, conn] : conns_) {
+      short events = 0;
+      if (!conn.executing && !conn.close_after_flush && !conn.peer_closed) {
+        events |= POLLIN;
+      }
+      if (!conn.wqueue.empty()) events |= POLLOUT;
+      if (events == 0) continue;  // waiting on its worker only
+      pfds.push_back({conn.fd, events, 0});
+      pfd_conn.push_back(id);
+    }
+
+    if (::poll(pfds.data(), pfds.size(), -1) < 0) {
+      GYO_CHECK_MSG(errno == EINTR, "poll failed: %s", std::strerror(errno));
+      continue;
+    }
+
+    for (size_t i = 0; i < pfds.size(); ++i) {
+      const short revents = pfds[i].revents;
+      if (revents == 0) continue;
+      if (pfds[i].fd == wake_read_) {
+        uint8_t buf[256];
+        while (::read(wake_read_, buf, sizeof(buf)) > 0) {
+        }
+        ProcessCompletions();
+        continue;
+      }
+      if (pfds[i].fd == listen_fd_) {
+        Accept();
+        continue;
+      }
+      auto it = conns_.find(pfd_conn[i]);
+      if (it == conns_.end()) continue;  // closed earlier this sweep
+      Conn& conn = it->second;
+      if ((revents & (POLLERR | POLLNVAL)) != 0) {
+        conn.peer_closed = true;
+        conn.wqueue.clear();  // undeliverable
+        continue;
+      }
+      if ((revents & POLLOUT) != 0) FlushWrites(conn);
+      if ((revents & (POLLIN | POLLHUP)) != 0 && !conn.peer_closed &&
+          !conn.executing) {
+        ReadFromConn(conn);
+      }
+    }
+  }
+}
+
+void Server::Impl::Accept() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN, or a transient accept error: retry on next poll
+    }
+    if (!SetNonBlocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    const uint64_t id = ++next_conn_id_;
+    Conn& conn = conns_[id];
+    conn.fd = fd;
+    conn.id = id;
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::Impl::ReadFromConn(Conn& conn) {
+  uint8_t buf[64 << 10];
+  while (true) {
+    const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn.rbuf.insert(conn.rbuf.end(), buf, buf + n);
+      if (static_cast<size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n == 0) {
+      conn.peer_closed = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    conn.peer_closed = true;  // transport error
+    conn.wqueue.clear();
+    return;
+  }
+  ExtractFrames(conn);
+}
+
+void Server::Impl::ExtractFrames(Conn& conn) {
+  size_t consumed = 0;
+  while (!conn.executing && !conn.close_after_flush) {
+    const size_t avail = conn.rbuf.size() - consumed;
+    if (avail < kFrameHeaderBytes) break;
+    const uint8_t* h = conn.rbuf.data() + consumed;
+    const uint32_t len = static_cast<uint32_t>(h[0]) |
+                         static_cast<uint32_t>(h[1]) << 8 |
+                         static_cast<uint32_t>(h[2]) << 16 |
+                         static_cast<uint32_t>(h[3]) << 24;
+    if (len == 0) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      conn.wqueue.push_back(
+          EncodeError(ErrorCode::kMalformed, "zero-length frame"));
+      conn.close_after_flush = true;  // cannot trust the stream position
+      break;
+    }
+    if (len > options_.max_frame_bytes) {
+      // The bytes of the oversized frame were never read, so the stream
+      // cannot be resynchronized: reply, then close.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      conn.wqueue.push_back(
+          EncodeError(ErrorCode::kFrameTooLarge, "frame exceeds size bound"));
+      conn.close_after_flush = true;
+      break;
+    }
+    if (avail - kFrameHeaderBytes < len) break;  // frame still arriving
+    std::vector<uint8_t> payload(h + kFrameHeaderBytes,
+                                 h + kFrameHeaderBytes + len);
+    consumed += kFrameHeaderBytes + len;
+    Dispatch(conn, std::move(payload));
+  }
+  if (consumed > 0) {
+    conn.rbuf.erase(conn.rbuf.begin(),
+                    conn.rbuf.begin() + static_cast<std::ptrdiff_t>(consumed));
+  }
+  FlushWrites(conn);
+}
+
+void Server::Impl::Dispatch(Conn& conn, std::vector<uint8_t> payload) {
+  const FrameType type = static_cast<FrameType>(payload[0]);
+  if (type == FrameType::kStatusRequest) {
+    if (payload.size() != 1) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      conn.wqueue.push_back(EncodeError(ErrorCode::kMalformed,
+                                        "status request carries a body"));
+      return;  // frame boundary intact: the connection survives
+    }
+    conn.wqueue.push_back(EncodeStatusResponse(Status()));
+    return;
+  }
+  if (type != FrameType::kQueryRequest) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    conn.wqueue.push_back(
+        EncodeError(ErrorCode::kMalformed, "unexpected frame type"));
+    return;
+  }
+  if (draining_.load(std::memory_order_acquire)) {
+    conn.wqueue.push_back(
+        EncodeError(ErrorCode::kShuttingDown, "server is draining"));
+    conn.close_after_flush = true;
+    return;
+  }
+  payload.erase(payload.begin());  // strip the type byte
+  conn.executing = true;
+  const uint64_t conn_id = conn.id;
+  workers_.emplace(conn_id, std::thread([this, conn_id,
+                                         body = std::move(payload)]() mutable {
+                     RunQuery(conn_id, std::move(body));
+                   }));
+}
+
+void Server::Impl::FlushWrites(Conn& conn) {
+  while (!conn.wqueue.empty()) {
+    const std::vector<uint8_t>& frame = conn.wqueue.front();
+    const ssize_t n = ::send(conn.fd, frame.data() + conn.woff,
+                             frame.size() - conn.woff, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      conn.peer_closed = true;  // dead peer: drop what it can't receive
+      conn.wqueue.clear();
+      conn.woff = 0;
+      return;
+    }
+    conn.woff += static_cast<size_t>(n);
+    if (conn.woff == frame.size()) {
+      conn.wqueue.pop_front();
+      conn.woff = 0;
+    }
+  }
+}
+
+void Server::Impl::ProcessCompletions() {
+  while (true) {
+    Completion completion;
+    {
+      std::lock_guard<std::mutex> lock(completions_mu_);
+      if (completions_.empty()) return;
+      completion = std::move(completions_.front());
+      completions_.pop_front();
+    }
+    // The worker posted this as its last act; join is near-instant.
+    auto worker = workers_.find(completion.conn_id);
+    GYO_CHECK_MSG(worker != workers_.end(),
+                  "completion from an unknown worker");
+    worker->second.join();
+    workers_.erase(worker);
+    auto it = conns_.find(completion.conn_id);
+    if (it == conns_.end()) continue;  // connection died mid-query
+    Conn& conn = it->second;
+    conn.executing = false;
+    conn.wqueue.push_back(std::move(completion.frame));
+    if (drain_started_) conn.close_after_flush = true;
+    // Frames that buffered behind the running query (pipelined requests)
+    // are served now.
+    ExtractFrames(conn);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Worker
+
+void Server::Impl::RunQuery(uint64_t conn_id, std::vector<uint8_t> body) {
+  Catalog catalog;
+  QueryRequest req;
+  DatabaseSchema schema;
+  AttrSet target;
+  std::string err;
+  if (!DecodeQueryRequest(body.data(), body.size(), catalog, &req, &schema,
+                          &target, &err)) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    PostCompletion(conn_id, EncodeError(ErrorCode::kMalformed, err));
+    return;
+  }
+  body.clear();
+  body.shrink_to_fit();
+
+  // Resolve the strategy to a program.
+  Strategy resolved = req.strategy;
+  Program program(schema.NumRelations());
+  switch (req.strategy) {
+    case Strategy::kFullJoin:
+      program = FullJoinProgram(schema, target);
+      break;
+    case Strategy::kCcPruned:
+      program = CCPrunedProgram(schema, target);
+      break;
+    case Strategy::kYannakakis: {
+      std::optional<Program> p = YannakakisProgram(schema, target);
+      if (!p.has_value()) {
+        PostCompletion(conn_id,
+                       EncodeError(ErrorCode::kUnsupported,
+                                   "yannakakis requires a tree schema"));
+        return;
+      }
+      program = *std::move(p);
+      break;
+    }
+    case Strategy::kAuto: {
+      std::optional<Program> p = YannakakisProgram(schema, target);
+      if (p.has_value()) {
+        resolved = Strategy::kYannakakis;
+        program = *std::move(p);
+      } else {
+        resolved = Strategy::kCcPruned;
+        program = CCPrunedProgram(schema, target);
+      }
+      break;
+    }
+  }
+  if (program.NumStatements() == 0) {
+    PostCompletion(conn_id, EncodeError(ErrorCode::kInternal,
+                                        "strategy produced an empty program"));
+    return;
+  }
+
+  // Admit with shedding: a rejected query has consumed no execution
+  // resources — the typed error frame is the whole cost.
+  const uint64_t submitter = req.submitter != 0 ? req.submitter : conn_id;
+  const double max_wait =
+      req.deadline_ms > 0 ? static_cast<double>(req.deadline_ms) / 1000.0
+                          : -1.0;  // -1 = the pool's configured default
+  exec::ExecutorPool::AdmitResult admit = pool_->TryAdmit(submitter, max_wait);
+  if (admit.status == exec::ExecutorPool::AdmitStatus::kDeadlineExceeded) {
+    queries_shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+    PostCompletion(conn_id,
+                   EncodeError(ErrorCode::kDeadlineExceeded,
+                               "queue wait exceeded the admission deadline"));
+    return;
+  }
+  if (admit.status == exec::ExecutorPool::AdmitStatus::kBacklogFull) {
+    queries_shed_backlog_.fetch_add(1, std::memory_order_relaxed);
+    PostCompletion(conn_id,
+                   EncodeError(ErrorCode::kBacklogFull,
+                               "submitter backlog is at its bound"));
+    return;
+  }
+
+  exec::ExecContext ctx;
+  ctx.deterministic = req.deterministic;
+  ctx.morsel_rows = options_.morsel_rows;
+  QueryResponse resp;
+  ctx.query_stats = &resp.query_stats;
+  std::vector<Relation> states = exec::ExecuteAdmitted(
+      program, req.states, ctx, *admit.admission, &resp.stats);
+  admit.admission.reset();  // release the slot before encoding
+
+  resp.result = std::move(states.back());
+  if (req.want_plan) {
+    const exec::PhysicalPlan plan = exec::PhysicalPlan::Compile(program);
+    resp.has_plan = true;
+    resp.plan.num_statements = program.NumStatements();
+    resp.plan.critical_path = plan.CriticalPathLength();
+    resp.plan.num_source_statements = plan.NumSourceStatements();
+    resp.plan.strategy = resolved;
+  }
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  tasks_stolen_.fetch_add(
+      static_cast<uint64_t>(resp.query_stats.tasks_stolen),
+      std::memory_order_relaxed);
+  affinity_hits_.fetch_add(
+      static_cast<uint64_t>(resp.query_stats.affinity_hits),
+      std::memory_order_relaxed);
+  affinity_misses_.fetch_add(
+      static_cast<uint64_t>(resp.query_stats.affinity_misses),
+      std::memory_order_relaxed);
+  PostCompletion(conn_id, EncodeQueryResponse(resp));
+}
+
+void Server::Impl::PostCompletion(uint64_t conn_id,
+                                  std::vector<uint8_t> frame) {
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    completions_.push_back(Completion{conn_id, std::move(frame)});
+  }
+  Wake();
+}
+
+// ---------------------------------------------------------------------------
+// Server
+
+Server::Server(const ServerOptions& options)
+    : options_(options), impl_(new Impl(options)) {}
+
+Server::~Server() {
+  if (impl_ != nullptr) {
+    if (started_ && !waited_) {
+      impl_->RequestDrain();
+      impl_->Wait();
+    }
+    delete impl_;
+  }
+}
+
+bool Server::Start(std::string* error) {
+  GYO_CHECK_MSG(!started_, "Server::Start called twice");
+  if (!impl_->Start(error, &port_)) return false;
+  started_ = true;
+  return true;
+}
+
+void Server::RequestDrain() { impl_->RequestDrain(); }
+
+DrainReport Server::Wait() {
+  GYO_CHECK_MSG(started_ && !waited_, "Server::Wait without a running server");
+  waited_ = true;
+  return impl_->Wait();
+}
+
+StatusResponse Server::Status() const { return impl_->Status(); }
+
+}  // namespace serve
+}  // namespace gyo

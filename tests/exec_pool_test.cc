@@ -7,6 +7,7 @@
 #include "exec/executor_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
@@ -491,6 +492,148 @@ TEST(AutoMorselRowsTest, ZeroMorselRowsAutoTunesAndMatchesSerial) {
   for (size_t i = 0; i < serial.size(); ++i) {
     EXPECT_TRUE(serial[i].IdenticalTo(parallel[i])) << "state " << i;
   }
+}
+
+// --------------------------------------------------------------------------
+// TryAdmit: the shedding admission path behind gyo_serve. Deterministic by
+// construction — a held Admission occupies the only slot, so a deadline or
+// backlog rejection is guaranteed, not a timing accident.
+
+TEST(ExecutorPoolTryAdmitTest, FastPathAdmitsOnFreeSlot) {
+  ExecutorPool pool(PoolOptions(2, 1));
+  ExecutorPool::AdmitResult r = pool.TryAdmit(/*submitter=*/5);
+  ASSERT_EQ(r.status, ExecutorPool::AdmitStatus::kAdmitted);
+  ASSERT_NE(r.admission, nullptr);
+  EXPECT_EQ(r.queue_wait_seconds, 0.0);
+
+  ExecutorPool::PoolStatus status = pool.Status();
+  EXPECT_EQ(status.running, 1);
+  EXPECT_EQ(status.waiting, 0);
+  ASSERT_EQ(status.submitters.size(), 1u);
+  EXPECT_EQ(status.submitters[0].id, 5u);
+  EXPECT_EQ(status.submitters[0].running, 1);
+  EXPECT_EQ(status.submitters[0].waiting, 0);
+
+  r.admission.reset();
+  status = pool.Status();
+  EXPECT_EQ(status.running, 0);
+  EXPECT_TRUE(status.submitters.empty());
+}
+
+TEST(ExecutorPoolTryAdmitTest, DeadlineShedsWhileSlotHeld) {
+  ExecutorPool pool(PoolOptions(2, 1));
+  ExecutorPool::AdmitResult holder = pool.TryAdmit(1);
+  ASSERT_EQ(holder.status, ExecutorPool::AdmitStatus::kAdmitted);
+
+  ExecutorPool::AdmitResult shed = pool.TryAdmit(2, /*max_queue_wait=*/0.02);
+  EXPECT_EQ(shed.status, ExecutorPool::AdmitStatus::kDeadlineExceeded);
+  EXPECT_EQ(shed.admission, nullptr);
+  EXPECT_GE(shed.queue_wait_seconds, 0.02);
+  // The shed waiter left no residue: no waiting entry, no fairness-ring slot.
+  EXPECT_EQ(pool.waiting_queries(), 0);
+
+  holder.admission.reset();
+  ExecutorPool::AdmitResult after = pool.TryAdmit(2, 0.02);
+  EXPECT_EQ(after.status, ExecutorPool::AdmitStatus::kAdmitted);
+}
+
+TEST(ExecutorPoolTryAdmitTest, PoolDefaultDeadlineApplies) {
+  ExecutorPool::Options options = PoolOptions(2, 1);
+  options.max_queue_wait_seconds = 0.02;
+  ExecutorPool pool(options);
+  ExecutorPool::AdmitResult holder = pool.TryAdmit(1);
+  ASSERT_EQ(holder.status, ExecutorPool::AdmitStatus::kAdmitted);
+
+  // -1 (the default argument) inherits the pool's configured wait bound.
+  ExecutorPool::AdmitResult shed = pool.TryAdmit(2);
+  EXPECT_EQ(shed.status, ExecutorPool::AdmitStatus::kDeadlineExceeded);
+
+  // An explicit 0 waits without limit: release concurrently and the waiter
+  // must be admitted rather than shed.
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    holder.admission.reset();
+  });
+  ExecutorPool::AdmitResult waited = pool.TryAdmit(2, /*max_queue_wait=*/0.0);
+  releaser.join();
+  EXPECT_EQ(waited.status, ExecutorPool::AdmitStatus::kAdmitted);
+  EXPECT_GT(waited.queue_wait_seconds, 0.0);
+}
+
+TEST(ExecutorPoolTryAdmitTest, BacklogBoundRejectsInConstantTime) {
+  ExecutorPool::Options options = PoolOptions(2, 1);
+  options.max_waiting_per_submitter = 1;
+  ExecutorPool pool(options);
+  ExecutorPool::AdmitResult holder = pool.TryAdmit(1);
+  ASSERT_EQ(holder.status, ExecutorPool::AdmitStatus::kAdmitted);
+
+  // One waiter of submitter 7 occupies its whole backlog quota.
+  ExecutorPool::AdmitResult waiter_result;
+  std::thread waiter([&] { waiter_result = pool.TryAdmit(7, 0.0); });
+  while (pool.waiting_queries(7) != 1) std::this_thread::yield();
+
+  ExecutorPool::AdmitResult rejected = pool.TryAdmit(7, 0.0);
+  EXPECT_EQ(rejected.status, ExecutorPool::AdmitStatus::kBacklogFull);
+  EXPECT_EQ(rejected.admission, nullptr);
+  EXPECT_EQ(rejected.waiting_for_submitter, 1);
+  // A different submitter is not throttled by 7's backlog.
+  ExecutorPool::PoolStatus status = pool.Status();
+  EXPECT_EQ(status.waiting, 1);
+
+  holder.admission.reset();
+  waiter.join();
+  EXPECT_EQ(waiter_result.status, ExecutorPool::AdmitStatus::kAdmitted);
+  waiter_result.admission.reset();
+}
+
+TEST(ExecutorPoolTryAdmitTest, ShedWaitersDoNotDisturbFairnessRing) {
+  // Submitters 2 and 3 queue behind a held slot; 2's waiter sheds on its
+  // deadline. The slot release must then serve 3 — the ring survived the
+  // mid-queue removal.
+  ExecutorPool pool(PoolOptions(2, 1));
+  ExecutorPool::AdmitResult holder = pool.TryAdmit(1);
+  ASSERT_EQ(holder.status, ExecutorPool::AdmitStatus::kAdmitted);
+
+  ExecutorPool::AdmitResult shed_result, kept_result;
+  std::thread shed_thread([&] { shed_result = pool.TryAdmit(2, 0.02); });
+  while (pool.waiting_queries(2) != 1) std::this_thread::yield();
+  std::thread kept_thread([&] { kept_result = pool.TryAdmit(3, 0.0); });
+  while (pool.waiting_queries(3) != 1) std::this_thread::yield();
+
+  shed_thread.join();
+  EXPECT_EQ(shed_result.status, ExecutorPool::AdmitStatus::kDeadlineExceeded);
+  EXPECT_EQ(pool.waiting_queries(), 1);
+
+  holder.admission.reset();
+  kept_thread.join();
+  EXPECT_EQ(kept_result.status, ExecutorPool::AdmitStatus::kAdmitted);
+  kept_result.admission.reset();
+}
+
+TEST(ExecutorPoolTryAdmitTest, AdmittedQueryExecutesIdenticalToSerial) {
+  // The pre-admitted execution path (ExecuteAdmitted) — what gyo_serve runs
+  // after a successful TryAdmit — stays bit-identical to serial.
+  DatabaseSchema d = PathSchema(5);
+  AttrSet x{0, 4};
+  Program p = *YannakakisProgram(d, x);
+  std::vector<Relation> states = MakeUR(d, 200, 24, 7);
+  std::vector<Relation> serial = p.Execute(states);
+
+  ExecutorPool pool(PoolOptions(4, 2));
+  ExecutorPool::AdmitResult r = pool.TryAdmit(9);
+  ASSERT_EQ(r.status, ExecutorPool::AdmitStatus::kAdmitted);
+  ExecContext ctx;
+  QueryStats stats;
+  ctx.query_stats = &stats;
+  std::vector<Relation> admitted =
+      ExecuteAdmitted(p, states, ctx, *r.admission);
+  r.admission.reset();
+
+  ASSERT_EQ(serial.size(), admitted.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(serial[i].IdenticalTo(admitted[i])) << "state " << i;
+  }
+  EXPECT_EQ(stats.tasks, p.NumStatements());
 }
 
 }  // namespace

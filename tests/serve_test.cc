@@ -1,0 +1,382 @@
+// serve/server + serve/client end-to-end over loopback: concurrent clients
+// bit-identical to direct serial execution, typed admission sheds, protocol
+// fault handling (connection survives malformed frames, closes on
+// unrecoverable ones), STATUS over the wire, and graceful drain. The shed
+// and drain tests are deterministic by construction — a pool Admission held
+// by the test occupies the only slot, so rejection and in-flight states are
+// guaranteed rather than raced.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/executor_pool.h"
+#include "exec/physical_plan.h"
+#include "gtest/gtest.h"
+#include "rel/solver.h"
+#include "rel/universal.h"
+#include "schema/parse.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "util/rng.h"
+
+namespace gyo {
+namespace serve {
+namespace {
+
+struct Spec {
+  const char* schema;
+  const char* target;
+  int rows;
+  int domain;
+};
+
+// The two shapes the acceptance criteria call out: a path (tree) schema
+// Yannakakis handles and a triangle (cyclic) one that falls back to the
+// CC-pruned join.
+constexpr Spec kTree{"ab,bc,cd", "ad", 300, 12};
+constexpr Spec kCycle{"ab,bc,ca", "ac", 200, 10};
+
+std::vector<Relation> MakeStates(const Spec& spec, uint64_t seed) {
+  Catalog catalog;
+  DatabaseSchema d = ParseSchema(catalog, spec.schema);
+  Rng rng(seed);
+  return ProjectDatabase(
+      RandomUniversal(d.Universe(), spec.rows, spec.domain, rng), d);
+}
+
+// What the server must be bit-identical to: the same kAuto strategy
+// resolution, executed serially and directly.
+Relation SerialReference(const Spec& spec, uint64_t seed) {
+  Catalog catalog;
+  DatabaseSchema d = ParseSchema(catalog, spec.schema);
+  AttrSet x = ParseAttrSet(catalog, spec.target);
+  std::optional<Program> p = YannakakisProgram(d, x);
+  Program program = p.has_value() ? *std::move(p) : CCPrunedProgram(d, x);
+  return exec::Run(program, MakeStates(spec, seed), exec::ExecContext());
+}
+
+QueryRequest MakeRequest(const Spec& spec, uint64_t seed) {
+  QueryRequest request;
+  request.schema_spec = spec.schema;
+  request.target_spec = spec.target;
+  request.states = MakeStates(spec, seed);
+  return request;
+}
+
+exec::ExecutorPool::Options PoolOptions(int threads, int max_concurrent) {
+  exec::ExecutorPool::Options options;
+  options.threads = threads;
+  options.max_concurrent_queries = max_concurrent;
+  return options;
+}
+
+// Blocking loopback connection for the raw-bytes protocol-fault tests.
+int Dial(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+ErrorReply ReadErrorFrame(int fd) {
+  std::vector<uint8_t> payload;
+  std::string error;
+  EXPECT_EQ(ReadFrame(fd, kDefaultMaxFrameBytes, &payload, &error),
+            IoStatus::kOk)
+      << error;
+  ErrorReply reply;
+  if (payload.empty() ||
+      payload[0] != static_cast<uint8_t>(FrameType::kError)) {
+    ADD_FAILURE() << "expected an error frame";
+    return reply;
+  }
+  EXPECT_TRUE(
+      DecodeError(payload.data() + 1, payload.size() - 1, &reply, &error))
+      << error;
+  return reply;
+}
+
+TEST(ServeTest, ConcurrentClientsBitIdenticalToSerial) {
+  exec::ExecutorPool pool(PoolOptions(3, 2));
+  ServerOptions options;
+  options.pool = &pool;
+  Server server(options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  constexpr int kClients = 8;
+  std::vector<Relation> expected;
+  for (int i = 0; i < kClients; ++i) {
+    const Spec& spec = (i % 2 == 0) ? kTree : kCycle;
+    expected.push_back(SerialReference(spec, 100 + i));
+  }
+
+  std::vector<std::string> failures(kClients);
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      const Spec& spec = (i % 2 == 0) ? kTree : kCycle;
+      Client client;
+      if (!client.Connect("127.0.0.1", server.port())) {
+        failures[i] = client.io_error();
+        return;
+      }
+      QueryRequest request = MakeRequest(spec, 100 + i);
+      request.want_plan = true;
+      QueryResponse response;
+      if (client.Query(request, &response) != Client::Outcome::kOk) {
+        failures[i] = client.io_error() + client.server_error().message;
+        return;
+      }
+      if (!response.result.IdenticalTo(expected[i])) {
+        failures[i] = "result not bit-identical to serial execution";
+        return;
+      }
+      if (response.stats.result_rows != expected[i].NumRows()) {
+        failures[i] = "stats disagree with the result";
+        return;
+      }
+      const Strategy want =
+          (i % 2 == 0) ? Strategy::kYannakakis : Strategy::kCcPruned;
+      if (!response.has_plan || response.plan.strategy != want) {
+        failures[i] = "kAuto resolved to the wrong strategy";
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_TRUE(failures[i].empty()) << "client " << i << ": " << failures[i];
+  }
+
+  Client status_client;
+  ASSERT_TRUE(status_client.Connect("127.0.0.1", server.port()));
+  StatusResponse status;
+  ASSERT_EQ(status_client.Status(&status), Client::Outcome::kOk);
+  EXPECT_EQ(status.queries_served, static_cast<uint64_t>(kClients));
+  EXPECT_EQ(status.connections_accepted,
+            static_cast<uint64_t>(kClients) + 1);
+  EXPECT_EQ(status.protocol_errors, 0u);
+  EXPECT_FALSE(status.draining);
+  EXPECT_EQ(status.pool.threads, 3);
+  EXPECT_EQ(status.pool.max_concurrent_queries, 2);
+
+  server.RequestDrain();
+  const DrainReport report = server.Wait();
+  EXPECT_EQ(report.queries_served, static_cast<uint64_t>(kClients));
+  EXPECT_EQ(report.protocol_errors, 0u);
+}
+
+TEST(ServeTest, DeadlineShedIsATypedReplyAndTheConnectionSurvives) {
+  exec::ExecutorPool pool(PoolOptions(2, 1));
+  ServerOptions options;
+  options.pool = &pool;
+  Server server(options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  // Occupy the only slot so the served query must queue.
+  exec::ExecutorPool::AdmitResult holder = pool.TryAdmit(99);
+  ASSERT_EQ(holder.status, exec::ExecutorPool::AdmitStatus::kAdmitted);
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+  QueryRequest request = MakeRequest(kTree, 1);
+  request.deadline_ms = 20;
+  QueryResponse response;
+  ASSERT_EQ(client.Query(request, &response), Client::Outcome::kServerError);
+  EXPECT_EQ(client.server_error().code, ErrorCode::kDeadlineExceeded);
+
+  // A shed is not a connection fault: the same connection serves the same
+  // query once the slot frees up.
+  holder.admission.reset();
+  ASSERT_EQ(client.Query(request, &response), Client::Outcome::kOk);
+  EXPECT_TRUE(response.result.IdenticalTo(SerialReference(kTree, 1)));
+
+  StatusResponse status;
+  ASSERT_EQ(client.Status(&status), Client::Outcome::kOk);
+  EXPECT_EQ(status.queries_shed_deadline, 1u);
+  EXPECT_EQ(status.queries_served, 1u);
+  EXPECT_EQ(status.protocol_errors, 0u);
+}
+
+TEST(ServeTest, BacklogShedIsATypedReply) {
+  exec::ExecutorPool::Options pool_options = PoolOptions(2, 1);
+  pool_options.max_waiting_per_submitter = 1;
+  exec::ExecutorPool pool(pool_options);
+  ServerOptions options;
+  options.pool = &pool;
+  Server server(options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  exec::ExecutorPool::AdmitResult holder = pool.TryAdmit(99);
+  ASSERT_EQ(holder.status, exec::ExecutorPool::AdmitStatus::kAdmitted);
+
+  // First query of submitter 7 fills its backlog quota of one...
+  Client waiter;
+  ASSERT_TRUE(waiter.Connect("127.0.0.1", server.port()));
+  QueryRequest request = MakeRequest(kTree, 2);
+  request.submitter = 7;
+  std::thread waiting_query([&] {
+    QueryResponse response;
+    EXPECT_EQ(waiter.Query(request, &response), Client::Outcome::kOk);
+  });
+  while (pool.waiting_queries(7) != 1) std::this_thread::yield();
+
+  // ...so a second one of the same submitter is rejected in O(1).
+  Client rejected;
+  ASSERT_TRUE(rejected.Connect("127.0.0.1", server.port()));
+  QueryResponse response;
+  ASSERT_EQ(rejected.Query(request, &response),
+            Client::Outcome::kServerError);
+  EXPECT_EQ(rejected.server_error().code, ErrorCode::kBacklogFull);
+
+  holder.admission.reset();
+  waiting_query.join();
+
+  StatusResponse status;
+  ASSERT_EQ(rejected.Status(&status), Client::Outcome::kOk);
+  EXPECT_EQ(status.queries_shed_backlog, 1u);
+  EXPECT_EQ(status.queries_served, 1u);
+}
+
+TEST(ServeTest, MalformedFrameGetsTypedErrorAndConnectionSurvives) {
+  exec::ExecutorPool pool(PoolOptions(2, 1));
+  ServerOptions options;
+  options.pool = &pool;
+  Server server(options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  const int fd = Dial(server.port());
+
+  // A query frame whose body is garbage decodes to a typed kMalformed.
+  Writer w;
+  w.Begin(FrameType::kQueryRequest);
+  w.U8(0xff);
+  w.U8(0xff);
+  ASSERT_TRUE(WriteFrame(fd, w.Finish(), &error)) << error;
+  EXPECT_EQ(ReadErrorFrame(fd).code, ErrorCode::kMalformed);
+
+  // An unknown frame type likewise.
+  w.Begin(static_cast<FrameType>(9));
+  ASSERT_TRUE(WriteFrame(fd, w.Finish(), &error)) << error;
+  EXPECT_EQ(ReadErrorFrame(fd).code, ErrorCode::kMalformed);
+
+  // The frame boundary was never lost, so the connection still serves a
+  // well-formed query afterwards.
+  ASSERT_TRUE(WriteFrame(fd, EncodeQueryRequest(MakeRequest(kTree, 3)),
+                         &error))
+      << error;
+  std::vector<uint8_t> payload;
+  ASSERT_EQ(ReadFrame(fd, kDefaultMaxFrameBytes, &payload, &error),
+            IoStatus::kOk)
+      << error;
+  ASSERT_FALSE(payload.empty());
+  EXPECT_EQ(payload[0], static_cast<uint8_t>(FrameType::kQueryResponse));
+
+  StatusResponse status;
+  Client status_client;
+  ASSERT_TRUE(status_client.Connect("127.0.0.1", server.port()));
+  ASSERT_EQ(status_client.Status(&status), Client::Outcome::kOk);
+  EXPECT_EQ(status.protocol_errors, 2u);
+  EXPECT_EQ(status.queries_served, 1u);
+  ::close(fd);
+}
+
+TEST(ServeTest, UnrecoverableFramesCloseTheConnectionCleanly) {
+  exec::ExecutorPool pool(PoolOptions(2, 1));
+  ServerOptions options;
+  options.pool = &pool;
+  options.max_frame_bytes = 4096;
+  Server server(options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  // An oversized length prefix: typed kFrameTooLarge, then close — the
+  // announced bytes were never read, so the stream cannot resync.
+  {
+    const int fd = Dial(server.port());
+    const uint8_t header[4] = {0, 0, 16, 0};  // announces 1 MiB
+    ASSERT_EQ(::send(fd, header, sizeof(header), MSG_NOSIGNAL), 4);
+    EXPECT_EQ(ReadErrorFrame(fd).code, ErrorCode::kFrameTooLarge);
+    std::vector<uint8_t> payload;
+    EXPECT_EQ(ReadFrame(fd, kDefaultMaxFrameBytes, &payload, &error),
+              IoStatus::kEof);
+    ::close(fd);
+  }
+  // A zero-length frame: same treatment.
+  {
+    const int fd = Dial(server.port());
+    const uint8_t header[4] = {0, 0, 0, 0};
+    ASSERT_EQ(::send(fd, header, sizeof(header), MSG_NOSIGNAL), 4);
+    EXPECT_EQ(ReadErrorFrame(fd).code, ErrorCode::kMalformed);
+    std::vector<uint8_t> payload;
+    EXPECT_EQ(ReadFrame(fd, kDefaultMaxFrameBytes, &payload, &error),
+              IoStatus::kEof);
+    ::close(fd);
+  }
+  // The server outlived both faults.
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+  StatusResponse status;
+  ASSERT_EQ(client.Status(&status), Client::Outcome::kOk);
+  EXPECT_EQ(status.protocol_errors, 2u);
+}
+
+TEST(ServeTest, DrainFinishesInFlightQueriesAndFlushesResponses) {
+  exec::ExecutorPool pool(PoolOptions(2, 1));
+  ServerOptions options;
+  options.pool = &pool;
+  Server server(options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  // Park a query in the admission queue (slot held), then drain: the drain
+  // must wait for the query, deliver its response, and only then exit.
+  exec::ExecutorPool::AdmitResult holder = pool.TryAdmit(99);
+  ASSERT_EQ(holder.status, exec::ExecutorPool::AdmitStatus::kAdmitted);
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+  Client::Outcome outcome = Client::Outcome::kIoError;
+  QueryResponse response;
+  QueryRequest request = MakeRequest(kCycle, 4);
+  std::thread in_flight([&] { outcome = client.Query(request, &response); });
+  // Connection ids start at 1, so the first connection waits as submitter 1.
+  while (pool.waiting_queries(1) != 1) std::this_thread::yield();
+
+  server.RequestDrain();
+  holder.admission.reset();
+  in_flight.join();
+  ASSERT_EQ(outcome, Client::Outcome::kOk);
+  EXPECT_TRUE(response.result.IdenticalTo(SerialReference(kCycle, 4)));
+
+  const DrainReport report = server.Wait();
+  EXPECT_EQ(report.queries_in_flight_at_drain, 1u);
+  EXPECT_EQ(report.connections_at_drain, 1u);
+  EXPECT_EQ(report.queries_served, 1u);
+  EXPECT_EQ(report.protocol_errors, 0u);
+
+  // New connections are refused once the listener is down.
+  Client late;
+  EXPECT_FALSE(late.Connect("127.0.0.1", server.port()));
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace gyo
