@@ -99,9 +99,15 @@ Client::Outcome Client::RoundTrip(const std::vector<uint8_t>& request_frame,
 
 Client::Outcome Client::Query(const QueryRequest& request,
                               QueryResponse* response) {
+  std::vector<uint8_t> request_frame =
+      EncodeQueryRequest(request, max_frame_bytes_);
+  if (request_frame.empty()) {
+    io_error_ = "request exceeds the frame size bound";
+    return Outcome::kIoError;
+  }
   std::vector<uint8_t> payload;
-  const Outcome outcome = RoundTrip(EncodeQueryRequest(request),
-                                    FrameType::kQueryResponse, &payload);
+  const Outcome outcome =
+      RoundTrip(request_frame, FrameType::kQueryResponse, &payload);
   if (outcome != Outcome::kOk) return outcome;
   // The result relation's schema is the parsed target spec; a fresh catalog
   // interns attributes in the same first-appearance order as the server's.

@@ -67,7 +67,9 @@ class Client {
   /// The transport failure after kIoError (or a failed Connect).
   const std::string& io_error() const { return io_error_; }
 
-  /// Frame payload bound applied to server replies.
+  /// Frame payload bound, applied in both directions: server replies larger
+  /// than this fail the read, and a request that encodes larger than this
+  /// fails with kIoError before anything is sent.
   void set_max_frame_bytes(size_t n) { max_frame_bytes_ = n; }
 
  private:

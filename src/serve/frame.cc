@@ -77,6 +77,7 @@ const char* StrategyName(Strategy strategy) {
 // Writer
 
 void Writer::U32Fixed(uint32_t v) {
+  if (!Fits(4)) return;
   buf_.push_back(static_cast<uint8_t>(v));
   buf_.push_back(static_cast<uint8_t>(v >> 8));
   buf_.push_back(static_cast<uint8_t>(v >> 16));
@@ -84,6 +85,7 @@ void Writer::U32Fixed(uint32_t v) {
 }
 
 void Writer::F64(double v) {
+  if (!Fits(8)) return;
   uint64_t bits;
   std::memcpy(&bits, &v, sizeof(bits));
   for (int i = 0; i < 8; ++i) {
@@ -92,11 +94,15 @@ void Writer::F64(double v) {
 }
 
 void Writer::Varint(uint64_t v) {
+  uint8_t bytes[10];
+  int n = 0;
   while (v >= 0x80) {
-    buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+    bytes[n++] = static_cast<uint8_t>(v) | 0x80;
     v >>= 7;
   }
-  buf_.push_back(static_cast<uint8_t>(v));
+  bytes[n++] = static_cast<uint8_t>(v);
+  if (!Fits(static_cast<size_t>(n))) return;
+  buf_.insert(buf_.end(), bytes, bytes + n);
 }
 
 void Writer::Zigzag(int64_t v) {
@@ -106,6 +112,7 @@ void Writer::Zigzag(int64_t v) {
 
 void Writer::Str(std::string_view s) {
   Varint(s.size());
+  if (!Fits(s.size())) return;
   buf_.insert(buf_.end(), s.begin(), s.end());
 }
 
@@ -121,12 +128,18 @@ void Writer::RelationData(const Relation& r) {
 
 void Writer::Begin(FrameType type) {
   buf_.clear();
+  overflowed_ = false;
   U32Fixed(0);  // patched by Finish()
   U8(static_cast<uint8_t>(type));
 }
 
 std::vector<uint8_t> Writer::Finish() {
   const size_t payload = buf_.size() - kFrameHeaderBytes;
+  if (overflowed_ || payload > kMaxWirePayloadBytes) {
+    // Never emit a frame whose u32 length prefix would truncate or lie.
+    buf_.clear();
+    return {};
+  }
   buf_[0] = static_cast<uint8_t>(payload);
   buf_[1] = static_cast<uint8_t>(payload >> 8);
   buf_[2] = static_cast<uint8_t>(payload >> 16);
@@ -222,8 +235,10 @@ bool Reader::RelationData(const AttrSet& schema, Relation* out) {
 // ---------------------------------------------------------------------------
 // Message encoders
 
-std::vector<uint8_t> EncodeQueryRequest(const QueryRequest& request) {
+std::vector<uint8_t> EncodeQueryRequest(const QueryRequest& request,
+                                        size_t max_payload_bytes) {
   Writer w;
+  w.LimitPayload(max_payload_bytes);
   w.Begin(FrameType::kQueryRequest);
   w.Str(request.schema_spec);
   w.Str(request.target_spec);
@@ -243,8 +258,10 @@ std::vector<uint8_t> EncodeStatusRequest() {
   return w.Finish();
 }
 
-std::vector<uint8_t> EncodeQueryResponse(const QueryResponse& response) {
+std::vector<uint8_t> EncodeQueryResponse(const QueryResponse& response,
+                                         size_t max_payload_bytes) {
   Writer w;
+  w.LimitPayload(max_payload_bytes);
   w.Begin(FrameType::kQueryResponse);
   w.U8(response.has_plan ? 1 : 0);
   w.RelationData(response.result);
@@ -333,6 +350,12 @@ bool DecodeQueryRequest(const uint8_t* body, size_t size, Catalog& catalog,
   if (!SafeParseSchema(catalog, req.schema_spec, schema, error)) return false;
   if (!SafeParseAttrSet(catalog, req.target_spec, target, error)) {
     return false;
+  }
+  // A target outside the schema universe would abort in the planners
+  // (GYO_CHECK in program construction/validation) — from the network it
+  // must be a typed rejection instead.
+  if (!target->IsSubsetOf(schema->Universe())) {
+    return SetError(error, "target attribute outside the schema universe");
   }
   if (num_states != static_cast<uint64_t>(schema->NumRelations())) {
     return SetError(error, "state count does not match schema");

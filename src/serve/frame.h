@@ -44,6 +44,11 @@ constexpr size_t kDefaultMaxFrameBytes = 64u << 20;
 /// Bytes of the frame header (little-endian u32 payload length).
 constexpr size_t kFrameHeaderBytes = 4;
 
+/// Hard bound of the wire format itself: the header's length field is a
+/// u32, so no frame payload can be larger than this. Writers refuse to emit
+/// a frame beyond it rather than truncate the length prefix.
+constexpr size_t kMaxWirePayloadBytes = 0xffffffffu;
+
 enum class FrameType : uint8_t {
   kQueryRequest = 1,
   kStatusRequest = 2,
@@ -164,7 +169,9 @@ struct ErrorReply {
 /// payload length and yields the complete frame.
 class Writer {
  public:
-  void U8(uint8_t v) { buf_.push_back(v); }
+  void U8(uint8_t v) {
+    if (Fits(1)) buf_.push_back(v);
+  }
   void U32Fixed(uint32_t v);
   /// IEEE-754 bits as fixed 8 bytes little-endian.
   void F64(double v);
@@ -178,12 +185,33 @@ class Writer {
   /// — a direct sweep over the arenas).
   void RelationData(const Relation& r);
 
+  /// Caps the payload this writer may grow to (default: the wire format's
+  /// u32 hard bound). Appends past the cap are dropped, the writer is
+  /// marked overflowed, and Finish() returns an empty vector instead of a
+  /// frame whose length prefix would lie. The cap survives Begin().
+  void LimitPayload(size_t max_payload_bytes) { limit_ = max_payload_bytes; }
+  bool Overflowed() const { return overflowed_; }
+
   void Begin(FrameType type);
-  /// Patches the header; the buffer then holds one complete frame.
+  /// Patches the header; the buffer then holds one complete frame — or is
+  /// empty if the payload overflowed the cap.
   std::vector<uint8_t> Finish();
 
  private:
+  /// True if `n` more payload bytes stay within the cap; otherwise marks
+  /// the writer overflowed (the append is dropped and growth stops, so an
+  /// oversized message costs at most the cap in memory, not its full size).
+  bool Fits(size_t n) {
+    if (!overflowed_ && buf_.size() + n <= limit_ + kFrameHeaderBytes) {
+      return true;
+    }
+    overflowed_ = true;
+    return false;
+  }
+
   std::vector<uint8_t> buf_;
+  size_t limit_ = kMaxWirePayloadBytes;
+  bool overflowed_ = false;
 };
 
 /// Bounds-checked reader over one frame payload. Every primitive returns
@@ -220,14 +248,21 @@ class Reader {
 };
 
 // ---------------------------------------------------------------------------
-// Message encode/decode. Encoders return a complete frame (header included);
-// decoders take the payload *without* the header but *with* the leading
-// type byte already stripped by the caller's dispatch, return false on any
-// malformed input, and fill `error` with a one-line reason.
+// Message encode/decode. Encoders return a complete frame (header included)
+// — or an empty vector when the encoded payload would exceed
+// `max_payload_bytes` (such a frame is unsendable under the peer's bound;
+// the server substitutes a typed kInternal error, the client fails the
+// call). Decoders take the payload *without* the header but *with* the
+// leading type byte already stripped by the caller's dispatch, return false
+// on any malformed input, and fill `error` with a one-line reason.
 
-std::vector<uint8_t> EncodeQueryRequest(const QueryRequest& request);
+std::vector<uint8_t> EncodeQueryRequest(
+    const QueryRequest& request,
+    size_t max_payload_bytes = kMaxWirePayloadBytes);
 std::vector<uint8_t> EncodeStatusRequest();
-std::vector<uint8_t> EncodeQueryResponse(const QueryResponse& response);
+std::vector<uint8_t> EncodeQueryResponse(
+    const QueryResponse& response,
+    size_t max_payload_bytes = kMaxWirePayloadBytes);
 std::vector<uint8_t> EncodeStatusResponse(const StatusResponse& status);
 std::vector<uint8_t> EncodeError(ErrorCode code, std::string_view message);
 

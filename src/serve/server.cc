@@ -38,6 +38,9 @@ bool SysError(std::string* error, const char* what) {
   return false;
 }
 
+/// Poll timeout while accept() is backing off from descriptor exhaustion.
+constexpr int kAcceptBackoffMs = 100;
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -73,6 +76,9 @@ class Server::Impl {
     /// Complete frames awaiting the socket, front frame sent up to woff.
     std::deque<std::vector<uint8_t>> wqueue;
     size_t woff = 0;
+    /// Total bytes across wqueue; reads pause at
+    /// ServerOptions::max_queued_response_bytes (see Enqueue/DropQueued).
+    size_t wbytes = 0;
     /// A query is running on a worker thread; no frames are extracted
     /// until its completion arrives (one in-flight query per connection).
     bool executing = false;
@@ -93,6 +99,18 @@ class Server::Impl {
   void ExtractFrames(Conn& conn);
   void Dispatch(Conn& conn, std::vector<uint8_t> payload);
   void FlushWrites(Conn& conn);
+
+  /// All wqueue growth and teardown goes through these two so
+  /// Conn::wbytes/woff can never drift from the queue's contents.
+  static void Enqueue(Conn& conn, std::vector<uint8_t> frame) {
+    conn.wbytes += frame.size();
+    conn.wqueue.push_back(std::move(frame));
+  }
+  static void DropQueued(Conn& conn) {
+    conn.wqueue.clear();
+    conn.woff = 0;
+    conn.wbytes = 0;
+  }
   void ProcessCompletions();
   void Wake();
 
@@ -114,6 +132,9 @@ class Server::Impl {
   std::unordered_map<uint64_t, std::thread> workers_;
   uint64_t next_conn_id_ = 0;
   bool drain_started_ = false;
+  /// Accept() hit descriptor exhaustion: skip polling the listen fd for one
+  /// backoff tick so the still-pending connection cannot spin the loop.
+  bool accept_backoff_ = false;
 
   std::mutex completions_mu_;
   std::deque<Completion> completions_;
@@ -263,13 +284,14 @@ void Server::Impl::IoLoop() {
     pfd_conn.clear();
     pfds.push_back({wake_read_, POLLIN, 0});
     pfd_conn.push_back(0);
-    if (listen_fd_ >= 0) {
+    if (listen_fd_ >= 0 && !accept_backoff_) {
       pfds.push_back({listen_fd_, POLLIN, 0});
       pfd_conn.push_back(0);
     }
     for (auto& [id, conn] : conns_) {
       short events = 0;
-      if (!conn.executing && !conn.close_after_flush && !conn.peer_closed) {
+      if (!conn.executing && !conn.close_after_flush && !conn.peer_closed &&
+          conn.wbytes < options_.max_queued_response_bytes) {
         events |= POLLIN;
       }
       if (!conn.wqueue.empty()) events |= POLLOUT;
@@ -278,7 +300,9 @@ void Server::Impl::IoLoop() {
       pfd_conn.push_back(id);
     }
 
-    if (::poll(pfds.data(), pfds.size(), -1) < 0) {
+    const int timeout_ms = accept_backoff_ ? kAcceptBackoffMs : -1;
+    accept_backoff_ = false;
+    if (::poll(pfds.data(), pfds.size(), timeout_ms) < 0) {
       GYO_CHECK_MSG(errno == EINTR, "poll failed: %s", std::strerror(errno));
       continue;
     }
@@ -302,10 +326,15 @@ void Server::Impl::IoLoop() {
       Conn& conn = it->second;
       if ((revents & (POLLERR | POLLNVAL)) != 0) {
         conn.peer_closed = true;
-        conn.wqueue.clear();  // undeliverable
+        DropQueued(conn);  // undeliverable
         continue;
       }
-      if ((revents & POLLOUT) != 0) FlushWrites(conn);
+      if ((revents & POLLOUT) != 0) {
+        FlushWrites(conn);
+        // Frames parked behind the response-byte bound parse now that the
+        // queue has drained.
+        ExtractFrames(conn);
+      }
       if ((revents & (POLLIN | POLLHUP)) != 0 && !conn.peer_closed &&
           !conn.executing) {
         ReadFromConn(conn);
@@ -319,6 +348,13 @@ void Server::Impl::Accept() {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Descriptor/buffer exhaustion leaves the pending connection in the
+        // backlog, so the listen fd stays readable and poll() would report
+        // it again immediately — back off for a tick instead of spinning.
+        accept_backoff_ = true;
+      }
       return;  // EAGAIN, or a transient accept error: retry on next poll
     }
     if (!SetNonBlocking(fd)) {
@@ -349,7 +385,7 @@ void Server::Impl::ReadFromConn(Conn& conn) {
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     conn.peer_closed = true;  // transport error
-    conn.wqueue.clear();
+    DropQueued(conn);
     return;
   }
   ExtractFrames(conn);
@@ -357,7 +393,17 @@ void Server::Impl::ReadFromConn(Conn& conn) {
 
 void Server::Impl::ExtractFrames(Conn& conn) {
   size_t consumed = 0;
-  while (!conn.executing && !conn.close_after_flush) {
+  while (!conn.executing && !conn.close_after_flush && !conn.peer_closed) {
+    if (conn.wbytes >= options_.max_queued_response_bytes) {
+      // Response backpressure: a client that pipelines requests without
+      // reading replies gets no further frames parsed until its queue
+      // flushes below the bound (the poll loop also stops reading its
+      // socket). Parked frames stay in rbuf; the POLLOUT path re-enters
+      // here once the queue drains, so progress resumes without new input.
+      FlushWrites(conn);
+      if (conn.wbytes >= options_.max_queued_response_bytes) break;
+      continue;  // re-check state: FlushWrites may have seen a dead peer
+    }
     const size_t avail = conn.rbuf.size() - consumed;
     if (avail < kFrameHeaderBytes) break;
     const uint8_t* h = conn.rbuf.data() + consumed;
@@ -367,8 +413,7 @@ void Server::Impl::ExtractFrames(Conn& conn) {
                          static_cast<uint32_t>(h[3]) << 24;
     if (len == 0) {
       protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-      conn.wqueue.push_back(
-          EncodeError(ErrorCode::kMalformed, "zero-length frame"));
+      Enqueue(conn, EncodeError(ErrorCode::kMalformed, "zero-length frame"));
       conn.close_after_flush = true;  // cannot trust the stream position
       break;
     }
@@ -376,8 +421,8 @@ void Server::Impl::ExtractFrames(Conn& conn) {
       // The bytes of the oversized frame were never read, so the stream
       // cannot be resynchronized: reply, then close.
       protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-      conn.wqueue.push_back(
-          EncodeError(ErrorCode::kFrameTooLarge, "frame exceeds size bound"));
+      Enqueue(conn, EncodeError(ErrorCode::kFrameTooLarge,
+                                "frame exceeds size bound"));
       conn.close_after_flush = true;
       break;
     }
@@ -399,22 +444,22 @@ void Server::Impl::Dispatch(Conn& conn, std::vector<uint8_t> payload) {
   if (type == FrameType::kStatusRequest) {
     if (payload.size() != 1) {
       protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-      conn.wqueue.push_back(EncodeError(ErrorCode::kMalformed,
-                                        "status request carries a body"));
+      Enqueue(conn, EncodeError(ErrorCode::kMalformed,
+                                "status request carries a body"));
       return;  // frame boundary intact: the connection survives
     }
-    conn.wqueue.push_back(EncodeStatusResponse(Status()));
+    Enqueue(conn, EncodeStatusResponse(Status()));
     return;
   }
   if (type != FrameType::kQueryRequest) {
     protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-    conn.wqueue.push_back(
-        EncodeError(ErrorCode::kMalformed, "unexpected frame type"));
+    Enqueue(conn, EncodeError(ErrorCode::kMalformed,
+                              "unexpected frame type"));
     return;
   }
   if (draining_.load(std::memory_order_acquire)) {
-    conn.wqueue.push_back(
-        EncodeError(ErrorCode::kShuttingDown, "server is draining"));
+    Enqueue(conn, EncodeError(ErrorCode::kShuttingDown,
+                              "server is draining"));
     conn.close_after_flush = true;
     return;
   }
@@ -436,12 +481,12 @@ void Server::Impl::FlushWrites(Conn& conn) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
       conn.peer_closed = true;  // dead peer: drop what it can't receive
-      conn.wqueue.clear();
-      conn.woff = 0;
+      DropQueued(conn);
       return;
     }
     conn.woff += static_cast<size_t>(n);
     if (conn.woff == frame.size()) {
+      conn.wbytes -= frame.size();
       conn.wqueue.pop_front();
       conn.woff = 0;
     }
@@ -467,7 +512,8 @@ void Server::Impl::ProcessCompletions() {
     if (it == conns_.end()) continue;  // connection died mid-query
     Conn& conn = it->second;
     conn.executing = false;
-    conn.wqueue.push_back(std::move(completion.frame));
+    // A peer that died mid-query can't receive its response.
+    if (!conn.peer_closed) Enqueue(conn, std::move(completion.frame));
     if (drain_started_) conn.close_after_flush = true;
     // Frames that buffered behind the running query (pipelined requests)
     // are served now.
@@ -572,7 +618,6 @@ void Server::Impl::RunQuery(uint64_t conn_id, std::vector<uint8_t> body) {
     resp.plan.num_source_statements = plan.NumSourceStatements();
     resp.plan.strategy = resolved;
   }
-  queries_served_.fetch_add(1, std::memory_order_relaxed);
   tasks_stolen_.fetch_add(
       static_cast<uint64_t>(resp.query_stats.tasks_stolen),
       std::memory_order_relaxed);
@@ -582,7 +627,19 @@ void Server::Impl::RunQuery(uint64_t conn_id, std::vector<uint8_t> body) {
   affinity_misses_.fetch_add(
       static_cast<uint64_t>(resp.query_stats.affinity_misses),
       std::memory_order_relaxed);
-  PostCompletion(conn_id, EncodeQueryResponse(resp));
+  // Encode under the server's own frame bound: a result too large to frame
+  // (or beyond the wire format's u32 length) becomes a typed error, never a
+  // frame with a lying length prefix.
+  std::vector<uint8_t> frame =
+      EncodeQueryResponse(resp, options_.max_frame_bytes);
+  if (frame.empty()) {
+    PostCompletion(conn_id,
+                   EncodeError(ErrorCode::kInternal,
+                               "result exceeds the frame size bound"));
+    return;
+  }
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  PostCompletion(conn_id, std::move(frame));
 }
 
 void Server::Impl::PostCompletion(uint64_t conn_id,

@@ -37,8 +37,18 @@ struct ServerOptions {
   int port = 0;
   /// listen(2) backlog.
   int backlog = 64;
-  /// Per-frame payload bound; larger announcements are rejected.
+  /// Per-frame payload bound, applied in both directions: a client
+  /// announcing a larger frame is rejected (kFrameTooLarge), and a query
+  /// whose encoded response would exceed it is answered with a typed
+  /// kInternal error instead of an unsendable frame.
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Bound on encoded response bytes queued on one connection. A client
+  /// that pipelines requests without reading replies is paused — its socket
+  /// stops being read and no further frames are parsed — once its queue
+  /// holds this much, resuming as the queue flushes: backpressure instead
+  /// of unbounded buffering. One frame may overshoot the bound, so a single
+  /// response of any admissible size always fits.
+  size_t max_queued_response_bytes = 8u << 20;
   /// Pool to execute on; nullptr = ExecutorPool::Global(). Admission
   /// deadlines and per-submitter backlog bounds are the pool's
   /// (Options::max_queue_wait_seconds / max_waiting_per_submitter); a

@@ -292,6 +292,55 @@ TEST(FrameCodecTest, QueryRequestRejectsMalformedInput) {
   EXPECT_EQ(error, "empty relation in schema spec");
 }
 
+TEST(FrameCodecTest, QueryRequestRejectsTargetOutsideSchemaUniverse) {
+  // A parseable target whose attributes are not all in the schema would
+  // abort downstream (program construction GYO_CHECKs target ⊆ universe);
+  // the decoder must reject it as malformed input instead.
+  Catalog build_catalog;
+  DatabaseSchema schema = ParseSchema(build_catalog, "ab,bc");
+  Rng rng(13);
+  QueryRequest request;
+  request.schema_spec = "ab,bc";
+  request.target_spec = "az";  // 'z' appears in no relation
+  request.states = ProjectDatabase(
+      RandomUniversal(schema.Universe(), 10, 5, rng), schema);
+  std::vector<uint8_t> body =
+      Body(EncodeQueryRequest(request), FrameType::kQueryRequest);
+
+  Catalog catalog;
+  QueryRequest decoded;
+  DatabaseSchema decoded_schema;
+  AttrSet target;
+  std::string error;
+  EXPECT_FALSE(DecodeQueryRequest(body.data(), body.size(), catalog, &decoded,
+                                  &decoded_schema, &target, &error));
+  EXPECT_EQ(error, "target attribute outside the schema universe");
+}
+
+TEST(FrameCodecTest, WriterRefusesToEmitAFrameBeyondItsPayloadCap) {
+  Writer w;
+  w.LimitPayload(16);
+  w.Begin(FrameType::kError);
+  w.Str("this string does not fit in sixteen payload bytes");
+  EXPECT_TRUE(w.Overflowed());
+  EXPECT_TRUE(w.Finish().empty());
+
+  // The cap survives Begin(), and a fitting payload still encodes.
+  w.Begin(FrameType::kError);
+  w.Str("ok");
+  EXPECT_FALSE(w.Overflowed());
+  EXPECT_FALSE(w.Finish().empty());
+
+  // Encoders surface the cap as an empty frame, which the server replaces
+  // with a typed kInternal error rather than a lying length prefix.
+  Catalog catalog;
+  QueryResponse response;
+  response.result = Relation(ParseAttrSet(catalog, "ab"));
+  for (int i = 0; i < 100; ++i) response.result.AddRow({i, i});
+  EXPECT_TRUE(EncodeQueryResponse(response, 64).empty());
+  EXPECT_FALSE(EncodeQueryResponse(response).empty());
+}
+
 TEST(FrameCodecTest, QueryResponseRoundTrips) {
   Catalog catalog;
   const AttrSet target = ParseAttrSet(catalog, "ad");

@@ -298,6 +298,106 @@ TEST(ServeTest, MalformedFrameGetsTypedErrorAndConnectionSurvives) {
   ::close(fd);
 }
 
+TEST(ServeTest, TargetOutsideSchemaUniverseIsMalformedNotFatal) {
+  // Regression: this exact frame used to abort the whole daemon via a
+  // GYO_CHECK in program construction — a single-packet kill.
+  exec::ExecutorPool pool(PoolOptions(2, 1));
+  ServerOptions options;
+  options.pool = &pool;
+  Server server(options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+  QueryRequest request = MakeRequest(kTree, 5);
+  request.target_spec = "az";  // 'z' is in no relation of the schema
+  QueryResponse response;
+  ASSERT_EQ(client.Query(request, &response), Client::Outcome::kServerError);
+  EXPECT_EQ(client.server_error().code, ErrorCode::kMalformed);
+
+  // The daemon survived and the frame boundary held: the corrected query
+  // succeeds on the same connection.
+  request.target_spec = kTree.target;
+  ASSERT_EQ(client.Query(request, &response), Client::Outcome::kOk);
+  EXPECT_TRUE(response.result.IdenticalTo(SerialReference(kTree, 5)));
+
+  StatusResponse status;
+  ASSERT_EQ(client.Status(&status), Client::Outcome::kOk);
+  EXPECT_EQ(status.protocol_errors, 1u);
+  EXPECT_EQ(status.queries_served, 1u);
+}
+
+TEST(ServeTest, OversizedResultIsATypedErrorNotACorruptFrame) {
+  exec::ExecutorPool pool(PoolOptions(2, 1));
+  ServerOptions options;
+  options.pool = &pool;
+  options.max_frame_bytes = 4096;
+  Server server(options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  // A small request whose join result far exceeds the frame bound:
+  // ab = {0..N-1} x {0} and bc = {0} x {0..N-1} join to N^2 rows over ac.
+  constexpr int kN = 100;
+  Catalog catalog;
+  DatabaseSchema schema = ParseSchema(catalog, "ab,bc");
+  QueryRequest request;
+  request.schema_spec = "ab,bc";
+  request.target_spec = "ac";
+  request.states.emplace_back(schema.Relation(0));
+  request.states.emplace_back(schema.Relation(1));
+  for (int i = 0; i < kN; ++i) {
+    request.states[0].AddRow({i, 0});
+    request.states[1].AddRow({0, i});
+  }
+  request.states[0].MarkCanonical();
+  request.states[1].MarkCanonical();
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+  QueryResponse response;
+  ASSERT_EQ(client.Query(request, &response), Client::Outcome::kServerError);
+  EXPECT_EQ(client.server_error().code, ErrorCode::kInternal);
+
+  // The reply was a clean typed frame on an intact stream: the connection
+  // still answers requests that fit.
+  StatusResponse status;
+  ASSERT_EQ(client.Status(&status), Client::Outcome::kOk);
+  EXPECT_EQ(status.queries_served, 0u);
+}
+
+TEST(ServeTest, PipelinedFloodIsBackpressuredNotBufferedWithoutBound) {
+  exec::ExecutorPool pool(PoolOptions(2, 1));
+  ServerOptions options;
+  options.pool = &pool;
+  // A tiny bound so a handful of queued status replies trips backpressure.
+  options.max_queued_response_bytes = 256;
+  Server server(options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  // Pipeline many STATUS requests without reading a single reply. The
+  // server parses only until its response queue holds the bound, parks the
+  // rest, and stops reading the socket — then serves every request as the
+  // queue drains. Nothing is dropped and nothing buffers without bound.
+  const int fd = Dial(server.port());
+  const std::vector<uint8_t> status_frame = EncodeStatusRequest();
+  constexpr int kRequests = 64;
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(WriteFrame(fd, status_frame, &error)) << error;
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    std::vector<uint8_t> payload;
+    ASSERT_EQ(ReadFrame(fd, kDefaultMaxFrameBytes, &payload, &error),
+              IoStatus::kOk)
+        << "reply " << i << ": " << error;
+    ASSERT_FALSE(payload.empty());
+    EXPECT_EQ(payload[0], static_cast<uint8_t>(FrameType::kStatusResponse));
+  }
+  ::close(fd);
+}
+
 TEST(ServeTest, UnrecoverableFramesCloseTheConnectionCleanly) {
   exec::ExecutorPool pool(PoolOptions(2, 1));
   ServerOptions options;
