@@ -130,6 +130,13 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(status.tasks_stolen),
         static_cast<unsigned long long>(status.affinity_hits),
         static_cast<unsigned long long>(status.affinity_misses));
+    std::printf(
+        "caches: plan %llu hits / %llu misses, result %llu hits / %llu "
+        "misses\n",
+        static_cast<unsigned long long>(status.plan_cache_hits),
+        static_cast<unsigned long long>(status.plan_cache_misses),
+        static_cast<unsigned long long>(status.result_cache_hits),
+        static_cast<unsigned long long>(status.result_cache_misses));
     return 0;
   }
 

@@ -34,12 +34,16 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s [--port N] [--bind ADDR] [--threads N]\n"
       "          [--max-concurrent-queries N] [--max-queue-wait-ms N]\n"
-      "          [--max-waiting-per-submitter N]\n"
+      "          [--max-waiting-per-submitter N] [--plan-cache-entries N]\n"
+      "          [--result-cache-mb N]\n"
       "Serve framed queries over TCP on one shared executor pool.\n"
       "  --port 0 (default) picks an ephemeral port\n"
       "  --max-queue-wait-ms     default admission deadline (0 = none)\n"
       "  --max-waiting-per-submitter  backlog bound per connection (0 = "
-      "unbounded)\n",
+      "unbounded)\n"
+      "  --plan-cache-entries    plan cache size (0 disables; default 128)\n"
+      "  --result-cache-mb       result cache bytes (0 disables; default "
+      "32)\n",
       argv0);
   return 2;
 }
@@ -76,6 +80,12 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--max-waiting-per-submitter") == 0 &&
                ParseInt(argc, argv, &i, &value)) {
       pool_options.max_waiting_per_submitter = static_cast<int>(value);
+    } else if (std::strcmp(argv[i], "--plan-cache-entries") == 0 &&
+               ParseInt(argc, argv, &i, &value)) {
+      options.plan_cache_entries = static_cast<size_t>(value);
+    } else if (std::strcmp(argv[i], "--result-cache-mb") == 0 &&
+               ParseInt(argc, argv, &i, &value)) {
+      options.result_cache_bytes = static_cast<int64_t>(value) << 20;
     } else {
       return Usage(argv[0]);
     }

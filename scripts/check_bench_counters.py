@@ -44,9 +44,16 @@ from pathlib import Path
 # data, the hash, and the partition count — fixed per bench name (thread
 # count is part of the name), so they pin too; a drift means the Bloom
 # build, the hash kernels, or the partition policy changed.
+# delta_rounds / rows_rescanned are the incremental-maintenance work
+# measures (bench_incremental): fixpoint rounds actually executed and input
+# rows scanned by executed semijoins (+ the grow phase's hash/probe scans).
+# Both are deterministic functions of the seeded start state, so they pin —
+# a drift means the delta-round schedule or the revival grow phase changed
+# how much work an append costs.
 CHECKED_COUNTERS = ("result_rows", "max_intermediate", "queries",
                     "effective_steps", "retired_states",
-                    "bloom_partition_skips", "probe_rows_pruned")
+                    "bloom_partition_skips", "probe_rows_pruned",
+                    "delta_rounds", "rows_rescanned")
 CHECKED_PREFIXES = ("reduced_rows", "fixpoint_rows")
 
 # Counters checked for sign, not value, as (bench-name substring, counter,
@@ -63,11 +70,20 @@ CHECKED_PREFIXES = ("reduced_rows", "fixpoint_rows")
 # legitimately come up zero in a fast run, while a family-wide zero means
 # the mechanism is off. Baselines recorded on hosts where the behavior never
 # triggered leave the constraint vacuous.
+#   * plan_cache_hits / state_cache_hits on the bench_incremental repeat
+#     families — the benches warm a cache and then look up the identical
+#     query/database, so a zero means the hit path is broken (every lookup
+#     silently degraded to a rebuild). Sign-pinned rather than value-pinned
+#     so the benches stay free to report per-lookup verdicts.
 POSITIVE_RULES = (
     ("StealImbalance", "tasks_stolen",
      "work stealing no longer triggers on the skewed partition"),
     ("Serve_Overload", "requests_shed",
      "the overloaded server no longer sheds (backpressure is off)"),
+    ("PlanCacheHit", "plan_cache_hits",
+     "the warmed plan cache no longer hits on a repeat query"),
+    ("StateCache", "state_cache_hits",
+     "the warmed state cache no longer hits on a repeat lookup"),
 )
 
 

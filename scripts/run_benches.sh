@@ -46,7 +46,7 @@ done
 
 min_time="${BENCH_MIN_TIME:-0.01s}"
 out_dir="${BENCH_OUT_DIR:-build/release}"
-targets="${BENCH_TARGETS:-bench_join_strategies bench_yannakakis bench_reducer bench_exec bench_serve}"
+targets="${BENCH_TARGETS:-bench_join_strategies bench_yannakakis bench_reducer bench_incremental bench_exec bench_serve}"
 
 # GYO_BUILD_BENCHMARKS=ON is forced (after the extra args) so a cached
 # bench-off configuration can't silently leave stale binaries running.

@@ -61,7 +61,9 @@ run_query() {  # run_query LABEL EXPECTED_ROWS ARGS...
 
 # Acyclic chain (Yannakakis), a 4-cycle (CC-pruned fallback; target ac is
 # covered by no single relation, so it really joins), and a re-used seed to
-# pin cardinalities; --plan checks plan shipping end to end.
+# pin cardinalities; --plan checks plan shipping end to end. tree2 repeats
+# tree byte for byte, so it must be answered from the caches — the same 455
+# rows, with the STATUS hit counters advanced.
 run_query tree   455 --rows 400 --domain 6400 --seed 17 --plan ab,bc,cd ad
 run_query cycle  200 --rows 200 --domain 3200 --seed 9 \
   ab,bc,cd,da ac
@@ -72,6 +74,12 @@ status="$("${client_bin}" --port "${port}" --status)"
 echo "${status}" | sed 's/^/  /'
 echo "${status}" | grep -q "3 served" \
   || { echo "error: STATUS does not show 3 served queries" >&2; exit 1; }
+echo "${status}" | grep -Eq "caches: plan [1-9][0-9]* hits" \
+  || { echo "error: STATUS shows no plan-cache hit for the repeat" >&2
+       exit 1; }
+echo "${status}" | grep -Eq "result [1-9][0-9]* hits" \
+  || { echo "error: STATUS shows no result-cache hit for the repeat" >&2
+       exit 1; }
 
 echo "== SIGTERM drain"
 kill -TERM "${server_pid}"

@@ -1,0 +1,116 @@
+#include "cache/fingerprint.h"
+
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace gyo {
+namespace cache {
+
+namespace {
+
+// FNV-1a offset bases / primes for the two lanes, lane 2 offset by an
+// arbitrary odd constant so the lanes decorrelate even on equal seeds.
+constexpr uint64_t kOffset1 = 0xcbf29ce484222325ULL;
+constexpr uint64_t kOffset2 = 0x9ae16a3b2f90404fULL;
+constexpr uint64_t kPrime1 = 0x100000001b3ULL;
+constexpr uint64_t kPrime2 = 0xc6a4a7935bd1e995ULL;
+
+}  // namespace
+
+uint64_t Avalanche64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+namespace {
+constexpr auto Avalanche = Avalanche64;
+}  // namespace
+
+FingerprintMixer::FingerprintMixer(uint64_t seed)
+    : lo_(kOffset1 ^ seed), hi_(kOffset2 ^ Avalanche(seed + 1)) {}
+
+void FingerprintMixer::Absorb(uint64_t word) {
+  lo_ = (lo_ ^ word) * kPrime1;
+  hi_ = (hi_ ^ Avalanche(word)) * kPrime2;
+}
+
+void FingerprintMixer::AbsorbAttrSet(const AttrSet& s) {
+  Absorb(static_cast<uint64_t>(s.Size()));
+  s.ForEach([&](AttrId a) { Absorb(static_cast<uint64_t>(a)); });
+}
+
+Fingerprint FingerprintMixer::Digest() const {
+  return Fingerprint{Avalanche(lo_), Avalanche(hi_)};
+}
+
+bool CanonicalQuery::SameShape(const DatabaseSchema& other_schema,
+                               const AttrSet& other_target) const {
+  if (schema.NumRelations() != other_schema.NumRelations()) return false;
+  for (int i = 0; i < schema.NumRelations(); ++i) {
+    if (schema[i] != other_schema[i]) return false;
+  }
+  return target == other_target;
+}
+
+CanonicalQuery CanonicalizeQuery(const DatabaseSchema& d,
+                                 const AttrSet& target) {
+  CanonicalQuery out;
+  std::unordered_map<AttrId, AttrId> to_canonical;
+  auto canon = [&](AttrId a) {
+    auto it = to_canonical.find(a);
+    if (it != to_canonical.end()) return it->second;
+    AttrId c = static_cast<AttrId>(out.canonical_to_caller.size());
+    to_canonical.emplace(a, c);
+    out.canonical_to_caller.push_back(a);
+    return c;
+  };
+  std::vector<RelationSchema> relabeled;
+  relabeled.reserve(static_cast<size_t>(d.NumRelations()));
+  for (int i = 0; i < d.NumRelations(); ++i) {
+    AttrSet r;
+    d[i].ForEach([&](AttrId a) { r.Insert(canon(a)); });
+    relabeled.push_back(std::move(r));
+  }
+  out.schema = DatabaseSchema(std::move(relabeled));
+  target.ForEach([&](AttrId a) { out.target.Insert(canon(a)); });
+
+  FingerprintMixer mixer(/*seed=*/0x67796f00U);  // "gyo\0"
+  mixer.Absorb(static_cast<uint64_t>(out.schema.NumRelations()));
+  for (int i = 0; i < out.schema.NumRelations(); ++i) {
+    mixer.AbsorbAttrSet(out.schema[i]);
+  }
+  mixer.Absorb(~uint64_t{0});  // schema/target sentinel
+  mixer.AbsorbAttrSet(out.target);
+  out.fingerprint = mixer.Digest();
+  return out;
+}
+
+Fingerprint FingerprintDatabase(const DatabaseSchema& d, const AttrSet& target,
+                                const std::vector<Relation>& states,
+                                uint64_t seed) {
+  GYO_CHECK(static_cast<int>(states.size()) == d.NumRelations());
+  FingerprintMixer mixer(seed);
+  mixer.Absorb(static_cast<uint64_t>(d.NumRelations()));
+  for (int i = 0; i < d.NumRelations(); ++i) mixer.AbsorbAttrSet(d[i]);
+  mixer.Absorb(~uint64_t{0});
+  mixer.AbsorbAttrSet(target);
+  for (const Relation& r : states) {
+    mixer.Absorb(static_cast<uint64_t>(r.NumRows()));
+    mixer.Absorb(r.IsCanonical() ? 1 : 0);
+    for (int c = 0; c < r.Arity(); ++c) {
+      const Value* col = r.ColData(c);
+      for (int64_t i = 0; i < r.NumRows(); ++i) {
+        mixer.Absorb(static_cast<uint64_t>(col[i]));
+      }
+    }
+  }
+  return mixer.Digest();
+}
+
+}  // namespace cache
+}  // namespace gyo

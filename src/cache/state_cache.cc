@@ -1,0 +1,355 @@
+#include "cache/state_cache.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "rel/reducer.h"
+#include "util/check.h"
+
+namespace gyo {
+namespace cache {
+
+namespace {
+
+std::atomic<uint64_t> next_db_id{1};
+
+}  // namespace
+
+VersionedDatabase::VersionedDatabase(DatabaseSchema schema,
+                                     std::vector<Relation> states)
+    : id_(next_db_id.fetch_add(1, std::memory_order_relaxed)),
+      schema_(std::move(schema)),
+      states_(std::move(states)),
+      versions_(states_.size(), 0) {
+  GYO_CHECK(static_cast<int>(states_.size()) == schema_.NumRelations());
+  for (int i = 0; i < schema_.NumRelations(); ++i) {
+    GYO_CHECK_MSG(states_[static_cast<size_t>(i)].Schema() == schema_[i],
+                  "state %d does not match its schema", i);
+  }
+}
+
+void VersionedDatabase::Append(int rel, const Relation& rows) {
+  GYO_CHECK_MSG(rel >= 0 && rel < schema_.NumRelations(),
+                "Append relation id %d out of range", rel);
+  Relation& dst = states_[static_cast<size_t>(rel)];
+  GYO_CHECK_MSG(rows.Schema() == dst.Schema(),
+                "Append schema mismatch on relation %d", rel);
+  const int64_t base = dst.AppendRows(rows.NumRows());
+  for (int c = 0; c < dst.Arity(); ++c) {
+    const Value* src = rows.ColData(c);
+    Value* out = dst.ColData(c) + base;
+    std::copy(src, src + rows.NumRows(), out);
+  }
+  ++versions_[static_cast<size_t>(rel)];
+}
+
+namespace {
+
+// Column indices of `attrs` (in increasing attribute order) within `r`.
+std::vector<int> ColsOf(const Relation& r, const AttrSet& attrs) {
+  std::vector<int> cols;
+  attrs.ForEach([&](AttrId a) { cols.push_back(r.ColIndex(a)); });
+  return cols;
+}
+
+// Row `row` of `r` projected onto the given columns.
+std::vector<Value> ProjectRow(const Relation& r, int64_t row,
+                              const std::vector<int>& cols) {
+  std::vector<Value> key;
+  key.reserve(cols.size());
+  for (int c : cols) key.push_back(r.Cell(row, c));
+  return key;
+}
+
+// Greedy leftmost embedding of `sub` (a physical subsequence) into the
+// first `prefix_rows` rows of `super`: marks the matched row ids in
+// `selected`. Duplicate rows survive or dangle together under semijoin
+// reduction, so whichever copies the greedy match picks, the selected
+// values — and the gathered output — are the same.
+void MarkSubsequence(const Relation& super, int64_t prefix_rows,
+                     const Relation& sub, std::vector<char>* selected) {
+  GYO_CHECK(super.Schema() == sub.Schema());
+  GYO_CHECK(sub.NumRows() <= prefix_rows);
+  const int arity = super.Arity();
+  int64_t q = 0;
+  for (int64_t p = 0; p < prefix_rows && q < sub.NumRows(); ++p) {
+    bool eq = true;
+    for (int c = 0; c < arity; ++c) {
+      if (super.Cell(p, c) != sub.Cell(q, c)) {
+        eq = false;
+        break;
+      }
+    }
+    if (eq) {
+      (*selected)[static_cast<size_t>(p)] = 1;
+      ++q;
+    }
+  }
+  GYO_CHECK_MSG(q == sub.NumRows(),
+                "prev_reduced is not a prefix subsequence of the current "
+                "state — was the database mutated non-append-only?");
+}
+
+// Gathers the selected rows of `src` in physical row order. Flag rule
+// matches a semijoin chain's output exactly: an empty result is canonical
+// (freshly constructed, nothing appended), a non-empty one inherits the
+// base relation's flag (Semijoin propagates its lhs flag through every
+// chain step with survivors).
+Relation GatherSelected(const Relation& src, const std::vector<char>& selected,
+                        int64_t num_selected) {
+  Relation out(src.Schema());
+  if (num_selected == 0) return out;
+  out.AppendRows(num_selected);
+  for (int c = 0; c < src.Arity(); ++c) {
+    const Value* in = src.ColData(c);
+    Value* dst = out.ColData(c);
+    int64_t w = 0;
+    for (int64_t i = 0; i < src.NumRows(); ++i) {
+      if (selected[static_cast<size_t>(i)]) dst[w++] = in[i];
+    }
+  }
+  if (src.IsCanonical()) out.MarkCanonical();
+  return out;
+}
+
+}  // namespace
+
+std::vector<Relation> DeltaReduce(const DatabaseSchema& d,
+                                  const std::vector<Relation>& now,
+                                  const std::vector<int64_t>& prev_num_rows,
+                                  const std::vector<Relation>& prev_reduced,
+                                  const exec::ExecContext& ctx, int* steps,
+                                  DeltaStats* delta) {
+  const int n = d.NumRelations();
+  GYO_CHECK(static_cast<int>(now.size()) == n);
+  GYO_CHECK(static_cast<int>(prev_num_rows.size()) == n);
+  GYO_CHECK(static_cast<int>(prev_reduced.size()) == n);
+
+  DeltaStats dstats;
+  int64_t grow_scans = 0;
+
+  // Recover each cached fixpoint state as a selection over the current
+  // base: the old fixpoint is a physical subsequence of the old base, and
+  // the old base is a physical prefix of the current one (append-only).
+  // removed[i] are the prefix rows the old fixpoint dangled — the only
+  // prefix rows the appends can revive.
+  std::vector<std::vector<char>> selected(static_cast<size_t>(n));
+  std::vector<std::vector<int64_t>> removed(static_cast<size_t>(n));
+  std::vector<std::vector<int64_t>> grown(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const size_t si = static_cast<size_t>(i);
+    const Relation& base = now[si];
+    const int64_t prefix = prev_num_rows[si];
+    GYO_CHECK_MSG(prefix >= 0 && prefix <= base.NumRows(),
+                  "prev_num_rows[%d] out of range", i);
+    selected[si].assign(static_cast<size_t>(base.NumRows()), 0);
+    MarkSubsequence(base, prefix, prev_reduced[si], &selected[si]);
+    grow_scans += prefix;
+    for (int64_t p = 0; p < prefix; ++p) {
+      if (!selected[si][static_cast<size_t>(p)]) removed[si].push_back(p);
+    }
+    // Appended rows join the start state unconditionally and seed the grow
+    // phase's worklist.
+    for (int64_t p = prefix; p < base.NumRows(); ++p) {
+      selected[si][static_cast<size_t>(p)] = 1;
+      grown[si].push_back(p);
+    }
+    dstats.appended_rows += base.NumRows() - prefix;
+  }
+
+  // Grow phase: revival candidates propagate outward from the appends. A
+  // prefix row the old fixpoint removed can only rejoin the new fixpoint if
+  // it matches, in some neighbor, a row that is itself appended or revived
+  // — so repeatedly re-admit removed rows that exactly match a
+  // just-grown neighbor row on the shared attributes, until quiescent.
+  // Exact matching (sorted keys + binary search, no hashing shortcuts)
+  // keeps the start state a sound over-approximation: false positives cost
+  // shrink work, false negatives would lose tuples.
+  std::vector<std::vector<int64_t>> g_cur = grown;
+  std::vector<std::vector<int64_t>> g_next(static_cast<size_t>(n));
+  bool any = false;
+  for (int i = 0; i < n; ++i) {
+    any = any || !g_cur[static_cast<size_t>(i)].empty();
+  }
+  while (any) {
+    ++dstats.grow_rounds;
+    for (int i = 0; i < n; ++i) g_next[static_cast<size_t>(i)].clear();
+    for (int i = 0; i < n; ++i) {
+      const size_t si = static_cast<size_t>(i);
+      if (removed[si].empty()) continue;
+      for (int j = 0; j < n; ++j) {
+        const size_t sj = static_cast<size_t>(j);
+        if (i == j || g_cur[sj].empty() || !d[i].Intersects(d[j])) continue;
+        const AttrSet shared = d[i].Intersect(d[j]);
+        const std::vector<int> cols_i = ColsOf(now[si], shared);
+        const std::vector<int> cols_j = ColsOf(now[sj], shared);
+        std::vector<std::vector<Value>> keys;
+        keys.reserve(g_cur[sj].size());
+        for (int64_t row : g_cur[sj]) {
+          keys.push_back(ProjectRow(now[sj], row, cols_j));
+        }
+        std::sort(keys.begin(), keys.end());
+        grow_scans += static_cast<int64_t>(g_cur[sj].size());
+        std::vector<int64_t> still_removed;
+        still_removed.reserve(removed[si].size());
+        for (int64_t row : removed[si]) {
+          ++grow_scans;
+          if (std::binary_search(keys.begin(), keys.end(),
+                                 ProjectRow(now[si], row, cols_i))) {
+            selected[si][static_cast<size_t>(row)] = 1;
+            g_next[si].push_back(row);
+            ++dstats.revived_candidates;
+          } else {
+            still_removed.push_back(row);
+          }
+        }
+        removed[si].swap(still_removed);
+      }
+    }
+    any = false;
+    for (int i = 0; i < n; ++i) {
+      const size_t si = static_cast<size_t>(i);
+      if (!g_next[si].empty()) {
+        any = true;
+        // Rows revived this round grow the relation for the next round and
+        // mark it dirty for the shrink phase.
+        grown[si].insert(grown[si].end(), g_next[si].begin(),
+                         g_next[si].end());
+      }
+    }
+    g_cur.swap(g_next);
+  }
+
+  // Materialize the start state — every relation an in-order selection of
+  // the current base — and run the shrink phase: grown relations re-check
+  // all their neighbors in round one (their new rows are unverified), then
+  // ordinary shrunk-neighbor delta rounds converge to the new fixpoint.
+  std::vector<Relation> start;
+  start.reserve(static_cast<size_t>(n));
+  std::vector<int> first_round;
+  for (int i = 0; i < n; ++i) {
+    const size_t si = static_cast<size_t>(i);
+    int64_t m = 0;
+    for (char s : selected[si]) m += s;
+    start.push_back(GatherSelected(now[si], selected[si], m));
+    if (!grown[si].empty()) first_round.push_back(i);
+  }
+  std::vector<Relation> out =
+      SemijoinFixpointFrom(d, std::move(start), first_round, ctx, steps);
+  if (ctx.query_stats != nullptr) {
+    ctx.query_stats->rows_rescanned += grow_scans;
+  }
+  if (delta != nullptr) *delta = dstats;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// StateCache
+
+StateCache::StateCache(const Options& options) : options_(options) {
+  GYO_CHECK_MSG(options_.max_bytes >= 0, "StateCache max_bytes must be >= 0");
+}
+
+int64_t StateCache::BytesOf(const std::vector<Relation>& states) {
+  int64_t bytes = 0;
+  for (const Relation& r : states) bytes += r.ArenaBytes();
+  return bytes;
+}
+
+std::vector<Relation> StateCache::GetReduced(const VersionedDatabase& db,
+                                             const exec::ExecContext& ctx,
+                                             int* steps) {
+  // Snapshot whatever cached work is reusable under the lock.
+  enum class Mode { kMiss, kExact, kDelta };
+  Mode mode = Mode::kMiss;
+  std::vector<uint64_t> cached_versions;
+  std::vector<int64_t> cached_rows;
+  std::vector<Relation> cached_reduced;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(db.id());
+    if (it != index_.end()) {
+      Entry& entry = *it->second;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      if (entry.versions == db.versions()) {
+        ++stats_.hits;
+        if (steps != nullptr) *steps = 0;
+        if (ctx.query_stats != nullptr) {
+          *ctx.query_stats = exec::QueryStats();
+          ctx.query_stats->state_cache_hits = 1;
+        }
+        return entry.reduced;  // copy under the lock
+      }
+      // The database only appends, so an older entry is always a valid
+      // delta base: its row counts delimit the prefix the old fixpoint
+      // reduced.
+      mode = Mode::kDelta;
+      ++stats_.delta_refreshes;
+      cached_versions = entry.versions;
+      cached_rows = entry.num_rows;
+      cached_reduced = entry.reduced;  // copy under the lock
+    } else {
+      ++stats_.misses;
+    }
+  }
+
+  // Compute outside the lock.
+  std::vector<Relation> reduced;
+  if (mode == Mode::kDelta) {
+    reduced = DeltaReduce(db.schema(), db.states(), cached_rows,
+                          cached_reduced, ctx, steps);
+    if (ctx.query_stats != nullptr) ctx.query_stats->state_cache_hits = 1;
+  } else {
+    reduced = SemijoinFixpoint(db.schema(), db.states(), ctx, steps);
+  }
+
+  // Re-cache under the current versions and enforce the byte bound.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(db.id());
+    if (it != index_.end()) {
+      stats_.bytes -= it->second->bytes;
+      lru_.erase(it->second);
+      index_.erase(it);
+    }
+    Entry entry;
+    entry.db_id = db.id();
+    entry.versions = db.versions();
+    entry.num_rows.reserve(db.states().size());
+    for (const Relation& r : db.states()) entry.num_rows.push_back(r.NumRows());
+    entry.reduced = reduced;  // keep a copy; return the caller's
+    entry.bytes = BytesOf(entry.reduced);
+    stats_.bytes += entry.bytes;
+    lru_.push_front(std::move(entry));
+    index_[db.id()] = lru_.begin();
+    while (stats_.bytes > options_.max_bytes && lru_.size() > 1) {
+      stats_.bytes -= lru_.back().bytes;
+      index_.erase(lru_.back().db_id);
+      lru_.pop_back();
+      ++stats_.evictions;
+    }
+    stats_.entries = lru_.size();
+  }
+  return reduced;
+}
+
+StateCacheStats StateCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void StateCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  stats_ = StateCacheStats();
+}
+
+StateCache& StateCache::Global() {
+  static StateCache* cache = new StateCache(Options());
+  return *cache;
+}
+
+}  // namespace cache
+}  // namespace gyo

@@ -1,0 +1,170 @@
+#ifndef GYO_CACHE_STATE_CACHE_H_
+#define GYO_CACHE_STATE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/fingerprint.h"
+#include "exec/exec_context.h"
+#include "rel/relation.h"
+#include "schema/schema.h"
+
+namespace gyo {
+namespace cache {
+
+/// An append-only database instance with per-relation version counters —
+/// the versioning substrate of the reduced-state cache. Append() is the
+/// only mutator: rows are only ever added, never removed or reordered, so
+/// for any two observations with versions v <= v' pointwise, every relation
+/// at v is a physical prefix of the same relation at v'. That prefix
+/// guarantee is what makes delta invalidation sound (see DeltaReduce).
+///
+/// Single-writer / external synchronization: one VersionedDatabase is one
+/// tenant's mutable state. The StateCache below is safe to share across
+/// threads; the database itself is not.
+class VersionedDatabase {
+ public:
+  VersionedDatabase(DatabaseSchema schema, std::vector<Relation> states);
+
+  const DatabaseSchema& schema() const { return schema_; }
+  const std::vector<Relation>& states() const { return states_; }
+  /// Per-relation version counters, bumped by every Append to the relation.
+  const std::vector<uint64_t>& versions() const { return versions_; }
+
+  /// Appends `rows`'s tuples to relation `rel` (schemas must match) and
+  /// bumps its version. Appending zero rows still bumps the version — a
+  /// version mismatch may only cause a delta refresh that discovers nothing
+  /// to do, never a stale read.
+  void Append(int rel, const Relation& rows);
+
+  /// Identity of this instance (process-unique) — the state-cache key
+  /// component that separates two databases over the same schema.
+  uint64_t id() const { return id_; }
+
+ private:
+  uint64_t id_;
+  DatabaseSchema schema_;
+  std::vector<Relation> states_;
+  std::vector<uint64_t> versions_;
+};
+
+/// Observables of one incremental re-reduction (also folded into
+/// QueryStats: delta_rounds / rows_rescanned accumulate the shrink rounds,
+/// and the grow phase's scans are added to rows_rescanned).
+struct DeltaStats {
+  /// Worklist rounds of the revival grow phase.
+  int64_t grow_rounds = 0;
+  /// Previously-dangling prefix rows re-admitted as revival candidates.
+  int64_t revived_candidates = 0;
+  /// Appended rows re-checked by the first shrink round.
+  int64_t appended_rows = 0;
+};
+
+/// Incrementally recomputes the pairwise-semijoin fixpoint after appends.
+///
+/// `prev_reduced` must be SemijoinFixpoint(d, B) for a previous state B of
+/// the same database in which relation i held exactly the first
+/// `prev_num_rows[i]` rows of `now[i]` (the VersionedDatabase append-only
+/// prefix guarantee). Returns SemijoinFixpoint(d, now) — bit-identical to
+/// the batch run, in deterministic mode at any thread count — while only
+/// re-examining what the appends can have changed:
+///
+///  1. Grow phase: appends can *revive* prefix rows the old fixpoint
+///     removed (a dangling tuple's missing match may have just arrived).
+///     A revived row must match, in some neighbor, a row that is itself
+///     appended or revived — so revival candidates propagate outward from
+///     the appended rows through exact shared-attribute matching, a sound
+///     over-approximation of the true revival set.
+///  2. Shrink phase: from the grown start (old fixpoint + appends +
+///     revival candidates, each relation an in-order selection of now[i]),
+///     delta rounds re-semijoin only the grown relations in round one and
+///     only against shrunk neighbors afterwards (SemijoinFixpointFrom).
+///     Any start between the new fixpoint and now[] converges to the new
+///     fixpoint, so the over-approximation costs extra scans, never
+///     correctness.
+///
+/// ctx.query_stats, when set, receives the shrink rounds' accumulated stats
+/// with rows_rescanned additionally covering the grow phase's scans.
+std::vector<Relation> DeltaReduce(const DatabaseSchema& d,
+                                  const std::vector<Relation>& now,
+                                  const std::vector<int64_t>& prev_num_rows,
+                                  const std::vector<Relation>& prev_reduced,
+                                  const exec::ExecContext& ctx,
+                                  int* steps = nullptr,
+                                  DeltaStats* delta = nullptr);
+
+struct StateCacheStats {
+  /// Version-exact lookups answered straight from the cache.
+  uint64_t hits = 0;
+  /// Lookups answered by delta re-reduction from a cached prior fixpoint.
+  uint64_t delta_refreshes = 0;
+  /// Lookups that ran a batch reduction (no usable entry).
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t entries = 0;
+  /// Reduced-state bytes currently held (ArenaBytes over cached states).
+  int64_t bytes = 0;
+};
+
+/// The reduced-state cache: memoizes SemijoinFixpoint results per
+/// VersionedDatabase, keyed by (database id, per-relation version vector).
+/// A version-exact lookup returns the cached states; a lookup whose entry
+/// is merely older (versions pointwise <=, appends only) delta-refreshes it
+/// with DeltaReduce and re-caches; anything else batch-reduces. Entries are
+/// evicted LRU once cached bytes exceed the bound.
+///
+/// Thread-safe; returned states are always copies made under the lock, so
+/// callers may mutate (or lazily canonicalize) them freely.
+class StateCache {
+ public:
+  struct Options {
+    /// Bound on cached reduced-state bytes (ArenaBytes). One entry always
+    /// fits, whatever its size, so caching never fails outright.
+    int64_t max_bytes = 64ll << 20;
+  };
+
+  StateCache() : StateCache(Options()) {}
+  explicit StateCache(const Options& options);
+
+  StateCache(const StateCache&) = delete;
+  StateCache& operator=(const StateCache&) = delete;
+
+  /// The semijoin fixpoint of db.states() — cached, delta-refreshed, or
+  /// batch-computed. `steps` (optional) receives the effective semijoin
+  /// count of whatever work actually ran (0 on an exact hit).
+  /// ctx.query_stats, when set, reports the run's stats with
+  /// state_cache_hits = 1 on both the exact-hit and delta-refresh paths.
+  std::vector<Relation> GetReduced(const VersionedDatabase& db,
+                                   const exec::ExecContext& ctx,
+                                   int* steps = nullptr);
+
+  StateCacheStats stats() const;
+  void Clear();
+
+  static StateCache& Global();
+
+ private:
+  struct Entry {
+    uint64_t db_id = 0;
+    std::vector<uint64_t> versions;
+    std::vector<int64_t> num_rows;  // base row counts at reduction time
+    std::vector<Relation> reduced;
+    int64_t bytes = 0;
+  };
+
+  static int64_t BytesOf(const std::vector<Relation>& states);
+
+  const Options options_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+  StateCacheStats stats_;
+};
+
+}  // namespace cache
+}  // namespace gyo
+
+#endif  // GYO_CACHE_STATE_CACHE_H_

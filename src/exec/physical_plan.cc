@@ -240,11 +240,14 @@ void RunStatements(const Program& program,
 
 // Shared execution body: used by PhysicalPlan::Execute (compiled plan) and
 // the free exec::Execute (borrows the caller's program — no Program copy on
-// the convenience path).
+// the convenience path). Takes `base` by value: the const-reference entry
+// points copy at their boundary, the moving ones forward the caller's
+// relations straight into the state vector — the per-round deep copy the
+// semijoin fixpoint used to pay is gone.
 std::vector<Relation> ExecuteImpl(const Program& program,
                                   const std::vector<std::vector<int>>& deps,
                                   const std::vector<int>& reader_counts,
-                                  const std::vector<Relation>& base,
+                                  std::vector<Relation> base,
                                   const ExecContext& ctx,
                                   Program::Stats* stats,
                                   ExecutorPool::Admission* admitted = nullptr) {
@@ -273,7 +276,7 @@ std::vector<Relation> ExecuteImpl(const Program& program,
   // the task dependencies themselves.
   std::vector<Relation> states;
   states.reserve(static_cast<size_t>(num_base + num_statements));
-  for (const Relation& r : base) states.push_back(r);
+  for (Relation& r : base) states.push_back(std::move(r));
   for (int k = 0; k < num_statements; ++k) {
     states.emplace_back(schemas[static_cast<size_t>(num_base + k)]);
   }
@@ -368,10 +371,32 @@ std::vector<Relation> ExecuteImpl(const Program& program,
 
 }  // namespace
 
+PhysicalPlan PhysicalPlan::FromAnalysis(Program program,
+                                        std::vector<std::vector<int>> deps,
+                                        std::vector<int> reader_counts) {
+  GYO_CHECK_MSG(
+      static_cast<int>(deps.size()) == program.NumStatements(),
+      "analysis has %d dependency lists, program has %d statements",
+      static_cast<int>(deps.size()), program.NumStatements());
+  GYO_CHECK_MSG(
+      static_cast<int>(reader_counts.size()) == program.NumRelations(),
+      "analysis has %d reader counts, program has %d relations",
+      static_cast<int>(reader_counts.size()), program.NumRelations());
+  return PhysicalPlan(std::move(program), std::move(deps),
+                      std::move(reader_counts));
+}
+
 std::vector<Relation> PhysicalPlan::Execute(const std::vector<Relation>& base,
                                             const ExecContext& ctx,
                                             Program::Stats* stats) const {
   return ExecuteImpl(program_, deps_, reader_counts_, base, ctx, stats);
+}
+
+std::vector<Relation> PhysicalPlan::Execute(std::vector<Relation>&& base,
+                                            const ExecContext& ctx,
+                                            Program::Stats* stats) const {
+  return ExecuteImpl(program_, deps_, reader_counts_, std::move(base), ctx,
+                     stats);
 }
 
 std::vector<Relation> Execute(const Program& program,
@@ -381,10 +406,25 @@ std::vector<Relation> Execute(const Program& program,
                      ComputeReaderCounts(program), base, ctx, stats);
 }
 
+std::vector<Relation> Execute(const Program& program,
+                              std::vector<Relation>&& base,
+                              const ExecContext& ctx, Program::Stats* stats) {
+  return ExecuteImpl(program, ComputeDependencies(program),
+                     ComputeReaderCounts(program), std::move(base), ctx,
+                     stats);
+}
+
 Relation Run(const Program& program, const std::vector<Relation>& base,
              const ExecContext& ctx) {
   GYO_CHECK_MSG(program.NumStatements() > 0, "program has no statements");
   return Execute(program, base, ctx).back();
+}
+
+std::vector<Relation> PhysicalPlan::ExecuteAdmitted(
+    const std::vector<Relation>& base, const ExecContext& ctx,
+    ExecutorPool::Admission& admission, Program::Stats* stats) const {
+  return ExecuteImpl(program_, deps_, reader_counts_, base, ctx, stats,
+                     &admission);
 }
 
 std::vector<Relation> ExecuteAdmitted(const Program& program,

@@ -68,6 +68,34 @@ class PhysicalPlan {
                                 const ExecContext& ctx,
                                 Program::Stats* stats = nullptr) const;
 
+  /// Moving form: consumes `base` instead of deep-copying it into the state
+  /// vector. The returned states still lead with the base slots — they are
+  /// the caller's own relations moved through, not copies — so callers that
+  /// re-execute round programs (the semijoin fixpoint) or feed one
+  /// execution's output into the next can round-trip states without paying
+  /// O(data) per round.
+  std::vector<Relation> Execute(std::vector<Relation>&& base,
+                                const ExecContext& ctx,
+                                Program::Stats* stats = nullptr) const;
+
+  /// Admitted execution reusing this plan's memoized analysis — the
+  /// plan-cache serve path, where the caller already holds a TryAdmit slot
+  /// and the dependency analysis came out of the cache. Semantics match the
+  /// free ExecuteAdmitted exactly.
+  std::vector<Relation> ExecuteAdmitted(const std::vector<Relation>& base,
+                                        const ExecContext& ctx,
+                                        ExecutorPool::Admission& admission,
+                                        Program::Stats* stats = nullptr) const;
+
+  /// Rebuilds a plan from a previously computed analysis — the plan-cache
+  /// hit path, where `deps`/`reader_counts` were memoized alongside the
+  /// program (statement indices are attribute-rename-invariant, so a cached
+  /// analysis is valid for any isomorphic program). Dies if the shapes do
+  /// not match the program's statement/relation counts.
+  static PhysicalPlan FromAnalysis(Program program,
+                                   std::vector<std::vector<int>> deps,
+                                   std::vector<int> reader_counts);
+
  private:
   PhysicalPlan(Program program, std::vector<std::vector<int>> deps,
                std::vector<int> reader_counts)
@@ -87,6 +115,14 @@ class PhysicalPlan {
 /// counters as Program::ExecuteWithStats.
 std::vector<Relation> Execute(const Program& program,
                               const std::vector<Relation>& base,
+                              const ExecContext& ctx,
+                              Program::Stats* stats = nullptr);
+
+/// Moving form of the free Execute: consumes `base` (see
+/// PhysicalPlan::Execute's moving overload). The per-call cost is the
+/// dependency analysis only — no relation is copied.
+std::vector<Relation> Execute(const Program& program,
+                              std::vector<Relation>&& base,
                               const ExecContext& ctx,
                               Program::Stats* stats = nullptr);
 

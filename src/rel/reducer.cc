@@ -59,20 +59,36 @@ std::optional<std::vector<Relation>> ApplyFullReducer(
   return out;
 }
 
-std::vector<Relation> SemijoinFixpoint(const DatabaseSchema& d,
-                                       const std::vector<Relation>& states,
-                                       int* steps) {
-  return SemijoinFixpoint(d, states, exec::ExecContext(), steps);
-}
+namespace {
 
-std::vector<Relation> SemijoinFixpoint(const DatabaseSchema& d,
-                                       const std::vector<Relation>& states,
-                                       const exec::ExecContext& ctx,
-                                       int* steps) {
-  GYO_CHECK(static_cast<int>(states.size()) == d.NumRelations());
+// The delta-round fixpoint body shared by SemijoinFixpoint (first round =
+// every relation) and SemijoinFixpointFrom (first round = the caller's
+// grown relations). `process_first[i]` gates relation i's chain in round
+// one, where a processed relation semijoins against ALL its neighbors;
+// every later round re-semijoins a relation only against the neighbors
+// that shrank in the previous round. Skipped pairs are no-ops by the clean
+// -pair invariant — Ri ⋉ Rj removes nothing until Rj shrinks again after
+// the pair was last applied — so states and effective-step counts are
+// bit-identical to the dense every-pair-every-round schedule.
+//
+// Consumes `out`: every round moves the states through the exec runtime's
+// moving entry point instead of deep-copying the bases (QueryStats'
+// rows_rescanned measures the scans that remain).
+std::vector<Relation> FixpointRounds(const DatabaseSchema& d,
+                                     std::vector<Relation> out,
+                                     const std::vector<char>& process_first,
+                                     const exec::ExecContext& ctx,
+                                     int* steps) {
+  GYO_CHECK(static_cast<int>(out.size()) == d.NumRelations());
   const int n = d.NumRelations();
-  SemijoinRound round = SemijoinRoundProgram(d);
-  const std::vector<Program::Statement>& stmts = round.program.Statements();
+  std::vector<std::vector<int>> nbrs(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j && d[i].Intersects(d[j])) {
+        nbrs[static_cast<size_t>(i)].push_back(j);
+      }
+    }
+  }
 
   // Rounds always run without retirement, whatever the caller's context
   // says: the convergence check below reads consumed input slots (which
@@ -86,19 +102,38 @@ std::vector<Relation> SemijoinFixpoint(const DatabaseSchema& d,
   exec::QueryStats total_stats;
   round_ctx.query_stats = ctx.query_stats != nullptr ? &round_stats : nullptr;
 
-  // Compile once: the round program never changes, so the dataflow and
-  // reader-count analyses need not be redone every round.
-  exec::PhysicalPlan plan = exec::PhysicalPlan::Compile(round.program);
-  std::vector<Relation> out = states;
   int effective = 0;
-  bool changed = round.program.NumStatements() > 0;
-  while (changed) {
-    changed = false;
-    // One task wave: every relation's neighbor-semijoin chain, all chains
-    // reading this round's start states. Per-relation row counts are
-    // monotone non-increasing, so if no chain statement shrinks its lhs the
-    // states are a pairwise-semijoin fixpoint and the loop stops.
-    std::vector<Relation> all = plan.Execute(out, round_ctx);
+  int64_t rounds = 0;
+  int64_t rescanned = 0;
+  bool first = true;
+  std::vector<char> shrank(static_cast<size_t>(n), 0);
+  std::vector<int64_t> pre_rows(static_cast<size_t>(n), 0);
+  std::vector<int> result_id(static_cast<size_t>(n), 0);
+  while (true) {
+    // Compile this round's dirty pairs: in round one, chains for the
+    // first-round relations over all their neighbors; afterwards, chains
+    // over the neighbors that shrank last round (a Jacobi round — every rhs
+    // is a base id, so chains stay mutually independent and the whole round
+    // is one task wave).
+    Program program(n);
+    for (int i = 0; i < n; ++i) {
+      int acc = i;
+      for (int j : nbrs[static_cast<size_t>(i)]) {
+        const bool dirty = first ? process_first[static_cast<size_t>(i)] != 0
+                                 : shrank[static_cast<size_t>(j)] != 0;
+        if (dirty) acc = program.AddSemijoin(acc, j);
+      }
+      result_id[static_cast<size_t>(i)] = acc;
+    }
+    first = false;
+    if (program.NumStatements() == 0) break;
+    ++rounds;
+    for (int i = 0; i < n; ++i) {
+      pre_rows[static_cast<size_t>(i)] = out[static_cast<size_t>(i)].NumRows();
+    }
+
+    std::vector<Relation> all =
+        exec::Execute(program, std::move(out), round_ctx);
     if (ctx.query_stats != nullptr) {
       total_stats.queue_wait_seconds += round_stats.queue_wait_seconds;
       total_stats.run_time_seconds += round_stats.run_time_seconds;
@@ -115,22 +150,79 @@ std::vector<Relation> SemijoinFixpoint(const DatabaseSchema& d,
       total_stats.queue_depth_at_admit = std::max(
           total_stats.queue_depth_at_admit, round_stats.queue_depth_at_admit);
     }
-    for (int k = 0; k < round.program.NumStatements(); ++k) {
-      const Program::Statement& s = stmts[static_cast<size_t>(k)];
+    for (int k = 0; k < program.NumStatements(); ++k) {
+      const Program::Statement& s =
+          program.Statements()[static_cast<size_t>(k)];
+      rescanned += all[static_cast<size_t>(s.lhs)].NumRows() +
+                   all[static_cast<size_t>(s.rhs)].NumRows();
       if (all[static_cast<size_t>(n + k)].NumRows() !=
           all[static_cast<size_t>(s.lhs)].NumRows()) {
         ++effective;
-        changed = true;
       }
     }
+    bool changed = false;
     for (int i = 0; i < n; ++i) {
-      out[static_cast<size_t>(i)] =
-          std::move(all[static_cast<size_t>(round.chain_ids[static_cast<size_t>(i)])]);
+      const size_t si = static_cast<size_t>(i);
+      shrank[si] = all[static_cast<size_t>(result_id[si])].NumRows() <
+                           pre_rows[si]
+                       ? 1
+                       : 0;
+      if (shrank[si]) changed = true;
     }
+    out.clear();
+    out.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      out.push_back(
+          std::move(all[static_cast<size_t>(result_id[static_cast<size_t>(i)])]));
+    }
+    if (!changed) break;
   }
-  if (ctx.query_stats != nullptr) *ctx.query_stats = total_stats;
+  if (ctx.query_stats != nullptr) {
+    total_stats.delta_rounds = rounds;
+    total_stats.rows_rescanned = rescanned;
+    *ctx.query_stats = total_stats;
+  }
   if (steps != nullptr) *steps = effective;
   return out;
+}
+
+}  // namespace
+
+std::vector<Relation> SemijoinFixpoint(const DatabaseSchema& d,
+                                       const std::vector<Relation>& states,
+                                       int* steps) {
+  return SemijoinFixpoint(d, states, exec::ExecContext(), steps);
+}
+
+std::vector<Relation> SemijoinFixpoint(const DatabaseSchema& d,
+                                       const std::vector<Relation>& states,
+                                       const exec::ExecContext& ctx,
+                                       int* steps) {
+  return FixpointRounds(
+      d, states, std::vector<char>(states.size(), 1), ctx, steps);
+}
+
+std::vector<Relation> SemijoinFixpoint(const DatabaseSchema& d,
+                                       std::vector<Relation>&& states,
+                                       const exec::ExecContext& ctx,
+                                       int* steps) {
+  const size_t n = states.size();
+  return FixpointRounds(d, std::move(states), std::vector<char>(n, 1), ctx,
+                        steps);
+}
+
+std::vector<Relation> SemijoinFixpointFrom(const DatabaseSchema& d,
+                                           std::vector<Relation> states,
+                                           const std::vector<int>& first_round,
+                                           const exec::ExecContext& ctx,
+                                           int* steps) {
+  std::vector<char> process(states.size(), 0);
+  for (int i : first_round) {
+    GYO_CHECK_MSG(i >= 0 && static_cast<size_t>(i) < states.size(),
+                  "first_round relation id %d out of range", i);
+    process[static_cast<size_t>(i)] = 1;
+  }
+  return FixpointRounds(d, std::move(states), process, ctx, steps);
 }
 
 }  // namespace gyo

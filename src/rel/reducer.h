@@ -44,13 +44,17 @@ std::optional<std::vector<Relation>> ApplyFullReducer(
 
 /// Applies pairwise semijoins Ri ⋉ Rj until no relation shrinks — the best
 /// any semijoin program can achieve (the fixpoint is unique: semijoin
-/// reduction is confluent). Runs in synchronous rounds: each round compiles
-/// every relation's chain of neighbor semijoins into one program (see
-/// SemijoinRoundProgram in rel/solver.h) whose chains read the round-start
-/// states, so all NumRelations() chains are independent and execute as one
-/// task wave per round on the exec runtime. Returns the fixpoint states
-/// and, via `steps`, the number of effective (relation-shrinking) semijoins
-/// applied (if non-null).
+/// reduction is confluent). Runs in synchronous *delta rounds*: the first
+/// round compiles every relation's chain of neighbor semijoins into one
+/// program (see SemijoinRoundProgram in rel/solver.h) whose chains read the
+/// round-start states; every later round re-semijoins a relation only
+/// against the neighbors that shrank in the previous round. The skipped
+/// pairs are provably no-ops — once Ri ⋉ Rj has been applied, it can remove
+/// nothing until Rj shrinks again — so the per-round states, the effective
+/// step count, and the final fixpoint are bit-identical to the dense
+/// schedule that re-ran every pair every round; only the wasted scans are
+/// gone. Returns the fixpoint states and, via `steps`, the number of
+/// effective (relation-shrinking) semijoins applied (if non-null).
 std::vector<Relation> SemijoinFixpoint(const DatabaseSchema& d,
                                        const std::vector<Relation>& states,
                                        int* steps = nullptr);
@@ -61,11 +65,35 @@ std::vector<Relation> SemijoinFixpoint(const DatabaseSchema& d,
 /// it at any thread count. ctx.retire_consumed/retain_states are ignored
 /// (rounds run unretired: the convergence check reads every chain's input
 /// row counts); ctx.query_stats, when set, receives totals accumulated
-/// across all rounds (peak_state_bytes is the max round's peak).
+/// across all rounds (peak_state_bytes is the max round's peak), including
+/// the delta-round observables delta_rounds and rows_rescanned.
 std::vector<Relation> SemijoinFixpoint(const DatabaseSchema& d,
                                        const std::vector<Relation>& states,
                                        const exec::ExecContext& ctx,
                                        int* steps = nullptr);
+
+/// Moving form: consumes `states` — no deep copy of the base relations;
+/// rounds move states through the exec runtime's moving entry point.
+std::vector<Relation> SemijoinFixpoint(const DatabaseSchema& d,
+                                       std::vector<Relation>&& states,
+                                       const exec::ExecContext& ctx,
+                                       int* steps = nullptr);
+
+/// The incremental entry point behind delta invalidation (cache/state_cache):
+/// runs the delta-round schedule from `states`, but the first round
+/// processes only the relations listed in `first_round` (each against all
+/// of its neighbors); later rounds are the usual shrunk-neighbor delta
+/// rounds. Sound whenever every pair (i, j) with i ∉ first_round is already
+/// clean — i.e. Ri ⋉ Rj would remove nothing — which holds when `states` is
+/// a previous fixpoint in which only the first_round relations have since
+/// gained rows (appends and revival candidates: growing a rhs never
+/// invalidates a clean pair, and the grown lhs rows are exactly what round
+/// one re-checks). With first_round = {0..n-1} this is SemijoinFixpoint.
+std::vector<Relation> SemijoinFixpointFrom(const DatabaseSchema& d,
+                                           std::vector<Relation> states,
+                                           const std::vector<int>& first_round,
+                                           const exec::ExecContext& ctx,
+                                           int* steps = nullptr);
 
 }  // namespace gyo
 

@@ -281,6 +281,10 @@ std::vector<uint8_t> EncodeQueryResponse(const QueryResponse& response,
   w.Zigzag(q.affinity_hits);
   w.Zigzag(q.affinity_misses);
   w.Zigzag(q.queue_depth_at_admit);
+  w.Zigzag(q.plan_cache_hits);
+  w.Zigzag(q.state_cache_hits);
+  w.Zigzag(q.delta_rounds);
+  w.Zigzag(q.rows_rescanned);
   if (response.has_plan) {
     w.Varint(static_cast<uint64_t>(response.plan.num_statements));
     w.Varint(static_cast<uint64_t>(response.plan.critical_path));
@@ -314,6 +318,10 @@ std::vector<uint8_t> EncodeStatusResponse(const StatusResponse& status) {
   w.Varint(status.tasks_stolen);
   w.Varint(status.affinity_hits);
   w.Varint(status.affinity_misses);
+  w.Varint(status.plan_cache_hits);
+  w.Varint(status.plan_cache_misses);
+  w.Varint(status.result_cache_hits);
+  w.Varint(status.result_cache_misses);
   return w.Finish();
 }
 
@@ -395,7 +403,9 @@ bool DecodeQueryResponse(const uint8_t* body, size_t size,
       !r.Zigzag(&q.retired_states) || !r.Zigzag(&q.bloom_partition_skips) ||
       !r.Zigzag(&q.probe_rows_pruned) || !r.Zigzag(&q.tasks_stolen) ||
       !r.Zigzag(&q.affinity_hits) || !r.Zigzag(&q.affinity_misses) ||
-      !r.Zigzag(&q.queue_depth_at_admit)) {
+      !r.Zigzag(&q.queue_depth_at_admit) || !r.Zigzag(&q.plan_cache_hits) ||
+      !r.Zigzag(&q.state_cache_hits) || !r.Zigzag(&q.delta_rounds) ||
+      !r.Zigzag(&q.rows_rescanned)) {
     return SetError(error, "truncated query response");
   }
   if (resp.has_plan) {
@@ -448,7 +458,9 @@ bool DecodeStatusResponse(const uint8_t* body, size_t size,
       !r.Varint(&s.queries_shed_deadline) ||
       !r.Varint(&s.queries_shed_backlog) || !r.Varint(&s.protocol_errors) ||
       !r.U8(&draining) || draining > 1 || !r.Varint(&s.tasks_stolen) ||
-      !r.Varint(&s.affinity_hits) || !r.Varint(&s.affinity_misses)) {
+      !r.Varint(&s.affinity_hits) || !r.Varint(&s.affinity_misses) ||
+      !r.Varint(&s.plan_cache_hits) || !r.Varint(&s.plan_cache_misses) ||
+      !r.Varint(&s.result_cache_hits) || !r.Varint(&s.result_cache_misses)) {
     return SetError(error, "truncated status counters");
   }
   s.draining = draining != 0;

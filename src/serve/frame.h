@@ -154,6 +154,14 @@ struct StatusResponse {
   uint64_t tasks_stolen = 0;
   uint64_t affinity_hits = 0;
   uint64_t affinity_misses = 0;
+  /// Cache counters — all zero while the corresponding cache is disabled.
+  /// Plan hits/misses count plan-cache lookups (one per decoded query);
+  /// result hits/misses count full-answer lookups (deterministic queries
+  /// only — a result hit is served without admission or execution).
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  uint64_t result_cache_hits = 0;
+  uint64_t result_cache_misses = 0;
 };
 
 struct ErrorReply {

@@ -10,12 +10,15 @@
 #include <cerrno>
 #include <cstring>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "cache/plan_cache.h"
+#include "cache/result_cache.h"
 #include "exec/physical_plan.h"
 #include "rel/solver.h"
 #include "schema/catalog.h"
@@ -41,6 +44,18 @@ bool SysError(std::string* error, const char* what) {
 /// Poll timeout while accept() is backing off from descriptor exhaustion.
 constexpr int kAcceptBackoffMs = 100;
 
+// The wire strategy enum and the plan cache's mirror must agree value for
+// value — requests are static_cast between them.
+static_assert(static_cast<uint8_t>(Strategy::kAuto) ==
+                  static_cast<uint8_t>(cache::PlanStrategy::kAuto) &&
+              static_cast<uint8_t>(Strategy::kFullJoin) ==
+                  static_cast<uint8_t>(cache::PlanStrategy::kFullJoin) &&
+              static_cast<uint8_t>(Strategy::kCcPruned) ==
+                  static_cast<uint8_t>(cache::PlanStrategy::kCcPruned) &&
+              static_cast<uint8_t>(Strategy::kYannakakis) ==
+                  static_cast<uint8_t>(cache::PlanStrategy::kYannakakis),
+              "serve::Strategy and cache::PlanStrategy diverged");
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -51,7 +66,18 @@ class Server::Impl {
   explicit Impl(const ServerOptions& options)
       : options_(options),
         pool_(options.pool != nullptr ? options.pool
-                                      : &exec::ExecutorPool::Global()) {}
+                                      : &exec::ExecutorPool::Global()) {
+    if (options.plan_cache_entries > 0) {
+      cache::PlanCache::Options plan_options;
+      plan_options.max_entries = options.plan_cache_entries;
+      plan_cache_.reset(new cache::PlanCache(plan_options));
+    }
+    if (options.result_cache_bytes > 0) {
+      cache::ResultCache::Options result_options;
+      result_options.max_bytes = options.result_cache_bytes;
+      result_cache_.reset(new cache::ResultCache(result_options));
+    }
+  }
 
   ~Impl() {
     if (listen_fd_ >= 0) ::close(listen_fd_);
@@ -121,6 +147,10 @@ class Server::Impl {
 
   const ServerOptions options_;
   exec::ExecutorPool* const pool_;
+  /// Per-server caches (null = disabled); thread-safe, shared by all
+  /// worker threads. Server-owned so tenants and tests stay hermetic.
+  std::unique_ptr<cache::PlanCache> plan_cache_;
+  std::unique_ptr<cache::ResultCache> result_cache_;
 
   int listen_fd_ = -1;
   int wake_read_ = -1;
@@ -241,6 +271,16 @@ StatusResponse Server::Impl::Status() const {
   s.tasks_stolen = tasks_stolen_.load(std::memory_order_relaxed);
   s.affinity_hits = affinity_hits_.load(std::memory_order_relaxed);
   s.affinity_misses = affinity_misses_.load(std::memory_order_relaxed);
+  if (plan_cache_ != nullptr) {
+    const cache::PlanCacheStats plan = plan_cache_->stats();
+    s.plan_cache_hits = plan.hits;
+    s.plan_cache_misses = plan.misses;
+  }
+  if (result_cache_ != nullptr) {
+    const cache::ResultCacheStats result = result_cache_->stats();
+    s.result_cache_hits = result.hits;
+    s.result_cache_misses = result.misses;
+  }
   return s;
 }
 
@@ -539,43 +579,104 @@ void Server::Impl::RunQuery(uint64_t conn_id, std::vector<uint8_t> body) {
   body.clear();
   body.shrink_to_fit();
 
-  // Resolve the strategy to a program.
+  // Resolve the strategy to a program — through the plan cache when
+  // enabled, which memoizes the GYO reduction / join-tree work and the
+  // plan's dataflow analysis per canonical hypergraph. Both paths produce
+  // the same program byte for byte, so caching never changes an answer.
   Strategy resolved = req.strategy;
   Program program(schema.NumRelations());
-  switch (req.strategy) {
-    case Strategy::kFullJoin:
-      program = FullJoinProgram(schema, target);
-      break;
-    case Strategy::kCcPruned:
-      program = CCPrunedProgram(schema, target);
-      break;
-    case Strategy::kYannakakis: {
-      std::optional<Program> p = YannakakisProgram(schema, target);
-      if (!p.has_value()) {
-        PostCompletion(conn_id,
-                       EncodeError(ErrorCode::kUnsupported,
-                                   "yannakakis requires a tree schema"));
-        return;
-      }
-      program = *std::move(p);
-      break;
+  std::optional<exec::PhysicalPlan> plan;
+  bool plan_hit = false;
+  if (plan_cache_ != nullptr) {
+    std::optional<cache::PlanCache::Result> planned = plan_cache_->GetOrBuild(
+        schema, target, static_cast<cache::PlanStrategy>(req.strategy));
+    if (!planned.has_value()) {
+      PostCompletion(conn_id,
+                     EncodeError(ErrorCode::kUnsupported,
+                                 "yannakakis requires a tree schema"));
+      return;
     }
-    case Strategy::kAuto: {
-      std::optional<Program> p = YannakakisProgram(schema, target);
-      if (p.has_value()) {
-        resolved = Strategy::kYannakakis;
-        program = *std::move(p);
-      } else {
-        resolved = Strategy::kCcPruned;
+    plan_hit = planned->hit;
+    resolved = static_cast<Strategy>(planned->resolved);
+    program = std::move(planned->program);
+    plan.emplace(std::move(planned->plan));
+  } else {
+    switch (req.strategy) {
+      case Strategy::kFullJoin:
+        program = FullJoinProgram(schema, target);
+        break;
+      case Strategy::kCcPruned:
         program = CCPrunedProgram(schema, target);
+        break;
+      case Strategy::kYannakakis: {
+        std::optional<Program> p = YannakakisProgram(schema, target);
+        if (!p.has_value()) {
+          PostCompletion(conn_id,
+                         EncodeError(ErrorCode::kUnsupported,
+                                     "yannakakis requires a tree schema"));
+          return;
+        }
+        program = *std::move(p);
+        break;
       }
-      break;
+      case Strategy::kAuto: {
+        std::optional<Program> p = YannakakisProgram(schema, target);
+        if (p.has_value()) {
+          resolved = Strategy::kYannakakis;
+          program = *std::move(p);
+        } else {
+          resolved = Strategy::kCcPruned;
+          program = CCPrunedProgram(schema, target);
+        }
+        break;
+      }
     }
   }
   if (program.NumStatements() == 0) {
     PostCompletion(conn_id, EncodeError(ErrorCode::kInternal,
                                         "strategy produced an empty program"));
     return;
+  }
+
+  // Deterministic queries may be answered from the result cache — the
+  // memoized answer is bit-identical to re-execution, so a hit skips
+  // admission and execution entirely. The key covers the resolved strategy
+  // and every base tuple (256 bits, two independent fingerprints).
+  const bool use_result_cache = result_cache_ != nullptr && req.deterministic;
+  cache::ResultKey result_key;
+  if (use_result_cache) {
+    const uint64_t variant = (static_cast<uint64_t>(resolved) << 1) | 1;
+    result_key = cache::MakeResultKey(schema, target, req.states, variant);
+    std::optional<cache::ResultCache::Value> cached =
+        result_cache_->Get(result_key);
+    if (cached.has_value()) {
+      QueryResponse resp;
+      resp.result = std::move(cached->result);
+      resp.stats = cached->stats;
+      resp.query_stats.state_cache_hits = 1;
+      resp.query_stats.plan_cache_hits = plan_hit ? 1 : 0;
+      if (req.want_plan) {
+        if (!plan.has_value()) {
+          plan.emplace(exec::PhysicalPlan::Compile(program));
+        }
+        resp.has_plan = true;
+        resp.plan.num_statements = program.NumStatements();
+        resp.plan.critical_path = plan->CriticalPathLength();
+        resp.plan.num_source_statements = plan->NumSourceStatements();
+        resp.plan.strategy = resolved;
+      }
+      std::vector<uint8_t> frame =
+          EncodeQueryResponse(resp, options_.max_frame_bytes);
+      if (frame.empty()) {
+        PostCompletion(conn_id,
+                       EncodeError(ErrorCode::kInternal,
+                                   "result exceeds the frame size bound"));
+        return;
+      }
+      queries_served_.fetch_add(1, std::memory_order_relaxed);
+      PostCompletion(conn_id, std::move(frame));
+      return;
+    }
   }
 
   // Admit with shedding: a rejected query has consumed no execution
@@ -605,17 +706,29 @@ void Server::Impl::RunQuery(uint64_t conn_id, std::vector<uint8_t> body) {
   ctx.morsel_rows = options_.morsel_rows;
   QueryResponse resp;
   ctx.query_stats = &resp.query_stats;
-  std::vector<Relation> states = exec::ExecuteAdmitted(
-      program, req.states, ctx, *admit.admission, &resp.stats);
+  std::vector<Relation> states =
+      plan.has_value()
+          ? plan->ExecuteAdmitted(req.states, ctx, *admit.admission,
+                                  &resp.stats)
+          : exec::ExecuteAdmitted(program, req.states, ctx, *admit.admission,
+                                  &resp.stats);
   admit.admission.reset();  // release the slot before encoding
+  // Execution reset query_stats; the cache verdicts are stamped after.
+  resp.query_stats.plan_cache_hits = plan_hit ? 1 : 0;
 
   resp.result = std::move(states.back());
+  if (use_result_cache) {
+    result_cache_->Put(result_key,
+                       cache::ResultCache::Value{resp.result, resp.stats});
+  }
   if (req.want_plan) {
-    const exec::PhysicalPlan plan = exec::PhysicalPlan::Compile(program);
+    if (!plan.has_value()) {
+      plan.emplace(exec::PhysicalPlan::Compile(program));
+    }
     resp.has_plan = true;
     resp.plan.num_statements = program.NumStatements();
-    resp.plan.critical_path = plan.CriticalPathLength();
-    resp.plan.num_source_statements = plan.NumSourceStatements();
+    resp.plan.critical_path = plan->CriticalPathLength();
+    resp.plan.num_source_statements = plan->NumSourceStatements();
     resp.plan.strategy = resolved;
   }
   tasks_stolen_.fetch_add(

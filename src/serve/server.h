@@ -56,6 +56,16 @@ struct ServerOptions {
   exec::ExecutorPool* pool = nullptr;
   /// ExecContext::morsel_rows for served queries (0 = auto-tune).
   int64_t morsel_rows = 0;
+  /// Plan-cache entries (canonical hypergraph fingerprint -> memoized
+  /// program + dataflow analysis); 0 disables the plan cache. Cached plans
+  /// are remapped into the request's attribute space, so replies stay
+  /// byte-identical to first-time planning.
+  size_t plan_cache_entries = 128;
+  /// Result-cache byte bound (full-answer memoization, deterministic
+  /// queries only); 0 disables the result cache. A result hit replays the
+  /// original response's result and stats bit-identically, without
+  /// admission or execution.
+  int64_t result_cache_bytes = 32ll << 20;
 };
 
 /// What a graceful drain observed — printed by gyo_serve on SIGTERM.

@@ -1,0 +1,585 @@
+// src/cache/ unit + property tests: canonical fingerprinting (isomorphism
+// invariance, collision guards), plan-cache hit/LRU/concurrency semantics,
+// the delta-round incremental reducer's bit-identity to batch re-reduction
+// after randomized appends (including revivals) at several thread counts in
+// both determinism modes, the reduced-state cache's exact-hit / delta /
+// eviction paths, and the serve result cache.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "cache/fingerprint.h"
+#include "cache/plan_cache.h"
+#include "cache/result_cache.h"
+#include "cache/state_cache.h"
+#include "exec/executor_pool.h"
+#include "exec/physical_plan.h"
+#include "rel/reducer.h"
+#include "rel/solver.h"
+#include "rel/universal.h"
+#include "schema/generators.h"
+#include "schema/parse.h"
+#include "util/rng.h"
+
+namespace gyo {
+namespace cache {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fingerprint / canonicalization
+
+TEST(CacheFingerprintTest, FirstAppearanceSchemasCanonicalizeToThemselves) {
+  // The gyo_serve request path: a fresh Catalog interns attributes in first
+  // appearance order, which IS the canonical labeling — the relabeling must
+  // be the identity, so cached programs transfer byte for byte.
+  Catalog catalog;
+  DatabaseSchema d = ParseSchema(catalog, "ab,bc,cd");
+  AttrSet target = ParseAttrSet(catalog, "ad");
+  CanonicalQuery canon = CanonicalizeQuery(d, target);
+  EXPECT_TRUE(canon.SameShape(d, target));
+  for (size_t c = 0; c < canon.canonical_to_caller.size(); ++c) {
+    EXPECT_EQ(canon.canonical_to_caller[c], static_cast<AttrId>(c));
+  }
+}
+
+TEST(CacheFingerprintTest, OrderPreservingRenamingsShareAFingerprint) {
+  // Same hypergraph over attribute ids 0..3 and over 10,20,30,40.
+  DatabaseSchema a({AttrSet({0, 1}), AttrSet({1, 2}), AttrSet({2, 3})});
+  DatabaseSchema b(
+      {AttrSet({10, 20}), AttrSet({20, 30}), AttrSet({30, 40})});
+  CanonicalQuery ca = CanonicalizeQuery(a, AttrSet({0, 3}));
+  CanonicalQuery cb = CanonicalizeQuery(b, AttrSet({10, 40}));
+  EXPECT_EQ(ca.fingerprint, cb.fingerprint);
+  EXPECT_TRUE(ca.SameShape(cb.schema, cb.target));
+  // The inverse relabeling reaches back into each caller's space.
+  EXPECT_EQ(cb.canonical_to_caller[0], 10);
+  EXPECT_EQ(cb.canonical_to_caller[3], 40);
+}
+
+TEST(CacheFingerprintTest, TargetAndShapeChangesChangeTheFingerprint) {
+  DatabaseSchema d({AttrSet({0, 1}), AttrSet({1, 2})});
+  const Fingerprint base = CanonicalizeQuery(d, AttrSet({0, 2})).fingerprint;
+  EXPECT_NE(base, CanonicalizeQuery(d, AttrSet({0, 1})).fingerprint);
+  DatabaseSchema e({AttrSet({0, 1}), AttrSet({1, 2}), AttrSet({2, 3})});
+  EXPECT_NE(base, CanonicalizeQuery(e, AttrSet({0, 2})).fingerprint);
+}
+
+TEST(CacheFingerprintTest, DatabaseFingerprintSeesDataAndSeed) {
+  Catalog catalog;
+  DatabaseSchema d = ParseSchema(catalog, "ab,bc");
+  AttrSet target = ParseAttrSet(catalog, "ac");
+  Rng rng(7);
+  std::vector<Relation> states = RandomStates(d, 20, 8, rng);
+  const Fingerprint f1 = FingerprintDatabase(d, target, states, 1);
+  EXPECT_EQ(f1, FingerprintDatabase(d, target, states, 1));
+  EXPECT_NE(f1, FingerprintDatabase(d, target, states, 2));
+  states[0].AddRow({99, 99});
+  EXPECT_NE(f1, FingerprintDatabase(d, target, states, 1));
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache
+
+TEST(PlanCacheTest, RepeatQueryHitsAndReturnsTheIdenticalProgram) {
+  Catalog catalog;
+  DatabaseSchema d = ParseSchema(catalog, "ab,bc,cd");
+  AttrSet target = ParseAttrSet(catalog, "ad");
+  PlanCache pc;
+  std::optional<PlanCache::Result> first =
+      pc.GetOrBuild(d, target, PlanStrategy::kAuto);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_FALSE(first->hit);
+  EXPECT_TRUE(first->acyclic);
+  EXPECT_EQ(first->resolved, PlanStrategy::kYannakakis);
+  std::optional<PlanCache::Result> second =
+      pc.GetOrBuild(d, target, PlanStrategy::kAuto);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_TRUE(second->hit);
+  EXPECT_EQ(second->resolved, PlanStrategy::kYannakakis);
+  EXPECT_EQ(first->program.Format(catalog), second->program.Format(catalog));
+  // And both match a direct solver build.
+  std::optional<Program> direct = YannakakisProgram(d, target);
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_EQ(first->program.Format(catalog), direct->Format(catalog));
+  const PlanCacheStats stats = pc.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(PlanCacheTest, CachedPlanExecutesBitIdenticallyToADirectBuild) {
+  Catalog catalog;
+  DatabaseSchema d = ParseSchema(catalog, "ab,bc,cd");
+  AttrSet target = ParseAttrSet(catalog, "ad");
+  Rng rng(11);
+  std::vector<Relation> states =
+      ProjectDatabase(RandomUniversal(d.Universe(), 150, 10, rng), d);
+  PlanCache pc;
+  pc.GetOrBuild(d, target, PlanStrategy::kAuto);  // warm
+  std::optional<PlanCache::Result> hit =
+      pc.GetOrBuild(d, target, PlanStrategy::kAuto);
+  ASSERT_TRUE(hit.has_value() && hit->hit);
+  std::optional<Program> direct = YannakakisProgram(d, target);
+  ASSERT_TRUE(direct.has_value());
+  exec::ExecContext ctx;
+  std::vector<Relation> want = exec::Execute(*direct, states, ctx);
+  std::vector<Relation> via_program = exec::Execute(hit->program, states, ctx);
+  std::vector<Relation> via_plan = hit->plan.Execute(states, ctx);
+  ASSERT_EQ(want.size(), via_program.size());
+  ASSERT_EQ(want.size(), via_plan.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_TRUE(want[i].IdenticalTo(via_program[i])) << "state " << i;
+    EXPECT_TRUE(want[i].IdenticalTo(via_plan[i])) << "state " << i;
+  }
+}
+
+TEST(PlanCacheTest, IsomorphicQueryIsAHitAndRemapsIntoCallerSpace) {
+  // Warm with attrs a..d, then ask the isomorphic query over w..z. The hit
+  // entry's program must come back in the *second* query's attribute space
+  // and execute exactly like a direct build for it.
+  Catalog catalog;
+  DatabaseSchema d1 = ParseSchema(catalog, "ab,bc,cd");
+  AttrSet t1 = ParseAttrSet(catalog, "ad");
+  DatabaseSchema d2 = ParseSchema(catalog, "wx,xy,yz");
+  AttrSet t2 = ParseAttrSet(catalog, "wz");
+  PlanCache pc;
+  ASSERT_TRUE(pc.GetOrBuild(d1, t1, PlanStrategy::kAuto).has_value());
+  std::optional<PlanCache::Result> hit =
+      pc.GetOrBuild(d2, t2, PlanStrategy::kAuto);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->hit);
+  std::optional<Program> direct = YannakakisProgram(d2, t2);
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_EQ(hit->program.Format(catalog), direct->Format(catalog));
+}
+
+TEST(PlanCacheTest, CyclicYannakakisVerdictIsMemoized) {
+  DatabaseSchema d = Aring(3);
+  AttrSet target = d.Universe();
+  PlanCache pc;
+  EXPECT_FALSE(pc.GetOrBuild(d, target, PlanStrategy::kYannakakis));
+  EXPECT_FALSE(pc.GetOrBuild(d, target, PlanStrategy::kYannakakis));
+  const PlanCacheStats stats = pc.stats();
+  EXPECT_EQ(stats.hits, 1u);  // the second rejection came from the cache
+  EXPECT_EQ(stats.misses, 1u);
+  // kAuto on the same schema still plans (CC-pruned fallback) — a distinct
+  // key, so the cyclic verdict entry cannot shadow it.
+  std::optional<PlanCache::Result> fallback =
+      pc.GetOrBuild(d, target, PlanStrategy::kAuto);
+  ASSERT_TRUE(fallback.has_value());
+  EXPECT_FALSE(fallback->acyclic);
+  EXPECT_EQ(fallback->resolved, PlanStrategy::kCcPruned);
+}
+
+TEST(PlanCacheTest, ExplicitStrategiesAreCachedSeparatelyAndClearResets) {
+  // Full-join and CC-pruned builds are memoized under their own keys (the
+  // requested strategy is part of the cache key, so asking for a different
+  // plan over the same schema never returns the wrong program).
+  Catalog catalog;
+  DatabaseSchema d = ParseSchema(catalog, "ab,bc");
+  AttrSet target = ParseAttrSet(catalog, "ac");
+  PlanCache pc;
+  std::optional<PlanCache::Result> full =
+      pc.GetOrBuild(d, target, PlanStrategy::kFullJoin);
+  ASSERT_TRUE(full.has_value());
+  EXPECT_FALSE(full->hit);
+  EXPECT_EQ(full->resolved, PlanStrategy::kFullJoin);
+  std::optional<PlanCache::Result> pruned =
+      pc.GetOrBuild(d, target, PlanStrategy::kCcPruned);
+  ASSERT_TRUE(pruned.has_value());
+  EXPECT_FALSE(pruned->hit);  // distinct key, not the full-join entry
+  EXPECT_EQ(pruned->resolved, PlanStrategy::kCcPruned);
+  EXPECT_TRUE(pc.GetOrBuild(d, target, PlanStrategy::kFullJoin)->hit);
+  EXPECT_TRUE(pc.GetOrBuild(d, target, PlanStrategy::kCcPruned)->hit);
+  EXPECT_EQ(pc.stats().entries, 2u);
+  pc.Clear();
+  const PlanCacheStats cleared = pc.stats();
+  EXPECT_EQ(cleared.entries, 0u);
+  EXPECT_EQ(cleared.hits, 0u);
+  EXPECT_FALSE(pc.GetOrBuild(d, target, PlanStrategy::kFullJoin)->hit);
+}
+
+TEST(PlanCacheTest, GlobalIsOneProcessWideInstance) {
+  EXPECT_EQ(&PlanCache::Global(), &PlanCache::Global());
+}
+
+TEST(PlanCacheTest, LruEvictsTheColdestEntry) {
+  PlanCache::Options options;
+  options.max_entries = 2;
+  PlanCache pc(options);
+  std::vector<DatabaseSchema> schemas;
+  for (int n = 2; n <= 4; ++n) schemas.push_back(PathSchema(n + 1));
+  // Distinct targets keep the three queries non-isomorphic.
+  for (const DatabaseSchema& d : schemas) {
+    ASSERT_TRUE(pc.GetOrBuild(d, d.Universe(), PlanStrategy::kAuto));
+  }
+  PlanCacheStats stats = pc.stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  // The first (evicted) query misses again; the last hits.
+  pc.GetOrBuild(schemas[0], schemas[0].Universe(), PlanStrategy::kAuto);
+  pc.GetOrBuild(schemas[2], schemas[2].Universe(), PlanStrategy::kAuto);
+  stats = pc.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 4u);
+}
+
+TEST(PlanCacheTest, ConcurrentLookupsAreSafeAndCoherent) {
+  Catalog catalog;
+  DatabaseSchema d = ParseSchema(catalog, "ab,bc,cd,de");
+  AttrSet target = ParseAttrSet(catalog, "ae");
+  PlanCache pc;
+  constexpr int kThreads = 8;
+  std::vector<std::string> failures(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int iter = 0; iter < 50; ++iter) {
+        std::optional<PlanCache::Result> r =
+            pc.GetOrBuild(d, target, PlanStrategy::kAuto);
+        if (!r.has_value() || r->resolved != PlanStrategy::kYannakakis ||
+            r->program.NumStatements() == 0) {
+          failures[t] = "bad plan-cache result under concurrency";
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], "");
+  const PlanCacheStats stats = pc.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.hits + stats.misses, 8u * 50u);
+}
+
+// ---------------------------------------------------------------------------
+// Delta-round incremental maintenance
+
+// Appends `count` random rows to relation `rel` of `db`.
+void AppendRandom(VersionedDatabase* db, int rel, int count, int domain,
+                  Rng& rng) {
+  const AttrSet& schema = db->schema()[rel];
+  Relation extra(schema);
+  for (int i = 0; i < count; ++i) {
+    std::vector<Value> row;
+    for (int c = 0; c < schema.Size(); ++c) {
+      row.push_back(static_cast<Value>(rng.Below(
+          static_cast<uint64_t>(domain))));
+    }
+    extra.AddRow(row);
+  }
+  db->Append(rel, extra);
+}
+
+TEST(DeltaReduceTest, MatchesBatchBitIdenticallyAfterRandomizedAppends) {
+  // The tentpole property: across random tree schemas, random initial
+  // states, randomized appends, thread counts, and both determinism modes,
+  // the incrementally maintained fixpoint is IdenticalTo (row order and
+  // canonical flags included) a from-scratch batch re-reduction.
+  for (const int threads : {1, 2, 4, 8}) {
+    exec::ExecutorPool pool(exec::ExecutorPool::Options{});
+    for (const bool deterministic : {true, false}) {
+      Rng rng(1000 + static_cast<uint64_t>(threads) +
+              (deterministic ? 0 : 17));
+      for (int trial = 0; trial < 12; ++trial) {
+        DatabaseSchema d =
+            RandomTreeSchema(2 + static_cast<int>(rng.Below(5)), 3, rng)
+                .schema;
+        std::vector<Relation> initial = RandomStates(d, 10, 4, rng);
+        exec::ExecContext ctx;
+        ctx.threads = threads;
+        ctx.deterministic = deterministic;
+        ctx.pool = threads > 1 ? &pool : nullptr;
+
+        std::vector<int64_t> prev_rows;
+        for (const Relation& r : initial) prev_rows.push_back(r.NumRows());
+        std::vector<Relation> prev_reduced = SemijoinFixpoint(d, initial, ctx);
+
+        // Append to a random subset of relations (sometimes none).
+        std::vector<Relation> now = initial;
+        for (int i = 0; i < d.NumRelations(); ++i) {
+          if (rng.Below(3) == 0) continue;
+          const int extra = 1 + static_cast<int>(rng.Below(4));
+          Relation rows(d[i]);
+          for (int k = 0; k < extra; ++k) {
+            std::vector<Value> row;
+            for (int c = 0; c < d[i].Size(); ++c) {
+              row.push_back(static_cast<Value>(rng.Below(4)));
+            }
+            rows.AddRow(row);
+          }
+          const int64_t base = now[i].AppendRows(rows.NumRows());
+          for (int c = 0; c < now[i].Arity(); ++c) {
+            const Value* src = rows.ColData(c);
+            for (int64_t k = 0; k < rows.NumRows(); ++k) {
+              now[i].ColData(c)[base + k] = src[k];
+            }
+          }
+        }
+
+        int batch_steps = -1, delta_steps = -1;
+        std::vector<Relation> batch =
+            SemijoinFixpoint(d, now, ctx, &batch_steps);
+        DeltaStats dstats;
+        std::vector<Relation> delta = DeltaReduce(
+            d, now, prev_rows, prev_reduced, ctx, &delta_steps, &dstats);
+        ASSERT_EQ(batch.size(), delta.size());
+        for (size_t i = 0; i < batch.size(); ++i) {
+          EXPECT_TRUE(batch[i].IdenticalTo(delta[i]))
+              << "threads " << threads << " det " << deterministic
+              << " trial " << trial << " relation " << i;
+        }
+        // Effective semijoins are a fixpoint invariant only for the full
+        // schedule; the delta run may skip (never add) effective work.
+        EXPECT_LE(delta_steps, batch_steps);
+      }
+    }
+  }
+}
+
+TEST(DeltaReduceTest, AppendRevivesAPreviouslyDanglingRow) {
+  // R0 = {(1,2)} over ab, R1 = {} over bc: the old fixpoint removed (1,2).
+  // Appending (2,5) to R1 must revive it — the grow phase's whole point.
+  DatabaseSchema d = PathSchema(3);  // ab, bc
+  std::vector<Relation> initial;
+  Relation r0(d[0]);
+  r0.AddRow({1, 2});
+  r0.Canonicalize();
+  initial.push_back(r0);
+  initial.push_back(Relation(d[1]));
+  exec::ExecContext ctx;
+  std::vector<Relation> prev = SemijoinFixpoint(d, initial, ctx);
+  EXPECT_EQ(prev[0].NumRows(), 0);
+
+  std::vector<Relation> now = initial;
+  now[1].AddRow({2, 5});
+  DeltaStats dstats;
+  std::vector<Relation> delta =
+      DeltaReduce(d, now, {1, 0}, prev, ctx, nullptr, &dstats);
+  std::vector<Relation> batch = SemijoinFixpoint(d, now, ctx);
+  ASSERT_EQ(delta.size(), 2u);
+  EXPECT_EQ(delta[0].NumRows(), 1);
+  EXPECT_TRUE(delta[0].IdenticalTo(batch[0]));
+  EXPECT_TRUE(delta[1].IdenticalTo(batch[1]));
+  EXPECT_GE(dstats.grow_rounds, 1);
+  EXPECT_EQ(dstats.revived_candidates, 1);
+  EXPECT_EQ(dstats.appended_rows, 1);
+}
+
+TEST(DeltaReduceTest, ReportsDeltaCountersInQueryStats) {
+  Rng rng(23);
+  DatabaseSchema d = PathSchema(5);
+  std::vector<Relation> initial = RandomStates(d, 30, 6, rng);
+  exec::ExecContext ctx;
+  std::vector<int64_t> prev_rows;
+  for (const Relation& r : initial) prev_rows.push_back(r.NumRows());
+  std::vector<Relation> prev = SemijoinFixpoint(d, initial, ctx);
+
+  std::vector<Relation> now = initial;
+  now[0].AddRow({1, 2});
+  exec::QueryStats stats;
+  exec::ExecContext counted = ctx;
+  counted.query_stats = &stats;
+  DeltaReduce(d, now, prev_rows, prev, counted);
+  EXPECT_GT(stats.rows_rescanned, 0);
+  EXPECT_GE(stats.delta_rounds, 1);
+}
+
+// ---------------------------------------------------------------------------
+// VersionedDatabase + StateCache
+
+TEST(StateCacheTest, VersionsTrackAppendsIncludingEmptyOnes) {
+  Catalog catalog;
+  DatabaseSchema d = ParseSchema(catalog, "ab,bc");
+  Rng rng(5);
+  VersionedDatabase db(d, RandomStates(d, 5, 4, rng));
+  EXPECT_EQ(db.versions(), (std::vector<uint64_t>{0, 0}));
+  AppendRandom(&db, 1, 2, 4, rng);
+  EXPECT_EQ(db.versions(), (std::vector<uint64_t>{0, 1}));
+  db.Append(0, Relation(d[0]));  // zero rows still bumps
+  EXPECT_EQ(db.versions(), (std::vector<uint64_t>{1, 1}));
+}
+
+TEST(StateCacheTest, ExactHitReturnsCachedStatesWithoutRecomputing) {
+  Catalog catalog;
+  DatabaseSchema d = ParseSchema(catalog, "ab,bc,cd");
+  Rng rng(31);
+  VersionedDatabase db(d, RandomStates(d, 25, 5, rng));
+  StateCache cache;
+  exec::QueryStats stats;
+  exec::ExecContext ctx;
+  ctx.query_stats = &stats;
+  int steps = -1;
+  std::vector<Relation> first = cache.GetReduced(db, ctx, &steps);
+  EXPECT_EQ(stats.state_cache_hits, 0);
+  std::vector<Relation> second = cache.GetReduced(db, ctx, &steps);
+  EXPECT_EQ(stats.state_cache_hits, 1);
+  EXPECT_EQ(steps, 0);  // nothing ran
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_TRUE(first[i].IdenticalTo(second[i]));
+  }
+  const StateCacheStats cs = cache.stats();
+  EXPECT_EQ(cs.hits, 1u);
+  EXPECT_EQ(cs.misses, 1u);
+  EXPECT_EQ(cs.delta_refreshes, 0u);
+}
+
+TEST(StateCacheTest, AppendTriggersDeltaRefreshIdenticalToBatch) {
+  Catalog catalog;
+  DatabaseSchema d = ParseSchema(catalog, "ab,bc,cd,de");
+  Rng rng(37);
+  VersionedDatabase db(d, RandomStates(d, 40, 6, rng));
+  StateCache cache;
+  exec::ExecContext ctx;
+  cache.GetReduced(db, ctx);  // warm
+  for (int round = 0; round < 4; ++round) {
+    AppendRandom(&db, round % d.NumRelations(), 3, 6, rng);
+    exec::QueryStats stats;
+    exec::ExecContext counted;
+    counted.query_stats = &stats;
+    std::vector<Relation> cached = cache.GetReduced(db, counted);
+    EXPECT_EQ(stats.state_cache_hits, 1) << "round " << round;
+    std::vector<Relation> batch = SemijoinFixpoint(d, db.states(), ctx);
+    ASSERT_EQ(cached.size(), batch.size());
+    for (size_t i = 0; i < cached.size(); ++i) {
+      EXPECT_TRUE(cached[i].IdenticalTo(batch[i]))
+          << "round " << round << " relation " << i;
+    }
+  }
+  const StateCacheStats cs = cache.stats();
+  EXPECT_EQ(cs.delta_refreshes, 4u);
+  EXPECT_EQ(cs.misses, 1u);
+}
+
+TEST(StateCacheTest, ByteBoundEvictsLeastRecentlyUsedDatabase) {
+  Catalog catalog;
+  DatabaseSchema d = ParseSchema(catalog, "ab,bc");
+  Rng rng(41);
+  StateCache::Options options;
+  options.max_bytes = 1;  // one entry always fits; a second always evicts
+  StateCache cache(options);
+  exec::ExecContext ctx;
+  VersionedDatabase db1(d, RandomStates(d, 20, 4, rng));
+  VersionedDatabase db2(d, RandomStates(d, 20, 4, rng));
+  cache.GetReduced(db1, ctx);
+  cache.GetReduced(db2, ctx);  // evicts db1
+  cache.GetReduced(db1, ctx);  // miss again
+  const StateCacheStats cs = cache.stats();
+  EXPECT_EQ(cs.entries, 1u);
+  EXPECT_GE(cs.evictions, 2u);
+  EXPECT_EQ(cs.hits, 0u);
+  EXPECT_EQ(cs.misses, 3u);
+}
+
+TEST(StateCacheTest, ConcurrentTenantsShareOneCacheSafely) {
+  Catalog catalog;
+  DatabaseSchema d = ParseSchema(catalog, "ab,bc,cd");
+  StateCache cache;
+  constexpr int kThreads = 6;
+  std::vector<std::string> failures(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(100 + static_cast<uint64_t>(t));
+      VersionedDatabase db(d, RandomStates(d, 15, 5, rng));
+      exec::ExecContext ctx;
+      for (int iter = 0; iter < 10; ++iter) {
+        std::vector<Relation> cached = cache.GetReduced(db, ctx);
+        std::vector<Relation> batch = SemijoinFixpoint(d, db.states(), ctx);
+        for (size_t i = 0; i < cached.size(); ++i) {
+          if (!cached[i].IdenticalTo(batch[i])) {
+            failures[t] = "cached states diverged from batch";
+            return;
+          }
+        }
+        AppendRandom(&db, iter % d.NumRelations(), 1, 5, rng);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], "");
+}
+
+// ---------------------------------------------------------------------------
+// Result cache
+
+TEST(ResultCacheTest, RoundTripsBitIdenticalValues) {
+  Catalog catalog;
+  DatabaseSchema d = ParseSchema(catalog, "ab,bc");
+  AttrSet target = ParseAttrSet(catalog, "ac");
+  Rng rng(47);
+  std::vector<Relation> states = RandomStates(d, 10, 4, rng);
+  const ResultKey key = MakeResultKey(d, target, states, 1);
+  Relation result(target);
+  result.AddRow({1, 2});
+  result.Canonicalize();
+  Program::Stats stats;
+  stats.result_rows = 1;
+  ResultCache rc;
+  EXPECT_FALSE(rc.Get(key).has_value());
+  rc.Put(key, ResultCache::Value{result, stats});
+  std::optional<ResultCache::Value> got = rc.Get(key);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->result.IdenticalTo(result));
+  EXPECT_EQ(got->stats.result_rows, 1);
+  // The key sees the variant word and the data.
+  EXPECT_NE(key, MakeResultKey(d, target, states, 2));
+  states[0].AddRow({7, 7});
+  EXPECT_NE(key, MakeResultKey(d, target, states, 1));
+}
+
+TEST(ResultCacheTest, ByteBoundEvictsLru) {
+  ResultCache::Options options;
+  options.max_bytes = 1;
+  ResultCache rc(options);
+  AttrSet schema({0});
+  for (int i = 0; i < 3; ++i) {
+    Relation r(schema);
+    r.AddRow({i});
+    ResultKey key;
+    key.a = Fingerprint{static_cast<uint64_t>(i), 0};
+    key.b = Fingerprint{0, static_cast<uint64_t>(i)};
+    rc.Put(key, ResultCache::Value{r, Program::Stats{}});
+  }
+  const ResultCacheStats stats = rc.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.evictions, 2u);
+}
+
+TEST(ResultCacheTest, DuplicatePutKeepsTheIncumbentAndClearResets) {
+  // Two racing misses may both compute and Put the same key; the second
+  // insert only refreshes recency (both values are bit-identical by
+  // construction, so keeping the incumbent is free and never grows bytes).
+  ResultCache rc;
+  AttrSet schema({0});
+  ResultKey key;
+  key.a = Fingerprint{1, 2};
+  key.b = Fingerprint{3, 4};
+  Relation first(schema);
+  first.AddRow({7});
+  Program::Stats stats;
+  stats.result_rows = 1;
+  rc.Put(key, ResultCache::Value{first, stats});
+  Relation second(schema);
+  second.AddRow({7});
+  rc.Put(key, ResultCache::Value{second, stats});
+  EXPECT_EQ(rc.stats().entries, 1u);
+  std::optional<ResultCache::Value> got = rc.Get(key);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->result.IdenticalTo(first));
+  rc.Clear();
+  EXPECT_EQ(rc.stats().entries, 0u);
+  EXPECT_FALSE(rc.Get(key).has_value());
+}
+
+TEST(ResultCacheTest, GlobalIsOneProcessWideInstance) {
+  EXPECT_EQ(&ResultCache::Global(), &ResultCache::Global());
+}
+
+}  // namespace
+}  // namespace cache
+}  // namespace gyo

@@ -180,6 +180,76 @@ TEST(ServeTest, ConcurrentClientsBitIdenticalToSerial) {
   EXPECT_EQ(report.protocol_errors, 0u);
 }
 
+TEST(ServeTest, RepeatQueryIsServedFromCacheBitIdentically) {
+  exec::ExecutorPool pool(PoolOptions(2, 2));
+  ServerOptions options;
+  options.pool = &pool;
+  Server server(options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  const Relation expected = SerialReference(kTree, 500);
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+  QueryResponse first, second;
+  ASSERT_EQ(client.Query(MakeRequest(kTree, 500), &first),
+            Client::Outcome::kOk);
+  ASSERT_EQ(client.Query(MakeRequest(kTree, 500), &second),
+            Client::Outcome::kOk);
+
+  // The cached reply replays the first answer — and both must be
+  // bit-identical to direct serial execution, stats included.
+  EXPECT_TRUE(first.result.IdenticalTo(expected));
+  EXPECT_TRUE(second.result.IdenticalTo(first.result));
+  EXPECT_EQ(second.stats.result_rows, first.stats.result_rows);
+  EXPECT_EQ(second.stats.max_intermediate_rows,
+            first.stats.max_intermediate_rows);
+  EXPECT_EQ(second.stats.total_rows_produced, first.stats.total_rows_produced);
+  EXPECT_EQ(first.query_stats.plan_cache_hits, 0);
+  EXPECT_EQ(first.query_stats.state_cache_hits, 0);
+  EXPECT_EQ(second.query_stats.plan_cache_hits, 1);
+  EXPECT_EQ(second.query_stats.state_cache_hits, 1);
+  EXPECT_EQ(second.query_stats.tasks, 0);  // no execution happened
+
+  StatusResponse status;
+  ASSERT_EQ(client.Status(&status), Client::Outcome::kOk);
+  EXPECT_EQ(status.queries_served, 2u);
+  EXPECT_EQ(status.plan_cache_hits, 1u);
+  EXPECT_EQ(status.plan_cache_misses, 1u);
+  EXPECT_EQ(status.result_cache_hits, 1u);
+  EXPECT_EQ(status.result_cache_misses, 1u);
+}
+
+TEST(ServeTest, DisabledCachesExecuteEveryQuery) {
+  exec::ExecutorPool pool(PoolOptions(2, 2));
+  ServerOptions options;
+  options.pool = &pool;
+  options.plan_cache_entries = 0;
+  options.result_cache_bytes = 0;
+  Server server(options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+  QueryResponse first, second;
+  ASSERT_EQ(client.Query(MakeRequest(kTree, 500), &first),
+            Client::Outcome::kOk);
+  ASSERT_EQ(client.Query(MakeRequest(kTree, 500), &second),
+            Client::Outcome::kOk);
+  EXPECT_TRUE(second.result.IdenticalTo(first.result));
+  EXPECT_EQ(second.query_stats.plan_cache_hits, 0);
+  EXPECT_EQ(second.query_stats.state_cache_hits, 0);
+  EXPECT_GT(second.query_stats.tasks, 0);
+
+  StatusResponse status;
+  ASSERT_EQ(client.Status(&status), Client::Outcome::kOk);
+  EXPECT_EQ(status.plan_cache_hits, 0u);
+  EXPECT_EQ(status.plan_cache_misses, 0u);
+  EXPECT_EQ(status.result_cache_hits, 0u);
+  EXPECT_EQ(status.result_cache_misses, 0u);
+}
+
 TEST(ServeTest, DeadlineShedIsATypedReplyAndTheConnectionSurvives) {
   exec::ExecutorPool pool(PoolOptions(2, 1));
   ServerOptions options;
