@@ -201,6 +201,146 @@ BENCHMARK(BM_Exec_StealImbalance)
     ->Arg(8)
     ->UseRealTime();
 
+void BM_Exec_SipStar(benchmark::State& state) {
+  // Sideways information passing on a star-schema semijoin chain. All
+  // satellites of a star share the center attribute, so the reduction is a
+  // chain s_i = s_{i-1} ⋉ R_i with key {0} throughout — and every later
+  // satellite is a base-slot eliminator for the chain head. The satellite
+  // key domains shrink down the chain (the last one is tiny), so without
+  // SIP every statement re-probes the rows the tail would have killed,
+  // while with SIP the head consults the tail satellites' Bloom filters
+  // and drops ~97% of the fact rows before the first hash build's probes.
+  // Arg(0) = threads, Arg(1) = SIP on/off — the A/B reads directly off the
+  // report, and sip_rows_pruned is sign-pinned on the sip:1 half.
+  constexpr int kSatellites = 7;
+  constexpr int64_t kFactRows = 1 << 16;
+  constexpr int64_t kSatRows = 1 << 12;
+  Program p(1 + kSatellites);
+  int chain = 0;
+  for (int i = 1; i <= kSatellites; ++i) chain = p.AddSemijoin(chain, i);
+  Rng rng(23);
+  std::vector<Relation> states;
+  Relation fact(AttrSet{0, 1});
+  fact.Reserve(kFactRows);
+  for (int64_t i = 0; i < kFactRows; ++i) {
+    fact.AddRow({static_cast<Value>(rng.Below(1 << 14)),
+                 static_cast<Value>(i)});
+  }
+  fact.Canonicalize();
+  states.push_back(std::move(fact));
+  for (int i = 1; i <= kSatellites; ++i) {
+    // Satellite i's keys cover [0, 4096 >> (i-1)) densely (k mod domain),
+    // down to [0, 64) at i = 7 — so the chain's survivors are exactly the
+    // fact rows with keys under the smallest domain, a nonzero pinned
+    // cardinality, and the tail filters do the heavy pruning.
+    const int64_t domain = kSatRows >> (i - 1);
+    Relation sat(AttrSet{0, static_cast<AttrId>(i + 1)});
+    sat.Reserve(kSatRows);
+    for (int64_t k = 0; k < kSatRows; ++k) {
+      sat.AddRow({static_cast<Value>(k % domain), static_cast<Value>(k)});
+    }
+    sat.Canonicalize();
+    states.push_back(std::move(sat));
+  }
+  const double peak_rss_mb = SampleRss(state, p, states);
+  BenchPool bench(state);
+  bench.ctx.enable_sip = state.range(1) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec::Run(p, states, bench.ctx));
+  }
+  ReportStats(state, p, states, bench.ctx, peak_rss_mb);
+}
+BENCHMARK(BM_Exec_SipStar)
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->UseRealTime();
+
+void BM_Exec_JoinScatter(benchmark::State& state) {
+  // NaturalJoin's probe-side radix scatter under skew: the build side is
+  // unique on the join key (output growth ≤ 1), the probe side puts half
+  // its rows on 8 hot keys — so a handful of partitions own most of the
+  // probe traffic and the scatter + sticky affinity + stealing interplay
+  // is what the thread curve measures. Arg(0) = threads, Arg(1) =
+  // deterministic: the 1-half pays the k-way morsel merge that restores
+  // serial output order, the 0-half concatenates in completion order, so
+  // the merge's cost is the gap between the halves at each width.
+  constexpr int64_t kProbeRows = 1 << 18;
+  constexpr int64_t kBuildRows = 1 << 16;
+  Rng rng(29);
+  Relation r(AttrSet{0, 1});
+  r.Reserve(kProbeRows);
+  for (int64_t i = 0; i < kProbeRows; ++i) {
+    const Value key = (i % 2 == 0) ? static_cast<Value>(rng.Below(8))
+                                   : static_cast<Value>(rng.Below(kBuildRows));
+    r.AddRow({static_cast<Value>(i), key});
+  }
+  r.Canonicalize();
+  Relation s(AttrSet{1, 2});
+  s.Reserve(kBuildRows);
+  for (int64_t k = 0; k < kBuildRows; ++k) {
+    s.AddRow({static_cast<Value>(k), static_cast<Value>(k % 97)});
+  }
+  s.Canonicalize();
+  Program p(2);
+  p.AddJoin(0, 1);
+  std::vector<Relation> states = {std::move(r), std::move(s)};
+  const double peak_rss_mb = SampleRss(state, p, states);
+  BenchPool bench(state);
+  bench.ctx.deterministic = state.range(1) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec::Run(p, states, bench.ctx));
+  }
+  ReportStats(state, p, states, bench.ctx, peak_rss_mb);
+}
+BENCHMARK(BM_Exec_JoinScatter)
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({8, 1})
+    ->Args({8, 0})
+    ->UseRealTime();
+
+void BM_Exec_ZoneMap(benchmark::State& state) {
+  // Zone-map disjointness in Semijoin: Arg(1) = 1 puts the build side's
+  // key range entirely above the probe side's, so ZoneRange proves the
+  // semijoin empty and the whole probe pass is skipped (zone_map_skips =
+  // probe rows, sign-pinned); Arg(1) = 0 overlaps the ranges and pays the
+  // full hash build + probe over the same cardinalities — the gap between
+  // the two halves is what the maps save. Arg(0) = threads, as everywhere.
+  constexpr int64_t kProbeRows = 1 << 18;
+  constexpr int64_t kBuildRows = 1 << 16;
+  const bool disjoint = state.range(1) != 0;
+  Rng rng(31);
+  Relation r(AttrSet{0, 1});
+  r.Reserve(kProbeRows);
+  for (int64_t i = 0; i < kProbeRows; ++i) {
+    r.AddRow({static_cast<Value>(rng.Below(kBuildRows)),
+              static_cast<Value>(i)});
+  }
+  r.Canonicalize();
+  const Value build_base = disjoint ? static_cast<Value>(kBuildRows) : 0;
+  Relation s(AttrSet{0, 2});
+  s.Reserve(kBuildRows);
+  for (int64_t k = 0; k < kBuildRows; ++k) {
+    s.AddRow({build_base + static_cast<Value>(k), static_cast<Value>(k)});
+  }
+  s.Canonicalize();
+  Program p(2);
+  p.AddSemijoin(0, 1);
+  std::vector<Relation> states = {std::move(r), std::move(s)};
+  const double peak_rss_mb = SampleRss(state, p, states);
+  BenchPool bench(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec::Run(p, states, bench.ctx));
+  }
+  ReportStats(state, p, states, bench.ctx, peak_rss_mb);
+}
+BENCHMARK(BM_Exec_ZoneMap)->Args({4, 0})->Args({4, 1})->UseRealTime();
+
 void BM_Exec_MultiClient(benchmark::State& state) {
   // Arg(0) client threads share one 4-thread pool that admits at most 2
   // queries at a time; each client runs 2 deterministic Yannakakis queries

@@ -90,6 +90,16 @@ inline void ReportMemCounters(benchmark::State& state,
       static_cast<double>(query_stats.bloom_partition_skips);
   state.counters["probe_rows_pruned"] =
       static_cast<double>(query_stats.probe_rows_pruned);
+  // Cross-statement pruning: probe rows rejected by sideways-information-
+  // passing filters and probe rows skipped by zone-map disjointness proofs.
+  // Both are pure functions of the seeded data and the plan, but the
+  // bench-check sign-pins rather than value-pins them (on the SipStar and
+  // ZoneMap families respectively) so the benches stay free to re-balance
+  // their fixtures without a baseline churn on every unrelated family.
+  state.counters["sip_rows_pruned"] =
+      static_cast<double>(query_stats.sip_rows_pruned);
+  state.counters["zone_map_skips"] =
+      static_cast<double>(query_stats.zone_map_skips);
   state.counters["peak_rss_mb"] = peak_rss_mb;
   // Work-stealing scheduler counters. Placement is timing-dependent, so
   // none of these are pinned exactly; the bench-check only requires

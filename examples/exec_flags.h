@@ -95,6 +95,12 @@ inline void PrintPoolStatus(const gyo::exec::ExecContext& ctx) {
         static_cast<long long>(qs.affinity_hits),
         static_cast<long long>(qs.affinity_misses),
         static_cast<long long>(qs.queue_depth_at_admit));
+    std::printf(
+        "  pruning: %lld rows SIP-pruned, %lld zone-map skips, %lld Bloom "
+        "pruned\n",
+        static_cast<long long>(qs.sip_rows_pruned),
+        static_cast<long long>(qs.zone_map_skips),
+        static_cast<long long>(qs.probe_rows_pruned));
   }
 }
 

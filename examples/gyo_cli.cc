@@ -202,6 +202,11 @@ int Solve(gyo::Catalog& catalog, const gyo::DatabaseSchema& d,
           static_cast<long long>(query_stats.affinity_hits),
           static_cast<long long>(query_stats.affinity_misses),
           static_cast<long long>(query_stats.queue_depth_at_admit));
+      std::printf(
+          "             pruning: %lld SIP, %lld zone-map skips, %lld Bloom\n",
+          static_cast<long long>(query_stats.sip_rows_pruned),
+          static_cast<long long>(query_stats.zone_map_skips),
+          static_cast<long long>(query_stats.probe_rows_pruned));
     }
   }
   if (ctx.threads != 1) gyo_examples::PrintPoolStatus(ctx);

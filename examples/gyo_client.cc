@@ -131,6 +131,10 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(status.affinity_hits),
         static_cast<unsigned long long>(status.affinity_misses));
     std::printf(
+        "pruning: %llu rows SIP-pruned, %llu zone-map skips\n",
+        static_cast<unsigned long long>(status.sip_rows_pruned),
+        static_cast<unsigned long long>(status.zone_map_skips));
+    std::printf(
         "caches: plan %llu hits / %llu misses, result %llu hits / %llu "
         "misses\n",
         static_cast<unsigned long long>(status.plan_cache_hits),
@@ -189,6 +193,12 @@ int main(int argc, char** argv) {
       response.query_stats.run_time_seconds * 1e3,
       static_cast<long long>(response.query_stats.tasks),
       static_cast<long long>(response.query_stats.morsels));
+  std::printf(
+      "pruning: %lld rows SIP-pruned, %lld zone-map skips, %lld Bloom "
+      "pruned\n",
+      static_cast<long long>(response.query_stats.sip_rows_pruned),
+      static_cast<long long>(response.query_stats.zone_map_skips),
+      static_cast<long long>(response.query_stats.probe_rows_pruned));
   if (response.has_plan) {
     std::printf(
         "plan: %s, %d statements, critical path %d, %d sources\n",

@@ -95,6 +95,20 @@ struct QueryStats {
   /// comparison: skipped clean-pair semijoins contribute nothing.
   /// Deterministic for a given start state.
   int64_t rows_rescanned = 0;
+
+  /// Probe rows pruned by a sideways-information-passing filter: a Bloom
+  /// filter over a LATER chain statement's build side, published through
+  /// the per-query SIP registry (see physical_plan.cc) and consulted before
+  /// the consuming Semijoin's own hash work. No false negatives, so the
+  /// final states are untouched; deterministic at every thread count (the
+  /// filter builds are ordered before their consumers by dependency edges).
+  int64_t sip_rows_pruned = 0;
+
+  /// Probe rows skipped by zone-map disjointness: a Semijoin whose key
+  /// ranges in the two inputs provably cannot overlap skips the whole probe
+  /// (the result is empty either way). Counts the probe rows never hashed.
+  /// Deterministic — a pure function of the input states.
+  int64_t zone_map_skips = 0;
 };
 
 /// Runtime knobs for executing programs (and the reducer) in parallel.
@@ -150,6 +164,16 @@ struct ExecContext {
   /// retire_consumed. The full reducer retains each node's final state
   /// (e.g. the root's, which the downward pass consumes).
   const std::vector<int>* retain_states = nullptr;
+
+  /// Sideways information passing: when true (default), the physical plan's
+  /// dataflow analysis publishes each eligible chain statement's build-side
+  /// Bloom filter into a per-query SIP registry and upstream Semijoins
+  /// pre-filter their probes against it (see physical_plan.cc). Results are
+  /// identical either way (the filters have no false negatives); the flag
+  /// exists for A/B testing and for the fixpoint reducer, which disables
+  /// SIP to keep its work-accounting counters (rows_rescanned,
+  /// effective steps) comparable across rounds.
+  bool enable_sip = true;
 
   /// When non-null, receives this query's QueryStats on completion.
   QueryStats* query_stats = nullptr;

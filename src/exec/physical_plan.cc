@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <memory>
 #include <utility>
 
@@ -58,6 +59,105 @@ std::vector<int> ComputeReaderCounts(const Program& program) {
     ForEachInput(s, [&](int id) { ++counts[static_cast<size_t>(id)]; });
   }
   return counts;
+}
+
+// One entry of the per-query SIP registry (sideways information passing):
+// a Bloom filter to build over base slot `source`'s `key_attrs` columns,
+// consulted by every statement in `consumers` before its own probe work.
+// Entries are deduplicated by (source, key signature), so two chain heads
+// sharing an eliminator share one filter build.
+struct SipFilter {
+  int source;
+  std::vector<AttrId> key_attrs;
+  std::vector<int> consumers;  // statement indices
+};
+
+// The SIP dataflow analysis. For each semijoin statement U with key
+// B = sch(U.lhs) ∩ sch(U.rhs), walk the single-reader semijoin chain fed by
+// U's output: every later chain statement W = (chain ⋉ ρ) whose BASE build
+// side ρ covers B (B ⊆ sch(ρ)) is an *eliminator* — a row of U's probe side
+// whose B-key has no match in ρ is dropped by W no matter what happens in
+// between, because the chain's schema (hence its B-columns) never changes
+// and W's semijoin key contains B. Pre-filtering U's probe against a Bloom
+// filter over ρ's B-columns therefore prunes only rows that die downstream
+// anyway: the chain's FINAL state is identical with or without SIP, and the
+// single-reader requirement guarantees no other statement observes the
+// (possibly smaller) intermediate states. Restricting sources to base slots
+// keeps the filter tasks dependency-free, so adding consumer → filter edges
+// can never create a cycle — and makes the pruning deterministic at every
+// thread count (a consumer starts only after its filters are fully built).
+//
+// A chain statement's own collected set is subtracted from its upstream
+// producer's (same source, same key signature): the producer's pruning
+// already removed those rows, so re-consulting downstream is pure overhead.
+std::vector<SipFilter> ComputeSipFilters(const Program& program,
+                                         const std::vector<AttrSet>& schemas) {
+  const int num_base = program.num_base();
+  const int num_statements = program.NumStatements();
+  const auto& statements = program.Statements();
+
+  std::vector<std::vector<int>> readers(
+      static_cast<size_t>(program.NumRelations()));
+  for (int k = 0; k < num_statements; ++k) {
+    ForEachInput(statements[static_cast<size_t>(k)], [&](int id) {
+      readers[static_cast<size_t>(id)].push_back(k);
+    });
+  }
+
+  using Key = std::pair<int, std::vector<AttrId>>;  // (source, signature)
+  // Per-statement consult sets, for the producer subtraction.
+  std::vector<std::vector<Key>> consults(static_cast<size_t>(num_statements));
+  std::map<Key, std::vector<int>> registry;
+
+  for (int u = 0; u < num_statements; ++u) {
+    const Program::Statement& su = statements[static_cast<size_t>(u)];
+    if (su.kind != Program::Statement::Kind::kSemijoin) continue;
+    const AttrSet key = schemas[static_cast<size_t>(su.lhs)].Intersect(
+        schemas[static_cast<size_t>(su.rhs)]);
+    if (key.Empty()) continue;
+    const std::vector<AttrId> signature = key.ToVector();
+
+    std::vector<Key> collected;
+    int cur = num_base + u;
+    while (readers[static_cast<size_t>(cur)].size() == 1) {
+      const int v = readers[static_cast<size_t>(cur)][0];
+      const Program::Statement& sv = statements[static_cast<size_t>(v)];
+      if (sv.kind != Program::Statement::Kind::kSemijoin || sv.lhs != cur ||
+          sv.rhs == cur) {
+        break;
+      }
+      if (sv.rhs < num_base && sv.rhs != su.rhs &&
+          key.IsSubsetOf(schemas[static_cast<size_t>(sv.rhs)])) {
+        collected.emplace_back(sv.rhs, signature);
+      }
+      cur = num_base + v;
+    }
+    if (collected.empty()) continue;
+
+    // Subtract what U's producer already consults: those rows are gone
+    // from U's probe side before U ever sees them.
+    if (su.lhs >= num_base) {
+      const std::vector<Key>& upstream =
+          consults[static_cast<size_t>(su.lhs - num_base)];
+      collected.erase(
+          std::remove_if(collected.begin(), collected.end(),
+                         [&](const Key& k) {
+                           return std::find(upstream.begin(), upstream.end(),
+                                            k) != upstream.end();
+                         }),
+          collected.end());
+    }
+    for (const Key& k : collected) registry[k].push_back(u);
+    consults[static_cast<size_t>(u)] = std::move(collected);
+  }
+
+  std::vector<SipFilter> filters;
+  filters.reserve(registry.size());
+  for (auto& entry : registry) {
+    filters.push_back(SipFilter{entry.first.first, entry.first.second,
+                                std::move(entry.second)});
+  }
+  return filters;
 }
 
 }  // namespace
@@ -127,25 +227,31 @@ class StateTracker {
   // Called by a statement task right after it stored its output.
   void RecordProduced(const Relation& out) { AddBytes(BytesOf(out)); }
 
-  // Called by statement `s`'s task after it finished: decrements the
-  // remaining-reader countdown of every slot the statement read, and frees
-  // a slot whose countdown this task dropped to zero. Safe without a lock:
-  // the freeing task IS the slot's last reader — every other reader's
-  // fetch_sub (an acq_rel RMW) already happened, so their reads of the slot
-  // happen-before the free.
+  // One reader of slot `id` finished with it: decrements the slot's
+  // remaining-reader countdown and frees the slot when this was the last
+  // reader. Safe without a lock: the freeing task IS the slot's last reader
+  // — every other reader's fetch_sub (an acq_rel RMW) already happened, so
+  // their reads of the slot happen-before the free. SIP filter-build tasks
+  // call this directly (their reads are counted into the seed counts by
+  // ExecuteImpl), statement tasks go through RecordRetired below.
+  void RecordSlotRead(int id) {
+    if (!retire_) return;
+    const size_t slot = static_cast<size_t>(id);
+    if (remaining_[slot].fetch_sub(1, std::memory_order_acq_rel) != 1) {
+      return;
+    }
+    if (retained_[slot]) return;
+    const int64_t freed = BytesOf(states_[slot]);
+    states_[slot] = Relation(states_[slot].Schema());
+    live_bytes_.fetch_sub(freed, std::memory_order_relaxed);
+    retired_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Called by statement `s`'s task after it finished: releases every slot
+  // the statement read.
   void RecordRetired(const Program::Statement& s) {
     if (!retire_) return;
-    ForEachInput(s, [&](int id) {
-      const size_t slot = static_cast<size_t>(id);
-      if (remaining_[slot].fetch_sub(1, std::memory_order_acq_rel) != 1) {
-        return;
-      }
-      if (retained_[slot]) return;
-      const int64_t freed = BytesOf(states_[slot]);
-      states_[slot] = Relation(states_[slot].Schema());
-      live_bytes_.fetch_sub(freed, std::memory_order_relaxed);
-      retired_.fetch_add(1, std::memory_order_relaxed);
-    });
+    ForEachInput(s, [&](int id) { RecordSlotRead(id); });
   }
 
   int64_t peak_bytes() const {
@@ -182,6 +288,7 @@ class StateTracker {
 // not starved by deeper plans admitted earlier.
 void RunStatements(const Program& program,
                    const std::vector<std::vector<int>>& deps,
+                   const std::vector<SipFilter>& sip,
                    std::vector<Relation>& states, TaskScheduler& scheduler,
                    const OpExecOpts& op_opts,
                    std::vector<int64_t>& rows_produced, StateTracker& tracker,
@@ -202,6 +309,26 @@ void RunStatements(const Program& program,
     }
   }
 
+  // The SIP registry's run-time half: filter storage plus the per-consumer
+  // filter lists the statement tasks consult through their OpExecOpts. Both
+  // live on this frame, which outlives the graph run.
+  std::vector<BloomFilter> filters(sip.size());
+  std::vector<std::vector<const BloomFilter*>> consumer_filters(
+      static_cast<size_t>(num_statements));
+  for (size_t f = 0; f < sip.size(); ++f) {
+    for (int c : sip[f].consumers) {
+      consumer_filters[static_cast<size_t>(c)].push_back(&filters[f]);
+    }
+  }
+  std::vector<OpExecOpts> stmt_opts(static_cast<size_t>(num_statements),
+                                    op_opts);
+  for (int k = 0; k < num_statements; ++k) {
+    if (!consumer_filters[static_cast<size_t>(k)].empty()) {
+      stmt_opts[static_cast<size_t>(k)].sip_filters =
+          &consumer_filters[static_cast<size_t>(k)];
+    }
+  }
+
   TaskGraph graph;
   for (int k = 0; k < num_statements; ++k) {
     // Pointer, not reference: the task closures outlive this loop iteration
@@ -210,20 +337,21 @@ void RunStatements(const Program& program,
         &program.Statements()[static_cast<size_t>(k)];
     const size_t slot = static_cast<size_t>(num_base + k);
     graph.AddTask(
-        [&states, &rows_produced, &op_opts, &tracker, s, slot, k] {
+        [&states, &rows_produced, &stmt_opts, &tracker, s, slot, k] {
+          const OpExecOpts& opts = stmt_opts[static_cast<size_t>(k)];
           Relation& out = states[slot];
           switch (s->kind) {
             case Program::Statement::Kind::kJoin:
               out = NaturalJoin(states[static_cast<size_t>(s->lhs)],
-                                states[static_cast<size_t>(s->rhs)], op_opts);
+                                states[static_cast<size_t>(s->rhs)], opts);
               break;
             case Program::Statement::Kind::kSemijoin:
               out = Semijoin(states[static_cast<size_t>(s->lhs)],
-                             states[static_cast<size_t>(s->rhs)], op_opts);
+                             states[static_cast<size_t>(s->rhs)], opts);
               break;
             case Program::Statement::Kind::kProject:
               out = Project(states[static_cast<size_t>(s->lhs)], s->target,
-                            op_opts);
+                            opts);
               break;
           }
           rows_produced[static_cast<size_t>(k)] = out.NumRows();
@@ -234,6 +362,31 @@ void RunStatements(const Program& program,
   }
   for (int k = 0; k < num_statements; ++k) {
     for (int d : deps[static_cast<size_t>(k)]) graph.AddDependency(k, d);
+  }
+  // Filter-build tasks: dependency-free (sources are base slots, always
+  // ready), and every consumer waits on its filters — so the pruning
+  // decisions are fixed before any consumer row is probed, at every thread
+  // count. Priority: one above the hottest consumer, so a filter never
+  // queues behind the statement it gates.
+  for (size_t f = 0; f < sip.size(); ++f) {
+    const SipFilter* sf = &sip[f];
+    BloomFilter* dst = &filters[f];
+    int filter_priority = 1;
+    for (int c : sf->consumers) {
+      filter_priority =
+          std::max(filter_priority, priority[static_cast<size_t>(c)] + 1);
+    }
+    const int task = graph.AddTask(
+        [&states, &tracker, sf, dst] {
+          const Relation& src = states[static_cast<size_t>(sf->source)];
+          std::vector<int> cols;
+          cols.reserve(sf->key_attrs.size());
+          for (AttrId a : sf->key_attrs) cols.push_back(src.ColIndex(a));
+          *dst = BuildSipFilter(src, cols);
+          tracker.RecordSlotRead(sf->source);
+        },
+        filter_priority);
+    for (int c : sf->consumers) graph.AddDependency(c, task);
   }
   scheduler.RunGraph(graph, steal_stats, initial_age_seconds);
 }
@@ -285,17 +438,39 @@ std::vector<Relation> ExecuteImpl(const Program& program,
   op_opts.morsel_rows = ctx.morsel_rows;
   op_opts.deterministic = ctx.deterministic;
 
-  // Bloom prune tallies, fed by both the serial and parallel kernels; the
-  // query's statement tasks share them, so they are atomics.
+  // Bloom/SIP/zone prune tallies, fed by both the serial and parallel
+  // kernels; the query's statement tasks share them, so they are atomics.
   std::atomic<int64_t> bloom_skips{0};
   std::atomic<int64_t> probe_prunes{0};
+  std::atomic<int64_t> sip_prunes{0};
+  std::atomic<int64_t> zone_skips{0};
   op_opts.bloom_skip_counter = &bloom_skips;
   op_opts.probe_prune_counter = &probe_prunes;
+  op_opts.sip_prune_counter = &sip_prunes;
+  op_opts.zone_skip_counter = &zone_skips;
+
+  // SIP analysis per execution (it needs the derived schemas, and the
+  // filters themselves depend on the actual base states). Filter tasks read
+  // their source slot once more than the compile-time reader counts know
+  // about, so retirement seeds an adjusted local copy — the plan's public
+  // ReaderCounts() stays the pure statement-level analysis.
+  const std::vector<SipFilter> sip =
+      ctx.enable_sip ? ComputeSipFilters(program, schemas)
+                     : std::vector<SipFilter>();
+  std::vector<int> adjusted_counts;
+  const std::vector<int>* seed_counts = &reader_counts;
+  if (!sip.empty()) {
+    adjusted_counts = reader_counts;
+    for (const SipFilter& f : sip) {
+      ++adjusted_counts[static_cast<size_t>(f.source)];
+    }
+    seed_counts = &adjusted_counts;
+  }
 
   // Per-task partial stats, written into disjoint slots and merged after the
   // RunGraph barrier.
   std::vector<int64_t> rows_produced(static_cast<size_t>(num_statements), 0);
-  StateTracker tracker(states, ctx.retire_consumed, reader_counts,
+  StateTracker tracker(states, ctx.retire_consumed, *seed_counts,
                        ctx.retain_states);
 
   if (admitted != nullptr) {
@@ -308,7 +483,7 @@ std::vector<Relation> ExecuteImpl(const Program& program,
     op_opts.scheduler = &admission.scheduler();
     op_opts.morsel_counter = &admission.morsel_counter();
     op_opts.steal_stats = admission.steal_stats();
-    RunStatements(program, deps, states, admission.scheduler(), op_opts,
+    RunStatements(program, deps, sip, states, admission.scheduler(), op_opts,
                   rows_produced, tracker, admission.steal_stats(),
                   admission.queue_wait_seconds());
     admission.AddTasks(num_statements);
@@ -319,7 +494,7 @@ std::vector<Relation> ExecuteImpl(const Program& program,
     const auto started = std::chrono::steady_clock::now();
     TaskScheduler serial(1);
     op_opts.scheduler = &serial;
-    RunStatements(program, deps, states, serial, op_opts, rows_produced,
+    RunStatements(program, deps, sip, states, serial, op_opts, rows_produced,
                   tracker, /*steal_stats=*/nullptr,
                   /*initial_age_seconds=*/0.0);
     if (ctx.query_stats != nullptr) {
@@ -340,7 +515,7 @@ std::vector<Relation> ExecuteImpl(const Program& program,
     op_opts.scheduler = &admission.scheduler();
     op_opts.morsel_counter = &admission.morsel_counter();
     op_opts.steal_stats = admission.steal_stats();
-    RunStatements(program, deps, states, admission.scheduler(), op_opts,
+    RunStatements(program, deps, sip, states, admission.scheduler(), op_opts,
                   rows_produced, tracker, admission.steal_stats(),
                   admission.queue_wait_seconds());
     admission.AddTasks(num_statements);
@@ -353,6 +528,10 @@ std::vector<Relation> ExecuteImpl(const Program& program,
         bloom_skips.load(std::memory_order_relaxed);
     ctx.query_stats->probe_rows_pruned =
         probe_prunes.load(std::memory_order_relaxed);
+    ctx.query_stats->sip_rows_pruned =
+        sip_prunes.load(std::memory_order_relaxed);
+    ctx.query_stats->zone_map_skips =
+        zone_skips.load(std::memory_order_relaxed);
   }
 
   if (stats != nullptr) {
@@ -414,10 +593,30 @@ std::vector<Relation> Execute(const Program& program,
                      stats);
 }
 
+std::vector<int> RetainForSinks(const Program& program,
+                                const std::vector<int>& requested) {
+  const std::vector<int> counts = ComputeReaderCounts(program);
+  std::vector<int> retain;
+  for (int id : requested) {
+    GYO_CHECK_MSG(id >= 0 && id < program.NumRelations(),
+                  "requested slot %d out of range", id);
+    // Slots no statement reads are sinks — retirement already spares them.
+    if (counts[static_cast<size_t>(id)] > 0) retain.push_back(id);
+  }
+  return retain;
+}
+
 Relation Run(const Program& program, const std::vector<Relation>& base,
              const ExecContext& ctx) {
   GYO_CHECK_MSG(program.NumStatements() > 0, "program has no statements");
-  return Execute(program, base, ctx).back();
+  // Result-only entry point, so retirement is always safe: statements only
+  // read earlier slots, making the last statement's output a sink (reader
+  // count zero) that retirement never touches — every other state is freed
+  // as its last reader finishes.
+  ExecContext run_ctx = ctx;
+  run_ctx.retire_consumed = true;
+  run_ctx.retain_states = nullptr;
+  return Execute(program, base, run_ctx).back();
 }
 
 std::vector<Relation> PhysicalPlan::ExecuteAdmitted(

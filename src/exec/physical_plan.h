@@ -126,8 +126,22 @@ std::vector<Relation> Execute(const Program& program,
                               const ExecContext& ctx,
                               Program::Stats* stats = nullptr);
 
+/// Retain-set planner pass: the minimal ExecContext::retain_states list for
+/// running `program` with retirement while keeping every slot in `requested`
+/// (program numbering) readable afterwards. Slots no statement reads are
+/// sinks — retirement never touches them — so only the requested slots with
+/// a positive reader count need an exemption. The reducer derives its
+/// retain list from its final_ids this way; Run() derives an empty one from
+/// its single sink.
+std::vector<int> RetainForSinks(const Program& program,
+                                const std::vector<int>& requested);
+
 /// Parallel Program::Run: executes and returns just the final relation. The
-/// program must have at least one statement.
+/// program must have at least one statement. Runs with state retirement
+/// (ExecContext::retire_consumed) unconditionally: the caller only receives
+/// the last statement's result — a sink, which retirement never frees — so
+/// every consumed base copy and intermediate state is released as its last
+/// reader finishes, whatever the caller's ctx says.
 Relation Run(const Program& program, const std::vector<Relation>& base,
              const ExecContext& ctx);
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "exec/task_scheduler.h"
+#include "rel/simd.h"
 #include "util/check.h"
 
 namespace gyo {
@@ -15,17 +16,10 @@ namespace {
 constexpr uint64_t kFnvSeed = 1469598103934665603ull;
 constexpr uint64_t kFnvPrime = 1099511628211ull;
 
-// Murmur3-style 64-bit finalizer. FNV-1a alone distributes small sequential
-// integers (the common test/benchmark domain) badly in power-of-two bucket
-// arrays; the avalanche step spreads every input bit over the whole word.
-inline uint64_t AvalancheMix(uint64_t h) {
-  h ^= h >> 33;
-  h *= 0xff51afd7ed558ccdull;
-  h ^= h >> 33;
-  h *= 0xc4ceb9fe1a85ec53ull;
-  h ^= h >> 33;
-  return h;
-}
+// FNV-1a alone distributes small sequential integers (the common
+// test/benchmark domain) badly in power-of-two bucket arrays; the Murmur3
+// finalizer sweep (simd::AvalancheSweep) spreads every input bit over the
+// whole word.
 
 // The key columns of `rel` selected by `cols`, as flat arena pointers — the
 // form every kernel below hashes and compares against. Invalidated by any
@@ -40,21 +34,19 @@ inline std::vector<const Value*> KeyCols(const Relation& rel,
 
 // Column-at-a-time key hashing: writes the key hash of every row in
 // [lo, hi) to out[0 .. hi-lo). One FNV-1a fold pass per key column over its
-// flat arena (seed init, then per-column xor-multiply sweeps, then one
-// avalanche sweep) — tight streaming loops instead of the row-major
-// gather-per-row of the old engine, with hash values identical to it
-// (same fold order, same constants).
+// flat arena (seed broadcast, then per-column xor-multiply sweeps, then one
+// avalanche sweep), each sweep explicitly vectorized (rel/simd.h) with hash
+// values bit-identical to the scalar loops — same fold order, same
+// constants, per-lane xor/multiply/shift — so bucket chains, Bloom bits,
+// and output orders are unchanged across the dispatch tiers.
 inline void HashColumns(const std::vector<const Value*>& keys, int64_t lo,
                         int64_t hi, uint64_t* out) {
   const int64_t n = hi - lo;
-  for (int64_t i = 0; i < n; ++i) out[i] = kFnvSeed;
+  simd::FillU64(out, n, kFnvSeed);
   for (const Value* col : keys) {
-    const Value* p = col + lo;
-    for (int64_t i = 0; i < n; ++i) {
-      out[i] = (out[i] ^ static_cast<uint64_t>(p[i])) * kFnvPrime;
-    }
+    simd::XorMulU64(out, col + lo, n, kFnvPrime);
   }
-  for (int64_t i = 0; i < n; ++i) out[i] = AvalancheMix(out[i]);
+  simd::AvalancheSweep(out, n);
 }
 
 // Rows per block of the scratch hash buffer the streaming probe/build loops
@@ -90,12 +82,11 @@ inline bool KeysEqual(const std::vector<const Value*>& a_keys, int64_t a_row,
 }
 
 // Gathers src_col[ids[t]] into dst[t] — the per-column compaction primitive
-// every kernel's output pass is built from.
+// every kernel's output pass is built from (AVX2 hardware gather where
+// available, scalar otherwise; order-preserving on every tier).
 inline void GatherColumn(const Value* src_col,
                          const std::vector<int64_t>& ids, Value* dst) {
-  for (size_t t = 0; t < ids.size(); ++t) {
-    dst[t] = src_col[static_cast<size_t>(ids[t])];
-  }
+  simd::Gather64(src_col, ids.data(), static_cast<int64_t>(ids.size()), dst);
 }
 
 inline size_t NextPow2AtLeast(size_t n) {
@@ -219,6 +210,28 @@ inline void CountPrunes(const OpExecOpts& opts, int64_t pruned,
     opts.bloom_skip_counter->fetch_add(partition_skips,
                                        std::memory_order_relaxed);
   }
+}
+
+// Feeds the SIP prune counter (QueryStats::sip_rows_pruned): probe rows a
+// cross-statement SIP filter rejected before any of this kernel's own
+// Bloom/chain work.
+inline void CountSip(const OpExecOpts& opts, int64_t pruned) {
+  if (pruned > 0 && opts.sip_prune_counter != nullptr) {
+    opts.sip_prune_counter->fetch_add(pruned, std::memory_order_relaxed);
+  }
+}
+
+// True iff any attached SIP filter proves key hash `h` cannot survive the
+// downstream chain (Bloom filters have no false negatives, so a rejection
+// is a proof). A pure function of `h` — identical decisions on every
+// thread, so pruning preserves determinism.
+inline bool SipReject(const std::vector<const BloomFilter*>* filters,
+                      uint64_t h) {
+  if (filters == nullptr) return false;
+  for (const BloomFilter* f : *filters) {
+    if (!f->MaybeContains(h)) return true;
+  }
+  return false;
 }
 
 // True when the probe side is worth splitting into morsels. `opts` must be
@@ -636,39 +649,116 @@ Relation NaturalJoin(const Relation& r, const Relation& s,
     return out;
   }
 
-  // Parallel form: partitioned Bloom-filtered hash build, then a
-  // morsel-driven probe where every morsel collects its (probe, build) match
-  // id pairs; the pairs are compacted into the output arenas with one
-  // (parallel) per-column gather pass at the end.
+  // Parallel form: partitioned Bloom-filtered hash build, then a PROBE-SIDE
+  // radix scatter of the probe relation by the build's own partition
+  // function (the same structure Semijoin's parallel kernel uses): each
+  // probe chunk walks exactly one cache-resident partition — bucket array
+  // plus Bloom filter — instead of every morsel touching all of them, and
+  // carries sticky affinity to the worker that built its partition
+  // (stealable under imbalance). The Bloom accept/reject decisions reuse
+  // the same filters on the same hashes as the morsel-range path did, so
+  // the prune counters are numerically unchanged.
   PartitionedColumnIndex index(build, build_cols, opts);
   const int64_t n = probe.NumRows();
-  const int64_t chunks = NumMorsels(n, opts.morsel_rows);
+  RadixScatter probe_scatter(n, probe_keys, opts, index.bits());
+
+  struct ProbeChunk {
+    int part;
+    int64_t lo, hi;  // range of probe_scatter.row_ids
+  };
+  std::vector<ProbeChunk> probe_chunks;
+  std::vector<int> affinity;
+  for (int p = 0; p < index.num_partitions(); ++p) {
+    const int64_t plo = probe_scatter.part_begin[static_cast<size_t>(p)];
+    const int64_t phi = probe_scatter.part_begin[static_cast<size_t>(p) + 1];
+    if (plo == phi) continue;
+    const int64_t step = ClampMorselToPartition(opts.morsel_rows, phi - plo);
+    for (int64_t lo = plo; lo < phi; lo += step) {
+      probe_chunks.push_back(ProbeChunk{p, lo, std::min(phi, lo + step)});
+      affinity.push_back(index.builder(p));
+    }
+  }
+  const int64_t chunks = static_cast<int64_t>(probe_chunks.size());
   CountMorsels(opts, chunks);
   std::vector<std::vector<int64_t>> probe_ids(static_cast<size_t>(chunks));
   std::vector<std::vector<int64_t>> build_ids(static_cast<size_t>(chunks));
   MergeOrder merge(chunks, opts.deterministic);
-  opts.scheduler->ParallelFor(chunks, [&](int64_t c) {
-    const int64_t lo = c * opts.morsel_rows;
-    const int64_t hi = std::min<int64_t>(n, lo + opts.morsel_rows);
-    std::vector<int64_t>& pids = probe_ids[static_cast<size_t>(c)];
-    std::vector<int64_t>& bids = build_ids[static_cast<size_t>(c)];
-    std::vector<uint64_t> scratch;
-    int64_t pruned = 0;
-    ForEachHashed(probe_keys, lo, hi, scratch, [&](int64_t i, uint64_t h) {
-      const ColumnIndex* part = index.Probe(h);
-      if (part == nullptr) {
-        ++pruned;
-        return;
-      }
-      part->ForEachMatchHashed(probe_keys, i, h, [&](int64_t j) {
-        pids.push_back(i);
-        bids.push_back(j);
-      });
-    });
-    CountPrunes(opts, pruned, pruned);
-    merge.Record(c);
-  }, opts.steal_stats);
+  // Deterministic mode restores the serial output order with a k-way merge
+  // of the per-partition runs: per-probe-row match counts (written
+  // disjointly — every probe row lives in exactly one chunk) are prefix-
+  // summed over GLOBAL row order below, which interleaves the runs exactly
+  // as the serial probe would have emitted them.
+  std::vector<int64_t> row_matches;
+  if (opts.deterministic) row_matches.assign(static_cast<size_t>(n), 0);
+  opts.scheduler->ParallelForAffine(
+      chunks,
+      [&](int64_t c) {
+        const ProbeChunk& chunk = probe_chunks[static_cast<size_t>(c)];
+        const ColumnIndex& part = index.part(chunk.part);
+        std::vector<int64_t>& pids = probe_ids[static_cast<size_t>(c)];
+        std::vector<int64_t>& bids = build_ids[static_cast<size_t>(c)];
+        int64_t pruned = 0;
+        for (int64_t k = chunk.lo; k < chunk.hi; ++k) {
+          const int64_t i = probe_scatter.row_ids[static_cast<size_t>(k)];
+          const uint64_t h = probe_scatter.hashes[static_cast<size_t>(i)];
+          if (!index.PartitionMaybeContains(chunk.part, h)) {
+            ++pruned;
+            continue;
+          }
+          part.ForEachMatchHashed(probe_keys, i, h, [&](int64_t j) {
+            pids.push_back(i);
+            bids.push_back(j);
+          });
+        }
+        if (opts.deterministic) {
+          for (int64_t p : pids) ++row_matches[static_cast<size_t>(p)];
+        }
+        CountPrunes(opts, pruned, pruned);
+        merge.Record(c);
+      },
+      affinity, opts.steal_stats);
 
+  if (opts.deterministic) {
+    // Exclusive prefix sum over global probe-row order: row i's matches
+    // land at [row_start[i], row_start[i] + row_matches[i]) — the offset
+    // the serial kernel writes them to. Within one probe row the matches
+    // arrived in the partition chain's most-recent-first order, which
+    // equals the serial chain's order (equal keys share a partition, and
+    // partitions insert in global build-row order), so the whole output is
+    // bit-identical to serial. The scatter is parallel: one probe row's
+    // pairs are contiguous within its single producing chunk.
+    std::vector<int64_t> row_start(static_cast<size_t>(n));
+    int64_t total = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      row_start[static_cast<size_t>(i)] = total;
+      total += row_matches[static_cast<size_t>(i)];
+    }
+    const int64_t base = out.AppendRows(total);
+    opts.scheduler->ParallelFor(chunks, [&](int64_t c) {
+      const std::vector<int64_t>& pids = probe_ids[static_cast<size_t>(c)];
+      if (pids.empty()) return;
+      const std::vector<int64_t>& bids = build_ids[static_cast<size_t>(c)];
+      std::vector<int64_t> dst(pids.size());
+      int64_t run = 0;
+      for (size_t t = 0; t < pids.size(); ++t) {
+        run = (t > 0 && pids[t] == pids[t - 1]) ? run + 1 : 0;
+        dst[t] = row_start[static_cast<size_t>(pids[t])] + run;
+      }
+      for (size_t k = 0; k < sources.size(); ++k) {
+        const Relation& src = sources[k].from_probe ? probe : build;
+        const Value* col = src.ColData(sources[k].col);
+        const std::vector<int64_t>& ids = sources[k].from_probe ? pids : bids;
+        Value* out_col = out.ColData(static_cast<int>(k)) + base;
+        for (size_t t = 0; t < ids.size(); ++t) {
+          out_col[dst[t]] = col[static_cast<size_t>(ids[t])];
+        }
+      }
+    }, opts.steal_stats);
+    return out;
+  }
+
+  // Non-deterministic mode: concatenate chunk outputs in completion order
+  // (same set of pairs, unspecified row order) — no merge pass at all.
   std::vector<int64_t> offsets = MergeOffsets(merge.order(), [&](int64_t c) {
     return static_cast<int64_t>(probe_ids[static_cast<size_t>(c)].size());
   });
@@ -700,6 +790,26 @@ Relation Semijoin(const Relation& r, const Relation& s,
   });
   const std::vector<const Value*> probe_keys = KeyCols(r, r_cols);
 
+  // Zone-map disjointness: when some key column's value ranges in r and s
+  // provably cannot overlap, no r row can have a match — the result is
+  // empty without hashing a single row. Bit-identical to the full path's
+  // empty result (a fresh relation and an AppendRows(0) compaction are both
+  // canonical), so the skip is safe in every determinism mode. ZoneRange
+  // answers only when the maps are current (AddRow-built or canonicalized
+  // inputs) and both sides are non-empty.
+  for (size_t k = 0; k < r_cols.size(); ++k) {
+    Value rmin, rmax, smin, smax;
+    if (r.ZoneRange(r_cols[k], &rmin, &rmax) &&
+        s.ZoneRange(s_cols[k], &smin, &smax) &&
+        (rmax < smin || smax < rmin)) {
+      if (opts.zone_skip_counter != nullptr) {
+        opts.zone_skip_counter->fetch_add(r.NumRows(),
+                                          std::memory_order_relaxed);
+      }
+      return out;
+    }
+  }
+
   // Emits the selected row ids into output rows starting at `dst`, one
   // column gather at a time (schemas are identical, so columns align 1:1).
   auto GatherSelected = [&](const std::vector<int64_t>& sel, int64_t dst) {
@@ -713,13 +823,18 @@ Relation Semijoin(const Relation& r, const Relation& s,
     const ColumnIndex index =
         BuildIndex(KeyCols(s, s_cols), s.NumRows(), &bloom);
 
-    // Selection pass: record matching row indices (Bloom-rejected probes
-    // never walk a chain), then compact per column in one sweep.
+    // Selection pass: record matching row indices (SIP- and Bloom-rejected
+    // probes never walk a chain), then compact per column in one sweep.
     std::vector<int64_t> selected;
     std::vector<uint64_t> scratch;
     int64_t pruned = 0;
+    int64_t sip_pruned = 0;
     ForEachHashed(probe_keys, 0, r.NumRows(), scratch,
                   [&](int64_t i, uint64_t h) {
+                    if (SipReject(opts.sip_filters, h)) {
+                      ++sip_pruned;
+                      return;
+                    }
                     if (bloom.enabled() && !bloom.MaybeContains(h)) {
                       ++pruned;
                       return;
@@ -729,6 +844,7 @@ Relation Semijoin(const Relation& r, const Relation& s,
                     }
                   });
     CountPrunes(opts, pruned, 0);
+    CountSip(opts, sip_pruned);
     const int64_t base =
         out.AppendRows(static_cast<int64_t>(selected.size()));
     GatherSelected(selected, base);
@@ -781,9 +897,14 @@ Relation Semijoin(const Relation& r, const Relation& s,
         const ProbeChunk& chunk = probe_chunks[static_cast<size_t>(c)];
         const ColumnIndex& part = index.part(chunk.part);
         int64_t pruned = 0;
+        int64_t sip_pruned = 0;
         for (int64_t k = chunk.lo; k < chunk.hi; ++k) {
           const int64_t i = probe_scatter.row_ids[static_cast<size_t>(k)];
           const uint64_t h = probe_scatter.hashes[static_cast<size_t>(i)];
+          if (SipReject(opts.sip_filters, h)) {
+            ++sip_pruned;
+            continue;
+          }
           if (!index.PartitionMaybeContains(chunk.part, h)) {
             ++pruned;
             continue;
@@ -793,6 +914,7 @@ Relation Semijoin(const Relation& r, const Relation& s,
           }
         }
         CountPrunes(opts, pruned, pruned);
+        CountSip(opts, sip_pruned);
       },
       affinity, opts.steal_stats);
 
@@ -834,6 +956,16 @@ Relation JoinAll(const std::vector<Relation>& relations) {
     acc = NaturalJoin(acc, relations[i]);
   }
   return acc;
+}
+
+BloomFilter BuildSipFilter(const Relation& rel, const std::vector<int>& cols) {
+  const int64_t n = rel.NumRows();
+  BloomFilter filter(n);
+  const std::vector<const Value*> keys = KeyCols(rel, cols);
+  std::vector<uint64_t> scratch;
+  ForEachHashed(keys, 0, n, scratch,
+                [&](int64_t, uint64_t h) { filter.Add(h); });
+  return filter;
 }
 
 }  // namespace gyo

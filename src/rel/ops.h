@@ -18,6 +18,8 @@ class TaskScheduler;
 struct StealStats;
 }  // namespace exec
 
+class BloomFilter;
+
 /// Relational algebra operators (paper §2 notation).
 ///
 /// Contract: inputs must be duplicate-free (canonical relations and operator
@@ -75,6 +77,22 @@ struct OpExecOpts {
   /// results. Shared ownership: queued jobs co-own the counters, so a job
   /// drained after the owning query finished never dangles.
   std::shared_ptr<exec::StealStats> steal_stats;
+  /// Sideways-information-passing filters (exec/physical_plan.cc): Bloom
+  /// filters built over a LATER chain statement's build side, keyed on the
+  /// same attributes (in the same sorted order) as this Semijoin's probe
+  /// hash. The probe loops test every filter before their own Bloom/chain
+  /// work; a rejection proves the row dies downstream anyway, so pruning it
+  /// here never changes the final states (no false negatives). Consulted by
+  /// Semijoin only; nullptr (the default) disables SIP.
+  const std::vector<const BloomFilter*>* sip_filters = nullptr;
+  /// When non-null, probe rows a SIP filter rejects are tallied here — the
+  /// QueryStats::sip_rows_pruned feed (separate from probe_rows_pruned,
+  /// which stays the kernel's OWN Bloom pruning).
+  std::atomic<int64_t>* sip_prune_counter = nullptr;
+  /// When non-null, probe rows skipped by a zone-map disjointness proof
+  /// (Semijoin key ranges that cannot overlap skip the whole probe) are
+  /// tallied here — the QueryStats::zone_map_skips feed.
+  std::atomic<int64_t>* zone_skip_counter = nullptr;
 };
 
 /// Morsel-size auto-tuning (used when OpExecOpts/ExecContext leave
@@ -220,6 +238,16 @@ Relation Semijoin(const Relation& r, const Relation& s,
 
 /// ⋈ of a non-empty list of relations, left to right.
 Relation JoinAll(const std::vector<Relation>& relations);
+
+/// Builds the SIP publish-side Bloom filter: every row of `rel` hashed over
+/// key columns `cols` (column-at-a-time, the kernels' hash — callers must
+/// list `cols` in increasing attribute-id order so the hash matches the
+/// consumer's probe hash over the same attributes). Built unconditionally —
+/// no kMinBloomBuildRows gate — because a SIP filter's payoff is decided by
+/// the CONSUMER's probe size, not this build's; an empty `rel` yields a
+/// filter that rejects every probe (correct: a later semijoin against an
+/// empty state eliminates everything).
+BloomFilter BuildSipFilter(const Relation& rel, const std::vector<int>& cols);
 
 }  // namespace gyo
 

@@ -45,11 +45,15 @@ std::optional<std::vector<Relation>> ApplyFullReducer(
   // runtime frees each one as its final consumer task finishes — peak memory
   // stays near the serial reducer's n live states instead of holding all
   // 2(n−1) intermediates until the DAG drains. Each node's *final* state is
-  // what we return, so retain the ones some statement still reads (e.g. the
-  // root's upward-pass result, which every downward semijoin consumes).
+  // what we return, so the retain-set planner pass keeps the ones some
+  // statement still reads (e.g. the root's upward-pass result, which every
+  // downward semijoin consumes) — final states no statement touches are
+  // sinks and need no exemption.
+  const std::vector<int> retain =
+      exec::RetainForSinks(plan->program, plan->final_ids);
   exec::ExecContext retire_ctx = ctx;
   retire_ctx.retire_consumed = true;
-  retire_ctx.retain_states = &plan->final_ids;
+  retire_ctx.retain_states = &retain;
   std::vector<Relation> all = exec::Execute(plan->program, states, retire_ctx);
   std::vector<Relation> out;
   out.reserve(static_cast<size_t>(n));
@@ -98,6 +102,12 @@ std::vector<Relation> FixpointRounds(const DatabaseSchema& d,
   exec::ExecContext round_ctx = ctx;
   round_ctx.retire_consumed = false;
   round_ctx.retain_states = nullptr;
+  // SIP off for the fixpoint: the delta-round schedule pins rows_rescanned
+  // and effective-step counts, and cross-statement pre-pruning would shift
+  // which chain statement eliminates a row (results are unchanged, but the
+  // work accounting would no longer compare across rounds or to the paper's
+  // step counts).
+  round_ctx.enable_sip = false;
   exec::QueryStats round_stats;
   exec::QueryStats total_stats;
   round_ctx.query_stats = ctx.query_stats != nullptr ? &round_stats : nullptr;
@@ -143,6 +153,8 @@ std::vector<Relation> FixpointRounds(const DatabaseSchema& d,
                                               round_stats.peak_state_bytes);
       total_stats.bloom_partition_skips += round_stats.bloom_partition_skips;
       total_stats.probe_rows_pruned += round_stats.probe_rows_pruned;
+      total_stats.sip_rows_pruned += round_stats.sip_rows_pruned;
+      total_stats.zone_map_skips += round_stats.zone_map_skips;
       total_stats.tasks_stolen += round_stats.tasks_stolen;
       total_stats.affinity_hits += round_stats.affinity_hits;
       total_stats.affinity_misses += round_stats.affinity_misses;

@@ -285,6 +285,8 @@ std::vector<uint8_t> EncodeQueryResponse(const QueryResponse& response,
   w.Zigzag(q.state_cache_hits);
   w.Zigzag(q.delta_rounds);
   w.Zigzag(q.rows_rescanned);
+  w.Zigzag(q.sip_rows_pruned);
+  w.Zigzag(q.zone_map_skips);
   if (response.has_plan) {
     w.Varint(static_cast<uint64_t>(response.plan.num_statements));
     w.Varint(static_cast<uint64_t>(response.plan.critical_path));
@@ -318,6 +320,8 @@ std::vector<uint8_t> EncodeStatusResponse(const StatusResponse& status) {
   w.Varint(status.tasks_stolen);
   w.Varint(status.affinity_hits);
   w.Varint(status.affinity_misses);
+  w.Varint(status.sip_rows_pruned);
+  w.Varint(status.zone_map_skips);
   w.Varint(status.plan_cache_hits);
   w.Varint(status.plan_cache_misses);
   w.Varint(status.result_cache_hits);
@@ -405,7 +409,8 @@ bool DecodeQueryResponse(const uint8_t* body, size_t size,
       !r.Zigzag(&q.affinity_hits) || !r.Zigzag(&q.affinity_misses) ||
       !r.Zigzag(&q.queue_depth_at_admit) || !r.Zigzag(&q.plan_cache_hits) ||
       !r.Zigzag(&q.state_cache_hits) || !r.Zigzag(&q.delta_rounds) ||
-      !r.Zigzag(&q.rows_rescanned)) {
+      !r.Zigzag(&q.rows_rescanned) || !r.Zigzag(&q.sip_rows_pruned) ||
+      !r.Zigzag(&q.zone_map_skips)) {
     return SetError(error, "truncated query response");
   }
   if (resp.has_plan) {
@@ -459,6 +464,7 @@ bool DecodeStatusResponse(const uint8_t* body, size_t size,
       !r.Varint(&s.queries_shed_backlog) || !r.Varint(&s.protocol_errors) ||
       !r.U8(&draining) || draining > 1 || !r.Varint(&s.tasks_stolen) ||
       !r.Varint(&s.affinity_hits) || !r.Varint(&s.affinity_misses) ||
+      !r.Varint(&s.sip_rows_pruned) || !r.Varint(&s.zone_map_skips) ||
       !r.Varint(&s.plan_cache_hits) || !r.Varint(&s.plan_cache_misses) ||
       !r.Varint(&s.result_cache_hits) || !r.Varint(&s.result_cache_misses)) {
     return SetError(error, "truncated status counters");

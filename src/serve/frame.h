@@ -154,6 +154,11 @@ struct StatusResponse {
   uint64_t tasks_stolen = 0;
   uint64_t affinity_hits = 0;
   uint64_t affinity_misses = 0;
+  /// Pruning totals accumulated over served queries: probe rows rejected by
+  /// sideways-information-passing filters and probe rows skipped by
+  /// zone-map disjointness proofs (see exec::QueryStats).
+  uint64_t sip_rows_pruned = 0;
+  uint64_t zone_map_skips = 0;
   /// Cache counters — all zero while the corresponding cache is disabled.
   /// Plan hits/misses count plan-cache lookups (one per decoded query);
   /// result hits/misses count full-answer lookups (deterministic queries

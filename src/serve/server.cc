@@ -179,6 +179,8 @@ class Server::Impl {
   std::atomic<uint64_t> tasks_stolen_{0};
   std::atomic<uint64_t> affinity_hits_{0};
   std::atomic<uint64_t> affinity_misses_{0};
+  std::atomic<uint64_t> sip_rows_pruned_{0};
+  std::atomic<uint64_t> zone_map_skips_{0};
 
   DrainReport report_;
 };
@@ -271,6 +273,8 @@ StatusResponse Server::Impl::Status() const {
   s.tasks_stolen = tasks_stolen_.load(std::memory_order_relaxed);
   s.affinity_hits = affinity_hits_.load(std::memory_order_relaxed);
   s.affinity_misses = affinity_misses_.load(std::memory_order_relaxed);
+  s.sip_rows_pruned = sip_rows_pruned_.load(std::memory_order_relaxed);
+  s.zone_map_skips = zone_map_skips_.load(std::memory_order_relaxed);
   if (plan_cache_ != nullptr) {
     const cache::PlanCacheStats plan = plan_cache_->stats();
     s.plan_cache_hits = plan.hits;
@@ -739,6 +743,12 @@ void Server::Impl::RunQuery(uint64_t conn_id, std::vector<uint8_t> body) {
       std::memory_order_relaxed);
   affinity_misses_.fetch_add(
       static_cast<uint64_t>(resp.query_stats.affinity_misses),
+      std::memory_order_relaxed);
+  sip_rows_pruned_.fetch_add(
+      static_cast<uint64_t>(resp.query_stats.sip_rows_pruned),
+      std::memory_order_relaxed);
+  zone_map_skips_.fetch_add(
+      static_cast<uint64_t>(resp.query_stats.zone_map_skips),
       std::memory_order_relaxed);
   // Encode under the server's own frame bound: a result too large to frame
   // (or beyond the wire format's u32 length) becomes a typed error, never a

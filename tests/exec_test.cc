@@ -658,6 +658,194 @@ TEST(StealStormTest, CyclicFixpointMatchesSerialUnderForcedStealing) {
   EXPECT_GT(total_stolen, 0);
 }
 
+// --- Sideways information passing: a downstream chain statement's
+// build-side Bloom filter pre-prunes upstream probes. No false negatives,
+// so results must be bit-identical with SIP on or off, serial or parallel,
+// at every thread count. ---
+
+// A chain where SIP provably fires: s0 = R0 ⋉ R1, s1 = s0 ⋉ R2, key {a}
+// throughout. R2's key domain is tiny, so the filter over R2 rejects most
+// R0 rows already at s0.
+struct SipChain {
+  SipChain() : program(3) {
+    program.AddSemijoin(0, 1);      // slot 3
+    program.AddSemijoin(3, 2);      // slot 4
+    Relation r0(AttrSet{0, 1});
+    Relation r1(AttrSet{0});
+    Relation r2(AttrSet{0});
+    Rng rng(4242);
+    for (int i = 0; i < 300; ++i) {
+      r0.AddRow({static_cast<Value>(rng.Below(50)),
+                 static_cast<Value>(rng.Below(1000))});
+    }
+    for (Value v = 0; v < 50; ++v) r1.AddRow({v});
+    for (Value v = 0; v < 5; ++v) r2.AddRow({v});
+    r0.Canonicalize();
+    r1.Canonicalize();
+    r2.Canonicalize();
+    states = {std::move(r0), std::move(r1), std::move(r2)};
+  }
+  Program program;
+  std::vector<Relation> states;
+};
+
+TEST(SipTest, ChainPrunesSerialAndKeepsFinalStateBitIdentical) {
+  SipChain chain;
+  exec::ExecContext on;  // serial, enable_sip defaults to true
+  exec::QueryStats on_stats;
+  on.query_stats = &on_stats;
+  std::vector<Relation> with_sip =
+      exec::Execute(chain.program, chain.states, on);
+
+  exec::ExecContext off;
+  off.enable_sip = false;
+  exec::QueryStats off_stats;
+  off.query_stats = &off_stats;
+  std::vector<Relation> without_sip =
+      exec::Execute(chain.program, chain.states, off);
+
+  // ~45 of R0's 50 key values are absent from R2; modulo Bloom false
+  // positives almost every such probe row is SIP-pruned at s0.
+  EXPECT_GT(on_stats.sip_rows_pruned, 0);
+  EXPECT_EQ(off_stats.sip_rows_pruned, 0);
+  // The SIP contract: base slots and the chain's FINAL state are untouched;
+  // the single-reader intermediate (slot 3) legitimately shrinks — its
+  // pruned rows are exactly work the chain no longer redoes at s1.
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(with_sip[i].IdenticalTo(without_sip[i])) << "base " << i;
+  }
+  EXPECT_TRUE(with_sip[4].IdenticalTo(without_sip[4]));
+  EXPECT_LT(with_sip[3].NumRows(), without_sip[3].NumRows());
+}
+
+TEST(SipTest, ChainParallelMatchesSerialBothModes) {
+  SipChain chain;
+  std::vector<Relation> serial =
+      exec::Execute(chain.program, chain.states, exec::ExecContext());
+  std::vector<Relation> serial_sets = serial;  // sacrificial for EqualsAsSet
+  int64_t total_pruned = 0;
+  for (int threads : {2, 4, 8}) {
+    for (bool deterministic : {true, false}) {
+      StealStormCtx storm(threads);
+      storm.ctx.deterministic = deterministic;
+      std::vector<Relation> parallel =
+          exec::Execute(chain.program, chain.states, storm.ctx);
+      if (deterministic) {
+        ExpectBitIdentical(serial, parallel);
+      } else {
+        ASSERT_EQ(serial_sets.size(), parallel.size());
+        for (size_t i = 0; i < serial_sets.size(); ++i) {
+          EXPECT_TRUE(serial_sets[i].EqualsAsSet(parallel[i]))
+              << "state " << i << " threads " << threads;
+        }
+      }
+      total_pruned += storm.query_stats.sip_rows_pruned;
+    }
+  }
+  EXPECT_GT(total_pruned, 0);
+}
+
+TEST(SipTest, AllStrategiesKeepSinksUnchangedBySip) {
+  // The property the registry must uphold on every plan shape the solver
+  // emits (full-reducer chains included): SIP toggling never changes any
+  // sink state — the caller-visible results. Consumed single-reader chain
+  // intermediates MAY shrink (pruned rows are exactly the rows their
+  // downstream eliminator drops), which is the saved work.
+  DatabaseSchema d = PathSchema(6);
+  AttrSet x{0, 5};
+  std::vector<Relation> states = MakeUR(d, 150, 10 * 60, 5150);
+  for (const Program& p : AllStrategyPrograms(d, x)) {
+    exec::PhysicalPlan plan = exec::PhysicalPlan::Compile(p);
+    exec::ExecContext off;
+    off.enable_sip = false;
+    std::vector<Relation> without_sip = exec::Execute(p, states, off);
+    std::vector<Relation> with_sip =
+        exec::Execute(p, states, exec::ExecContext());
+    ASSERT_EQ(without_sip.size(), with_sip.size());
+    for (size_t i = 0; i < with_sip.size(); ++i) {
+      if (plan.ReaderCounts()[i] != 0) continue;
+      EXPECT_TRUE(with_sip[i].IdenticalTo(without_sip[i])) << "sink " << i;
+    }
+  }
+}
+
+// --- Deterministic NaturalJoin probe scatter: the radix-partitioned
+// probe with k-way morsel merge must restore the serial global output
+// order under forced work stealing, on tree and cyclic schemas alike. ---
+
+TEST(JoinScatterStormTest, JoinHeavyProgramsMatchSerialUnderStealing) {
+  // FullJoinProgram is all NaturalJoins — the kernel under test — and
+  // Aring(4) adds the cyclic case no qual-tree strategy covers.
+  struct Case {
+    DatabaseSchema d;
+    AttrSet x;
+  };
+  std::vector<Case> cases;
+  cases.push_back({PathSchema(5), AttrSet{0, 4}});
+  cases.push_back({Aring(4), AttrSet{0, 2}});
+  for (size_t ci = 0; ci < cases.size(); ++ci) {
+    std::vector<Relation> states =
+        MakeUR(cases[ci].d, 220, 12 * 60, 7100 + static_cast<uint64_t>(ci));
+    Program p = FullJoinProgram(cases[ci].d, cases[ci].x);
+    std::vector<Relation> serial = p.Execute(states);
+    std::vector<Relation> serial_sets = serial;
+    for (int threads : {2, 4, 8}) {
+      for (bool deterministic : {true, false}) {
+        StealStormCtx storm(threads);
+        storm.ctx.deterministic = deterministic;
+        std::vector<Relation> parallel =
+            exec::Execute(p, states, storm.ctx);
+        if (deterministic) {
+          ExpectBitIdentical(serial, parallel);
+        } else {
+          ASSERT_EQ(serial_sets.size(), parallel.size());
+          for (size_t i = 0; i < serial_sets.size(); ++i) {
+            EXPECT_TRUE(serial_sets[i].EqualsAsSet(parallel[i]))
+                << "case " << ci << " state " << i << " threads " << threads;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(JoinScatterStormTest, KernelBitIdenticalAcrossMorselSizes) {
+  // Drive the scattered probe directly: skewed keys (heavy partitions) and
+  // several morsel sizes so chunks split partitions unevenly.
+  Relation r(AttrSet{0, 1});
+  Relation s(AttrSet{1, 2});
+  Rng rng(8181);
+  for (int i = 0; i < 900; ++i) {
+    // Zipf-ish skew: half the rows land on 4 hot keys.
+    const Value hot = static_cast<Value>(rng.Below(2) ? rng.Below(4)
+                                                      : rng.Below(60));
+    r.AddRow({static_cast<Value>(rng.Below(40)), hot});
+    s.AddRow({static_cast<Value>(rng.Below(60)),
+              static_cast<Value>(rng.Below(40))});
+  }
+  r.Canonicalize();
+  s.Canonicalize();
+  Relation serial = NaturalJoin(r, s);
+  // Sacrificial copy for the set comparisons (EqualsAsSet canonicalizes in
+  // place; `serial` must stay byte-pristine for IdenticalTo).
+  Relation serial_sets = serial;
+  for (int threads : {2, 4, 8}) {
+    for (int64_t morsel_rows : {16, 64, 257}) {
+      exec::TaskScheduler pool(threads);
+      OpExecOpts opts;
+      opts.scheduler = &pool;
+      opts.morsel_rows = morsel_rows;
+      Relation parallel = NaturalJoin(r, s, opts);
+      EXPECT_TRUE(serial.IdenticalTo(parallel))
+          << "threads=" << threads << " morsel_rows=" << morsel_rows;
+      opts.deterministic = false;
+      Relation unordered = NaturalJoin(r, s, opts);
+      EXPECT_TRUE(unordered.EqualsAsSet(serial_sets))
+          << "threads=" << threads << " morsel_rows=" << morsel_rows;
+    }
+  }
+}
+
 // --- Eager validation (satellite): malformed statements must fail up front
 // with an error naming the statement index. ---
 
